@@ -1,0 +1,144 @@
+package photofourier
+
+import (
+	"testing"
+
+	"photofourier/internal/arch"
+	"photofourier/internal/core"
+	"photofourier/internal/experiments"
+	"photofourier/internal/jtc"
+	"photofourier/internal/nets"
+	"photofourier/internal/tensor"
+)
+
+// One benchmark per paper table/figure: each regenerates the artifact
+// through the experiment harness (see DESIGN.md's per-experiment index).
+// Training-backed experiments (Table I, Fig. 7) run in quick mode under the
+// bench harness; `cmd/photofourier -experiment <id>` produces the
+// full-budget versions recorded in EXPERIMENTS.md.
+
+func benchExperiment(b *testing.B, id string, quick bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, experiments.Options{Quick: quick})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig2JTCOutput(b *testing.B)           { benchExperiment(b, "fig2", false) }
+func BenchmarkFig3RowTiling(b *testing.B)           { benchExperiment(b, "fig3", false) }
+func BenchmarkTable1RowTilingAccuracy(b *testing.B) { benchExperiment(b, "table1", true) }
+func BenchmarkTable3DesignSpace(b *testing.B)       { benchExperiment(b, "table3", false) }
+func BenchmarkDeviceCatalog(b *testing.B)           { benchExperiment(b, "table45", false) }
+func BenchmarkFig6BaselinePower(b *testing.B)       { benchExperiment(b, "fig6", false) }
+func BenchmarkFig7TemporalAccumulation(b *testing.B) {
+	benchExperiment(b, "fig7", true)
+}
+func BenchmarkFig8Parallelization(b *testing.B)  { benchExperiment(b, "fig8", false) }
+func BenchmarkFig10Ablation(b *testing.B)        { benchExperiment(b, "fig10", false) }
+func BenchmarkFig11Area(b *testing.B)            { benchExperiment(b, "fig11", false) }
+func BenchmarkFig12Power(b *testing.B)           { benchExperiment(b, "fig12", false) }
+func BenchmarkFig13Throughput(b *testing.B)      { benchExperiment(b, "fig13a", false) }
+func BenchmarkFig13Efficiency(b *testing.B)      { benchExperiment(b, "fig13b", false) }
+func BenchmarkFig13EDP(b *testing.B)             { benchExperiment(b, "fig13c", false) }
+func BenchmarkCrossLightComparison(b *testing.B) { benchExperiment(b, "crosslight", false) }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationDetector compares the two detection encodings on one
+// convolution (linear power vs. square law).
+func BenchmarkAblationDetector(b *testing.B) {
+	in := tensor.New(1, 16, 16, 16)
+	w := tensor.New(8, 16, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = float64(i%97) / 97
+	}
+	for i := range w.Data {
+		w.Data[i] = float64(i%53) / 53
+	}
+	for _, det := range []jtc.Detector{
+		jtc.NewLinearPowerDetector(0, 0, 0),
+		jtc.NewSquareLawDetector(0, 0),
+	} {
+		b.Run(det.Name(), func(b *testing.B) {
+			e := core.NewEngine()
+			e.Detector = det
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationColumnPad measures the utilization cost of exact
+// Same-mode column padding versus the paper's default edge-effect mode.
+func BenchmarkAblationColumnPad(b *testing.B) {
+	in := tensor.New(1, 4, 14, 14)
+	w := tensor.New(4, 4, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = float64(i%89) / 89
+	}
+	for i := range w.Data {
+		w.Data[i] = float64(i%31) / 31
+	}
+	for _, pad := range []bool{false, true} {
+		name := "edge-effect"
+		if pad {
+			name = "column-padded"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := core.NewRowTiledEngine(256)
+			e.ColumnPad = pad
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTemporalDepth isolates the engine cost across
+// accumulation depths.
+func BenchmarkAblationTemporalDepth(b *testing.B) {
+	in := tensor.New(1, 32, 16, 16)
+	w := tensor.New(8, 32, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = float64(i%71) / 71
+	}
+	for i := range w.Data {
+		w.Data[i] = float64(i%37)/37 - 0.4
+	}
+	for _, nta := range []int{1, 16} {
+		b.Run(map[int]string{1: "depth-1", 16: "depth-16"}[nta], func(b *testing.B) {
+			e := core.NewEngine()
+			e.NTA = nta
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArchitectureModel measures the evaluator itself across the full
+// benchmark suite.
+func BenchmarkArchitectureModel(b *testing.B) {
+	cfg := arch.PhotoFourierCG()
+	bench := nets.Benchmark5()
+	for i := 0; i < b.N; i++ {
+		for _, n := range bench {
+			if _, err := arch.EvalNetwork(cfg, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command calibrate prints the raw architecture-model numbers used to
+// calibrate the energy model against the paper's published aggregates
+// (avg power, Fig. 6/12 shares, Fig. 10 ladder, Table III optima).
+package main
+
+import (
+	"fmt"
+
+	"photofourier/internal/arch"
+	"photofourier/internal/nets"
+)
+
+func main() {
+	bench := nets.Benchmark5()
+	for _, cfg := range []arch.Config{arch.Baseline(), arch.PhotoFourierCG(), arch.PhotoFourierNG()} {
+		fmt.Printf("=== %s ===\n", cfg.Name)
+		var pwrSum float64
+		for _, n := range bench {
+			p, err := arch.EvalNetwork(cfg, n)
+			if err != nil {
+				fmt.Println("ERR", n.Name, err)
+				continue
+			}
+			fmt.Printf("%-12s FPS=%9.1f  P=%7.2fW  FPS/W=%9.2f  E/inf=%8.2guJ\n",
+				n.Name, p.FPS(), p.AvgPowerW(), p.FPSPerWatt(), p.EnergyJ*1e6)
+			pwrSum += p.AvgPowerW()
+		}
+		fmt.Printf("avg power over 5: %.2f W\n", pwrSum/float64(len(bench)))
+		// Component shares on VGG-16.
+		p, _ := arch.EvalNetwork(cfg, nets.VGG16())
+		fmt.Printf("VGG-16 component shares: ")
+		for _, comp := range arch.Components() {
+			fmt.Printf("%s=%.1f%% ", comp, 100*p.ByComponent[comp]/p.EnergyJ)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("=== Fig 10 ablation (geomean FPS/W, normalized to baseline) ===")
+	steps := arch.AblationLadder()
+	var base float64
+	for i, s := range steps {
+		g, err := arch.GeomeanFPSPerWatt(s.Config, bench)
+		if err != nil {
+			fmt.Println("ERR", s.Name, err)
+			continue
+		}
+		if i == 0 {
+			base = g
+		}
+		fmt.Printf("%-24s %10.2f  (%.2fx)\n", s.Name, g, g/base)
+	}
+
+	fmt.Println("=== Table III (geomean FPS/W across PFCU counts) ===")
+	for _, gen := range []struct {
+		name string
+		cfg  arch.Config
+	}{{"CG", arch.PhotoFourierCG()}, {"NG", arch.PhotoFourierNG()}} {
+		for _, npfcu := range []int{4, 8, 16, 32, 64} {
+			w, err := gen.cfg.AreaModel.MaxWaveguides(100, npfcu)
+			if err != nil {
+				fmt.Println("ERR", err)
+				continue
+			}
+			c := gen.cfg
+			c.NumPFCU = npfcu
+			c.IB = npfcu
+			c.Waveguides = w
+			g, err := arch.GeomeanFPSPerWatt(c, bench)
+			if err != nil {
+				fmt.Println("ERR", err)
+				continue
+			}
+			fmt.Printf("%s N=%2d W=%3d geomean FPS/W = %.2f\n", gen.name, npfcu, w, g)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Command photofourier regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	photofourier -experiment all        # run everything (default)
+//	photofourier -experiment fig7      # one experiment
+//	photofourier -list                 # list experiment ids
+//	photofourier -quick                # smaller datasets / fewer epochs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"photofourier/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id or 'all'")
+	quick := flag.Bool("quick", false, "reduced-cost mode (smaller datasets, fewer epochs)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	opt := experiments.Options{Quick: *quick}
+	if *exp == "all" {
+		results, err := experiments.RunAll(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		return
+	}
+	r, err := experiments.Run(*exp, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+}

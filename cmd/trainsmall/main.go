@@ -1,0 +1,76 @@
+// Command trainsmall trains the accuracy-study networks on the synthetic
+// dataset and reports their clean / row-tiled / accelerator accuracies —
+// a standalone version of the Table I and Fig. 7 pipelines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"photofourier/internal/core"
+	"photofourier/internal/dataset"
+	"photofourier/internal/nn"
+	"photofourier/internal/train"
+)
+
+func main() {
+	samples := flag.Int("samples", 1200, "dataset size")
+	epochs := flag.Int("epochs", 3, "training epochs")
+	lr := flag.Float64("lr", 0.02, "learning rate")
+	model := flag.String("model", "resnet-s", "resnet-s | small-cnn | alexnet-s")
+	flag.Parse()
+	if err := run(*samples, *epochs, *lr, *model); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(samples, epochs int, lr float64, model string) error {
+	var net *nn.Network
+	switch model {
+	case "resnet-s":
+		net = nn.ResNetS([3]int{8, 16, 32}, dataset.NumClasses, 99)
+	case "small-cnn":
+		net = nn.SmallCNN([2]int{8, 16}, dataset.NumClasses, 99)
+	case "alexnet-s":
+		net = nn.AlexNetS(dataset.NumClasses, 99)
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	data, err := dataset.Synthetic(samples, 1234)
+	if err != nil {
+		return err
+	}
+	trainSet, testSet, err := data.Split(0.75)
+	if err != nil {
+		return err
+	}
+	opt := train.DefaultOptions()
+	opt.Epochs = epochs
+	opt.LR = lr
+	fmt.Printf("training %s (%d params) on %d samples, %d epochs, lr %g\n",
+		net.Name, net.NumParams(), trainSet.Len(), epochs, lr)
+	res, err := train.SGD(net, trainSet, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epoch losses: %.4v\n", res.EpochLosses)
+
+	report := func(label string, engine nn.ConvEngine) error {
+		net.SetConvEngine(engine)
+		top1, top5, err := train.Accuracy(net, testSet, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s top-1 %.1f%%  top-5 %.1f%%\n", label, 100*top1, 100*top5)
+		return nil
+	}
+	if err := report("reference 2D conv", nil); err != nil {
+		return err
+	}
+	if err := report("row-tiled 1D (Table I)", core.NewRowTiledEngine(256)); err != nil {
+		return err
+	}
+	return report("accelerator 8-bit NTA=16", core.NewEngine())
+}

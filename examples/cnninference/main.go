@@ -1,0 +1,48 @@
+// Cnninference: train a small CNN on the synthetic dataset, then run the
+// same trained network on three substrates — exact 2D convolution, the
+// row-tiled 1D path (Table I), and the full quantized accelerator (Fig. 7)
+// — to see how little accuracy the photonic execution costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"photofourier"
+	"photofourier/internal/dataset"
+	"photofourier/internal/nn"
+	"photofourier/internal/train"
+)
+
+func main() {
+	data, err := dataset.Synthetic(800, 1234)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSet, testSet, err := data.Split(0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := nn.SmallCNN([2]int{8, 16}, dataset.NumClasses, 7)
+	opt := train.DefaultOptions()
+	if _, err := train.SGD(net, trainSet, opt); err != nil {
+		log.Fatal(err)
+	}
+
+	engines := []struct {
+		label  string
+		engine photofourier.ConvEngine
+	}{
+		{"exact 2D reference", nil},
+		{"row-tiled 1D JTC", photofourier.NewRowTiledEngine(256)},
+		{"accelerator (8-bit, NTA=16)", photofourier.NewAcceleratorEngine()},
+	}
+	for _, e := range engines {
+		net.SetConvEngine(e.engine)
+		top1, top5, err := train.Accuracy(net, testSet, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s top-1 %.1f%%  top-5 %.1f%%\n", e.label, 100*top1, 100*top5)
+	}
+}

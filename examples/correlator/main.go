@@ -1,0 +1,56 @@
+// Correlator: the classic JTC application (paper Sec. II-A cites optical
+// object tracking) — locate a known pattern inside a noisy 1D scene by
+// reading the correlation peak off the simulated output plane.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"photofourier"
+	"photofourier/internal/fourier"
+	"photofourier/internal/optics"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	// A distinctive non-negative pattern hidden at a known offset in a
+	// noisy scene.
+	pattern := []float64{0.1, 0.9, 0.2, 0.8, 0.3, 0.9, 0.1}
+	const hiddenAt = 37
+	scene := make([]float64, 128)
+	for i := range scene {
+		scene[i] = 0.15 * rng.Float64()
+	}
+	for i, v := range pattern {
+		scene[hiddenAt+i] += v
+	}
+
+	samples := fourier.NextPow2(optics.MinSamples(len(scene), len(pattern)))
+	sys, err := photofourier.NewJTCSystem(samples, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.DarkNoise = 1e-3 // photodetector noise at the Fourier plane
+	corr, err := sys.Correlate1D(scene, pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The correlation peaks where the pattern aligns: shift q = hiddenAt,
+	// stored at index q + len(pattern) - 1.
+	best, bestIdx := 0.0, -1
+	for i, v := range corr {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	found := bestIdx - (len(pattern) - 1)
+	fmt.Printf("pattern hidden at offset %d; JTC correlation peak at %d (value %.3f)\n",
+		hiddenAt, found, best)
+	if found == hiddenAt {
+		fmt.Println("single-shot optical localization succeeded")
+	} else {
+		fmt.Println("localization missed — try lowering the detector noise")
+	}
+}

@@ -1,0 +1,43 @@
+// Designspace: the Table III exploration — for each PFCU count under the
+// 100 mm^2 budget, find the maximum waveguide count and benchmark FPS/W,
+// locating the optimum for both PhotoFourier generations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"photofourier"
+)
+
+func main() {
+	networks := []string{"AlexNet", "VGG-16", "ResNet-18", "ResNet-32", "ResNet-50"}
+	for _, gen := range []photofourier.Config{photofourier.ConfigCG(), photofourier.ConfigNG()} {
+		fmt.Printf("== %s (100 mm^2 budget) ==\n", gen.Name)
+		bestN, bestV := 0, 0.0
+		for _, npfcu := range []int{4, 8, 16, 32, 64} {
+			w, err := gen.AreaModel.MaxWaveguides(100, npfcu)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := gen
+			cfg.NumPFCU, cfg.IB, cfg.Waveguides = npfcu, npfcu, w
+			// Geometric mean FPS/W over the benchmark.
+			prod := 1.0
+			for _, name := range networks {
+				p, err := photofourier.Evaluate(cfg, name)
+				if err != nil {
+					log.Fatal(err)
+				}
+				prod *= p.FPSPerWatt()
+			}
+			g := math.Pow(prod, 1/float64(len(networks)))
+			if g > bestV {
+				bestV, bestN = g, npfcu
+			}
+			fmt.Printf("  %2d PFCUs x %3d waveguides: geomean %8.1f FPS/W\n", npfcu, w, g)
+		}
+		fmt.Printf("  optimum: %d PFCUs (paper: CG@8, NG@16)\n", bestN)
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: evaluate PhotoFourier-CG on VGG-16, run one row-tiled
+// convolution, and print the tiling plan — the three core API entry points.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"photofourier"
+	"photofourier/internal/tensor"
+)
+
+func main() {
+	// 1. Architecture model: how fast/efficient is the accelerator?
+	perf, err := photofourier.Evaluate(photofourier.ConfigCG(), "VGG-16")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PhotoFourier-CG on VGG-16: %.0f FPS, %.1f W, %.1f FPS/W\n",
+		perf.FPS(), perf.AvgPowerW(), perf.FPSPerWatt())
+
+	// 2. Tiling plan: how does a 2D convolution map to 1D JTC shots?
+	plan, err := photofourier.NewTilingPlan(14, 14, 3, 256, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("14x14 conv on a 256-waveguide PFCU: mode=%v shots=%d efficiency=%.0f%%\n",
+		plan.Mode, plan.Shots(), 100*plan.Efficiency())
+
+	// 3. Functional convolution through the row-tiled substrate.
+	engine := photofourier.NewRowTiledEngine(256)
+	in := tensor.New(1, 1, 14, 14)
+	for i := range in.Data {
+		in.Data[i] = float64(i%13) / 13
+	}
+	kernel := tensor.New(1, 1, 3, 3)
+	kernel.Fill(1.0 / 9)
+	out, err := engine.Conv2D(in, kernel, nil, 1, tensor.Same)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("row-tiled 3x3 smoothing produced a %dx%d output; center value %.3f\n",
+		out.Shape[2], out.Shape[3], out.At(0, 0, 7, 7))
+}

@@ -1,0 +1,519 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"photofourier/internal/nets"
+	"photofourier/internal/tensor"
+	"photofourier/internal/tiling"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := PhotoFourierCG()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.NumPFCU = 0 },
+		func(c *Config) { c.Waveguides = 1 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.NTA = 0 },
+		func(c *Config) { c.IB = 3 }, // does not divide 8
+		func(c *Config) { c.IB = 0 },
+		func(c *Config) { c.WeightDACs = 0 },
+		func(c *Config) { c.WeightDACs = 500 },
+		func(c *Config) { c.BitsPerElement = 0 },
+	}
+	for i, mutate := range cases {
+		c := PhotoFourierCG()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestFlagshipConfigsMatchPaper(t *testing.T) {
+	cg := PhotoFourierCG()
+	if cg.NumPFCU != 8 || cg.Waveguides != 256 || cg.ClockHz != 10e9 || cg.NTA != 16 {
+		t.Errorf("CG config %+v does not match Sec. V-A", cg)
+	}
+	if cg.Devices.Chiplets != 2 || !cg.FourierPlaneActive {
+		t.Error("CG is a 2-chiplet design with active square function")
+	}
+	ng := PhotoFourierNG()
+	if ng.NumPFCU != 16 || ng.Waveguides != 256 {
+		t.Errorf("NG config %+v does not match Sec. V-A0b", ng)
+	}
+	if ng.Devices.Chiplets != 1 || ng.FourierPlaneActive {
+		t.Error("NG is monolithic with passive nonlinearity")
+	}
+	b := Baseline()
+	if b.NumPFCU != 1 || b.NTA != 1 || b.WeightDACs != 256 {
+		t.Errorf("baseline config %+v does not match Sec. V-B", b)
+	}
+	if cg.CP() != 1 {
+		t.Errorf("CG CP = %d, want 1 (full input broadcast)", cg.CP())
+	}
+}
+
+func TestEvalLayerRejectsNonConv(t *testing.T) {
+	if _, err := EvalLayer(PhotoFourierCG(), nets.Layer{Kind: nets.FC, Cin: 10, Cout: 10}); err == nil {
+		t.Error("FC layer should be rejected")
+	}
+	bad := PhotoFourierCG()
+	bad.NumPFCU = 0
+	if _, err := EvalLayer(bad, nets.VGG16().ConvLayers()[0]); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func mustEval(t *testing.T, c Config, n nets.Network) NetPerf {
+	t.Helper()
+	p, err := EvalNetwork(c, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCyclesMatchTilingFormulas(t *testing.T) {
+	// A 14x14 3x3 layer with 64->128 channels on CG: row tiling gives
+	// Nor=16 => 1 shot/plane; cycles = 1 * 64 * ceil(128*2/8) = 2048.
+	l := nets.Layer{Kind: nets.Conv, Cin: 64, Cout: 128, H: 14, W: 14, K: 3, Stride: 1, Pad: tensor.Same}
+	lp, err := EvalLayer(PhotoFourierCG(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.TilingMode != tiling.RowTiling {
+		t.Errorf("mode = %v", lp.TilingMode)
+	}
+	if lp.Cycles != 2048 {
+		t.Errorf("cycles = %d, want 2048", lp.Cycles)
+	}
+	if lp.TimeS != 2048/10e9 {
+		t.Errorf("time = %g", lp.TimeS)
+	}
+}
+
+func TestPartialRowTilingCycles(t *testing.T) {
+	// 224x224 3x3 layer: Nir=1, shots = 224*3 per plane.
+	l := nets.Layer{Kind: nets.Conv, Cin: 3, Cout: 64, H: 224, W: 224, K: 3, Stride: 1, Pad: tensor.Same}
+	lp, err := EvalLayer(PhotoFourierCG(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.TilingMode != tiling.PartialRowTiling {
+		t.Errorf("mode = %v", lp.TilingMode)
+	}
+	want := int64(224*3) * 3 * int64(ceilDiv(64*2, 8))
+	if lp.Cycles != want {
+		t.Errorf("cycles = %d, want %d", lp.Cycles, want)
+	}
+}
+
+func TestLargeKernelNoPenaltyUnderPartialTiling(t *testing.T) {
+	// AlexNet conv1 (11x11 on 227): partial row tiling loads one kernel row
+	// (11 taps <= 25 DACs) per shot, so the small-filter DAC budget adds no
+	// extra passes.
+	l := nets.AlexNet().ConvLayers()[0]
+	cg := PhotoFourierCG()
+	lp, err := EvalLayer(cg, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := cg
+	wide.WeightDACs = 256
+	lpWide, err := EvalLayer(wide, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Cycles != lpWide.Cycles {
+		t.Errorf("11x11 under partial tiling: %d cycles with 25 DACs vs %d with 256", lp.Cycles, lpWide.Cycles)
+	}
+}
+
+func TestLargeKernelPenaltyUnderRowTiling(t *testing.T) {
+	// A 7x7 kernel on a small input lands in row tiling (49 taps > 25
+	// DACs): the kernel splits into ceil(7/floor(25/7)) = 3 passes.
+	l := nets.Layer{Kind: nets.Conv, Cin: 16, Cout: 16, H: 14, W: 14, K: 7, Stride: 1, Pad: tensor.Same}
+	cg := PhotoFourierCG()
+	lp, err := EvalLayer(cg, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := cg
+	wide.WeightDACs = 256
+	lpWide, err := EvalLayer(wide, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Cycles != 3*lpWide.Cycles {
+		t.Errorf("7x7 row tiling: %d cycles, want 3x the unconstrained %d", lp.Cycles, lpWide.Cycles)
+	}
+}
+
+func TestPseudoNegativeDoublesCompute(t *testing.T) {
+	l := nets.Layer{Kind: nets.Conv, Cin: 64, Cout: 64, H: 14, W: 14, K: 3, Stride: 1, Pad: tensor.Same}
+	with := PhotoFourierCG()
+	without := PhotoFourierCG()
+	without.PseudoNegative = false
+	a, _ := EvalLayer(with, l)
+	b, _ := EvalLayer(without, l)
+	if a.Cycles != 2*b.Cycles {
+		t.Errorf("pseudo-negative cycles %d, want 2x %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestPipeliningDoublesThroughput(t *testing.T) {
+	l := nets.Layer{Kind: nets.Conv, Cin: 64, Cout: 64, H: 14, W: 14, K: 3, Stride: 1, Pad: tensor.Same}
+	piped := PhotoFourierCG()
+	unpiped := PhotoFourierCG()
+	unpiped.Pipelined = false
+	a, _ := EvalLayer(piped, l)
+	b, _ := EvalLayer(unpiped, l)
+	if math.Abs(b.TimeS-2*a.TimeS) > 1e-15 {
+		t.Errorf("unpipelined time %g, want 2x pipelined %g", b.TimeS, a.TimeS)
+	}
+}
+
+func TestMorePFCUsFasterNetwork(t *testing.T) {
+	cg8 := PhotoFourierCG()
+	cg16 := PhotoFourierCG()
+	cg16.NumPFCU, cg16.IB = 16, 16
+	a := mustEval(t, cg8, nets.VGG16())
+	b := mustEval(t, cg16, nets.VGG16())
+	if b.TimeS >= a.TimeS {
+		t.Errorf("16 PFCUs (%g s) should beat 8 (%g s)", b.TimeS, a.TimeS)
+	}
+	ratio := a.TimeS / b.TimeS
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("VGG-16 speedup from 2x PFCUs = %g, want ~2", ratio)
+	}
+}
+
+func TestTemporalAccumulationCutsADCEnergy(t *testing.T) {
+	// NTA=16 divides ADC frequency (and ADC energy) by ~16 on deep layers.
+	l := nets.Layer{Kind: nets.Conv, Cin: 256, Cout: 256, H: 14, W: 14, K: 3, Stride: 1, Pad: tensor.Same}
+	nta16 := PhotoFourierCG()
+	nta1 := PhotoFourierCG()
+	nta1.NTA = 1
+	a, _ := EvalLayer(nta16, l)
+	b, _ := EvalLayer(nta1, l)
+	ratio := b.ByComponent[CompADC] / a.ByComponent[CompADC]
+	if math.Abs(ratio-16) > 0.01 {
+		t.Errorf("ADC energy ratio = %g, want 16 (paper Sec. V-C)", ratio)
+	}
+	if a.Cycles != b.Cycles {
+		t.Error("temporal accumulation should not change cycle count")
+	}
+	// ADC readouts drop 16x too.
+	if b.ADCReads != 16*a.ADCReads {
+		t.Errorf("ADC reads %d vs %d, want 16x", b.ADCReads, a.ADCReads)
+	}
+}
+
+func TestShallowLayerLimitsAccumulationDepth(t *testing.T) {
+	// With only 3 input channels, readout happens every 3 cycles, not 16.
+	l := nets.Layer{Kind: nets.Conv, Cin: 3, Cout: 64, H: 32, W: 32, K: 3, Stride: 1, Pad: tensor.Same}
+	lp, err := EvalLayer(PhotoFourierCG(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCycleReads := float64(lp.ADCReads) / float64(lp.Cycles)
+	used := 8 * 32 // rowsPerShot * rowLen: floor(256/32) rows of 32
+	want := float64(used*8) / 3
+	if math.Abs(perCycleReads-want) > 1 {
+		t.Errorf("reads per cycle = %g, want %g (group of 3)", perCycleReads, want)
+	}
+}
+
+func TestFig6BaselineADCDACDominate(t *testing.T) {
+	// Paper Fig. 6: ADCs and DACs contribute more than 80% of the
+	// unoptimized single-PFCU system's power on VGG-16.
+	p := mustEval(t, Baseline(), nets.VGG16())
+	frac := (p.ByComponent[CompInputDAC] + p.ByComponent[CompWeightDAC] + p.ByComponent[CompADC]) / p.EnergyJ
+	if frac < 0.80 {
+		t.Errorf("baseline ADC+DAC share = %.1f%%, paper says > 80%%", 100*frac)
+	}
+}
+
+func TestFig12PowerShapes(t *testing.T) {
+	// CG: tens of watts, spread across MRR/DAC/other; NG: ~3x lower with
+	// SRAM the largest single component and data movement > 30%.
+	cg := mustEval(t, PhotoFourierCG(), nets.VGG16())
+	ng := mustEval(t, PhotoFourierNG(), nets.VGG16())
+	if cg.AvgPowerW() < 20 || cg.AvgPowerW() > 45 {
+		t.Errorf("CG power %g W out of the paper's ballpark (26 W)", cg.AvgPowerW())
+	}
+	if ng.AvgPowerW() > cg.AvgPowerW()/2.2 {
+		t.Errorf("NG power %g W should be <= CG/2.2 (%g)", ng.AvgPowerW(), cg.AvgPowerW()/2.2)
+	}
+	// NG: SRAM is the largest single component.
+	sram := ng.ByComponent[CompSRAM]
+	for comp, e := range ng.ByComponent {
+		if comp != CompSRAM && e > sram {
+			t.Errorf("NG component %s (%g J) exceeds SRAM (%g J); paper Fig. 12b has SRAM largest", comp, e, sram)
+		}
+	}
+	move := (ng.ByComponent[CompSRAM] + ng.ByComponent[CompIntercon]) / ng.EnergyJ
+	if move < 0.30 {
+		t.Errorf("NG data movement share %.1f%%, paper says > 30%%", 100*move)
+	}
+	// CG: no single component above 50% ("somewhat evenly spread").
+	for comp, e := range cg.ByComponent {
+		if e/cg.EnergyJ > 0.5 {
+			t.Errorf("CG component %s share %.1f%% too dominant", comp, 100*e/cg.EnergyJ)
+		}
+	}
+}
+
+func TestFig10AblationLadder(t *testing.T) {
+	steps := AblationLadder()
+	if len(steps) != 6 {
+		t.Fatalf("ladder has %d steps", len(steps))
+	}
+	bench := nets.Benchmark5()
+	var prev float64
+	var first, last float64
+	for i, s := range steps {
+		g, err := GeomeanFPSPerWatt(s.Config, bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && g <= prev {
+			t.Errorf("step %s (%g) did not improve on %g", s.Name, g, prev)
+		}
+		if i == 0 {
+			first = g
+		}
+		last = g
+		prev = g
+	}
+	total := last / first
+	if total < 10 || total > 25 {
+		t.Errorf("cumulative optimization gain = %.1fx, paper reports ~15x", total)
+	}
+}
+
+func TestTableIIIOptima(t *testing.T) {
+	// CG peaks at 8 PFCUs, NG at 16 (Table III).
+	bench := nets.Benchmark5()
+	best := func(gen Config, area func(int) (int, error)) int {
+		bestN, bestV := 0, 0.0
+		for _, n := range []int{4, 8, 16, 32, 64} {
+			w, err := area(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := gen
+			c.NumPFCU, c.IB, c.Waveguides = n, n, w
+			g, err := GeomeanFPSPerWatt(c, bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g > bestV {
+				bestV, bestN = g, n
+			}
+		}
+		return bestN
+	}
+	cg := PhotoFourierCG()
+	if n := best(cg, func(n int) (int, error) { return cg.AreaModel.MaxWaveguides(100, n) }); n != 8 {
+		t.Errorf("CG optimum at %d PFCUs, paper says 8", n)
+	}
+	ng := PhotoFourierNG()
+	if n := best(ng, func(n int) (int, error) { return ng.AreaModel.MaxWaveguides(100, n) }); n != 16 {
+		t.Errorf("NG optimum at %d PFCUs, paper says 16", n)
+	}
+}
+
+func TestFig8ParallelizationOptima(t *testing.T) {
+	// Paper Sec. V-D: with NTA=16, IB=NPFCU is optimal for NPFCU in {8,16};
+	// for NPFCU=32 both 16 and 32 tie.
+	for _, npfcu := range []int{8, 16} {
+		opt, err := OptimalIBs(npfcu, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(opt) != 1 || opt[0] != npfcu {
+			t.Errorf("NPFCU=%d: optimal IBs %v, want [%d]", npfcu, opt, npfcu)
+		}
+	}
+	opt32, err := OptimalIBs(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt32) != 2 || opt32[0] != 16 || opt32[1] != 32 {
+		t.Errorf("NPFCU=32: optimal IBs %v, want [16 32]", opt32)
+	}
+	// The continuous optimum sits near 22.6 (the paper's "IB = 23").
+	if u := UnconstrainedOptimalIB(32, 16); math.Abs(u-22.63) > 0.1 {
+		t.Errorf("unconstrained optimum %g, want ~22.6", u)
+	}
+}
+
+func TestParallelizationCostFormula(t *testing.T) {
+	// Cost(IB=8, NPFCU=8, NTA=16) = 8/16 + 1 = 1.5.
+	cost, err := ParallelizationCost(8, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-1.5) > 1e-12 {
+		t.Errorf("cost = %g, want 1.5", cost)
+	}
+	if _, err := ParallelizationCost(3, 8, 16); err == nil {
+		t.Error("non-divisor IB should fail")
+	}
+	if _, err := ParallelizationCost(0, 8, 16); err == nil {
+		t.Error("zero IB should fail")
+	}
+}
+
+func TestValidIBs(t *testing.T) {
+	got := ValidIBs(32)
+	want := []int{1, 2, 4, 8, 16, 32}
+	if len(got) != len(want) {
+		t.Fatalf("ValidIBs(32) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ValidIBs(32) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSweepParallelizationCurve(t *testing.T) {
+	points, err := SweepParallelization(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The curve must be monotonically decreasing toward IB=16 for NPFCU=16.
+	for i := 1; i < len(points); i++ {
+		if points[i].Cost >= points[i-1].Cost {
+			t.Errorf("cost should decrease with IB for NPFCU=16: %v", points)
+		}
+	}
+}
+
+func TestStridedConvInefficiency(t *testing.T) {
+	// The JTC computes at unit stride and discards results (Sec. VI-E):
+	// a stride-2 layer costs the same cycles as its stride-1 twin even
+	// though it produces 4x fewer outputs.
+	base := nets.Layer{Kind: nets.Conv, Cin: 64, Cout: 64, H: 56, W: 56, K: 3, Stride: 1, Pad: tensor.Same}
+	strided := base
+	strided.Stride = 2
+	a, _ := EvalLayer(PhotoFourierCG(), base)
+	b, _ := EvalLayer(PhotoFourierCG(), strided)
+	if a.Cycles != b.Cycles {
+		t.Errorf("strided layer cycles %d != unit-stride %d; stride should not save JTC work", b.Cycles, a.Cycles)
+	}
+}
+
+func TestEvalNetworkAggregation(t *testing.T) {
+	p := mustEval(t, PhotoFourierCG(), nets.VGG16())
+	if len(p.Layers) != 13 {
+		t.Errorf("VGG-16 evaluated %d layers, want 13", len(p.Layers))
+	}
+	var sumT, sumE float64
+	for _, l := range p.Layers {
+		sumT += l.TimeS
+		sumE += l.EnergyJ
+	}
+	if math.Abs(sumT-p.TimeS) > 1e-12 || math.Abs(sumE-p.EnergyJ)/p.EnergyJ > 1e-12 {
+		t.Error("network totals should equal layer sums")
+	}
+	if math.Abs(p.FPS()*p.TimeS-1) > 1e-12 {
+		t.Error("FPS inconsistency")
+	}
+	if math.Abs(p.EDP()-p.EnergyJ*p.TimeS) > 1e-18 {
+		t.Error("EDP inconsistency")
+	}
+	if math.Abs(p.FPSPerWatt()-p.FPS()/p.AvgPowerW()) > 1e-9*p.FPSPerWatt() {
+		t.Error("FPS/W should equal FPS / average power")
+	}
+}
+
+func TestGeomeanFPSPerWatt(t *testing.T) {
+	if _, err := GeomeanFPSPerWatt(PhotoFourierCG(), nil); err == nil {
+		t.Error("empty benchmark set should fail")
+	}
+	g, err := GeomeanFPSPerWatt(PhotoFourierCG(), nets.ImageNet3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 0 {
+		t.Error("geomean should be positive")
+	}
+}
+
+func TestAreaBreakdownTotals(t *testing.T) {
+	// Fig. 11 totals: CG PIC ~92.2, SRAM 5.85, CMOS 10.15; NG ~93.5/5.3/16.5.
+	cg := Area(PhotoFourierCG())
+	if math.Abs(cg.TotalPICMM2-92.2)/92.2 > 0.02 {
+		t.Errorf("CG PIC area %g, paper 92.2", cg.TotalPICMM2)
+	}
+	if cg.SRAMMM2 != 5.85 || cg.CMOSTilesMM2 != 10.15 {
+		t.Error("CG SRAM/CMOS areas")
+	}
+	ng := Area(PhotoFourierNG())
+	if math.Abs(ng.TotalPICMM2-93.5)/93.5 > 0.02 {
+		t.Errorf("NG PIC area %g, paper 93.5", ng.TotalPICMM2)
+	}
+	// Photonics dominates total area in both (Fig. 11).
+	if cg.TotalPICMM2 < cg.SRAMMM2+cg.CMOSTilesMM2 {
+		t.Error("CG photonics should dominate area")
+	}
+	if ng.TotalPICMM2 < ng.SRAMMM2+ng.CMOSTilesMM2 {
+		t.Error("NG photonics should dominate area")
+	}
+}
+
+func TestNGTwiceThePFCUsSameArea(t *testing.T) {
+	// Paper: "While having 2x PFCUs, PhotoFourier-NG has roughly the same
+	// area as PhotoFourier-CG."
+	cg, ng := Area(PhotoFourierCG()), Area(PhotoFourierNG())
+	if math.Abs(ng.TotalPICMM2-cg.TotalPICMM2)/cg.TotalPICMM2 > 0.05 {
+		t.Errorf("NG PIC %g vs CG %g should be within 5%%", ng.TotalPICMM2, cg.TotalPICMM2)
+	}
+}
+
+func TestFig13HeadlineRatios(t *testing.T) {
+	// NG has 2x CG's throughput (16 vs 8 PFCUs) and better efficiency.
+	for _, n := range nets.ImageNet3() {
+		cg := mustEval(t, PhotoFourierCG(), n)
+		ng := mustEval(t, PhotoFourierNG(), n)
+		r := ng.FPS() / cg.FPS()
+		if math.Abs(r-2) > 0.05 {
+			t.Errorf("%s: NG/CG FPS ratio %g, want ~2", n.Name, r)
+		}
+		if ng.FPSPerWatt() <= cg.FPSPerWatt() {
+			t.Errorf("%s: NG FPS/W should beat CG", n.Name)
+		}
+		if ng.EDP() >= cg.EDP() {
+			t.Errorf("%s: NG EDP should beat CG", n.Name)
+		}
+	}
+}
+
+func TestAlexNetStridePenalty(t *testing.T) {
+	// AlexNet is PhotoFourier's weak spot (Sec. VI-E): its conv1 discards
+	// 15/16 of computed outputs. Verify conv1 dominates AlexNet runtime.
+	p := mustEval(t, PhotoFourierCG(), nets.AlexNet())
+	conv1 := p.Layers[0]
+	if conv1.TimeS/p.TimeS < 0.5 {
+		t.Errorf("conv1 share of AlexNet runtime = %.2f, expected majority", conv1.TimeS/p.TimeS)
+	}
+}
+
+func BenchmarkEvalNetworkVGG16(b *testing.B) {
+	cfg := PhotoFourierCG()
+	n := nets.VGG16()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalNetwork(cfg, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package arch
+
+import "photofourier/internal/photonics"
+
+// Area computes the Fig. 11 area decomposition for a configuration.
+func Area(c Config) photonics.AreaBreakdown {
+	return photonics.Breakdown(
+		c.AreaModel, photonics.ComponentDims(),
+		c.NumPFCU, c.Waveguides,
+		c.FourierPlaneActive,
+		c.SRAMAreaMM2, c.CMOSAreaMM2,
+	)
+}
+
+// AblationStep names one cumulative optimization of the Fig. 10 study.
+type AblationStep struct {
+	Name   string
+	Config Config
+}
+
+// AblationLadder returns the Fig. 10 sequence: each step adds one
+// optimization on top of all previous ones, holding CG device powers fixed
+// to exclude technology scaling (Sec. VI-B). The starting point is the
+// unpipelined Sec. II-B baseline (both JTC halves idle half the time, the
+// 50%-utilization problem of Sec. II-C2); pipelining is the first PFCU-level
+// optimization (Sec. IV-A).
+func AblationLadder() []AblationStep {
+	base := Baseline() // 1 PFCU, 256 waveguides, 256 weight DACs, NTA=1
+	base.Pipelined = false
+
+	pipelined := base
+	pipelined.Name = "+pipelining"
+	pipelined.Pipelined = true
+
+	smallFilter := pipelined
+	smallFilter.Name = "+small-filter"
+	smallFilter.WeightDACs = 25
+
+	parallel := smallFilter
+	parallel.Name = "+PFCU-parallelization"
+	parallel.NumPFCU = 8
+	parallel.IB = 8
+
+	temporal := parallel
+	temporal.Name = "+temporal-accumulation"
+	temporal.NTA = 16
+
+	nonlinear := temporal
+	nonlinear.Name = "+nonlinear-material"
+	nonlinear.FourierPlaneActive = false
+
+	return []AblationStep{
+		{Name: "baseline", Config: base},
+		{Name: pipelined.Name, Config: pipelined},
+		{Name: smallFilter.Name, Config: smallFilter},
+		{Name: parallel.Name, Config: parallel},
+		{Name: temporal.Name, Config: temporal},
+		{Name: nonlinear.Name, Config: nonlinear},
+	}
+}

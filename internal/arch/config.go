@@ -1,0 +1,117 @@
+// Package arch implements the PhotoFourier architecture model (paper Sec. V
+// and VI): cycle-accurate-at-the-shot-level performance evaluation of CNN
+// inference on a configurable multi-PFCU accelerator, with the component
+// power/energy/area accounting behind Figs. 6, 8, 10, 11, 12 and Table III.
+package arch
+
+import (
+	"fmt"
+
+	"photofourier/internal/photonics"
+)
+
+// Config describes one PhotoFourier accelerator instance.
+type Config struct {
+	Name string
+
+	Devices   photonics.DeviceSet
+	AreaModel photonics.AreaModel
+
+	NumPFCU    int     // PFCUs on the PIC
+	Waveguides int     // input waveguides per PFCU (Ni); weight side adds Ni more
+	ClockHz    float64 // photonic clock (10 GHz)
+	NTA        int     // temporal accumulation depth (16; 1 disables)
+	IB         int     // input-broadcast width: PFCUs sharing one input DAC/MRR set
+	WeightDACs int     // active weight DACs per PFCU (25 with the small-filter opt)
+
+	FourierPlaneActive bool // CG: MRR+PD square function; NG: passive nonlinear material
+	PseudoNegative     bool // signed weights processed as p-n filter pairs (2x compute)
+	Pipelined          bool // two-stage PFCU pipeline (Sec. IV-A)
+
+	BitsPerElement int // activation/weight/psum readout precision (8)
+
+	ActivationSRAMBytes      int64 // shared global activation SRAM (4 MB)
+	WeightSRAMBytesPerTile   int64 // per-CMOS-tile weight SRAM (512 KB)
+	SRAMAreaMM2, CMOSAreaMM2 float64
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if c.NumPFCU < 1 {
+		return fmt.Errorf("arch: NumPFCU %d < 1", c.NumPFCU)
+	}
+	if c.Waveguides < 2 {
+		return fmt.Errorf("arch: Waveguides %d < 2", c.Waveguides)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("arch: ClockHz %g invalid", c.ClockHz)
+	}
+	if c.NTA < 1 {
+		return fmt.Errorf("arch: NTA %d < 1", c.NTA)
+	}
+	if c.IB < 1 || c.NumPFCU%c.IB != 0 {
+		return fmt.Errorf("arch: IB %d must divide NumPFCU %d", c.IB, c.NumPFCU)
+	}
+	if c.WeightDACs < 1 || c.WeightDACs > c.Waveguides {
+		return fmt.Errorf("arch: WeightDACs %d out of [1, %d]", c.WeightDACs, c.Waveguides)
+	}
+	if c.BitsPerElement < 1 {
+		return fmt.Errorf("arch: BitsPerElement %d < 1", c.BitsPerElement)
+	}
+	return nil
+}
+
+// CP returns the channel-parallelization width NumPFCU/IB (Table II).
+func (c Config) CP() int { return c.NumPFCU / c.IB }
+
+// PhotoFourierCG returns the current-generation flagship configuration:
+// 8 PFCUs x 256 waveguides, 10 GHz, 14 nm CMOS chiplet, NTA=16 (Sec. V-A).
+func PhotoFourierCG() Config {
+	return Config{
+		Name:                   "PhotoFourier-CG",
+		Devices:                photonics.CG(),
+		AreaModel:              photonics.CGArea(),
+		NumPFCU:                8,
+		Waveguides:             256,
+		ClockHz:                10e9,
+		NTA:                    16,
+		IB:                     8,
+		WeightDACs:             25,
+		FourierPlaneActive:     true,
+		PseudoNegative:         true,
+		Pipelined:              true,
+		BitsPerElement:         8,
+		ActivationSRAMBytes:    4 << 20,
+		WeightSRAMBytesPerTile: 512 << 10,
+		SRAMAreaMM2:            5.85,
+		CMOSAreaMM2:            10.15,
+	}
+}
+
+// PhotoFourierNG returns the next-generation configuration: 16 PFCUs,
+// monolithic 7 nm integration, passive optical nonlinearity (Sec. V-A0b).
+func PhotoFourierNG() Config {
+	c := PhotoFourierCG()
+	c.Name = "PhotoFourier-NG"
+	c.Devices = photonics.NG()
+	c.AreaModel = photonics.NGArea()
+	c.NumPFCU = 16
+	c.IB = 16
+	c.FourierPlaneActive = false
+	c.SRAMAreaMM2 = 5.3
+	c.CMOSAreaMM2 = 16.5
+	return c
+}
+
+// Baseline returns the unoptimized single-PFCU system of Sec. V-B / Fig. 6:
+// 256 input waveguides, 10 GHz ADCs (no temporal accumulation), a full set
+// of 256 weight DACs (no small-filter optimization), CG device powers.
+func Baseline() Config {
+	c := PhotoFourierCG()
+	c.Name = "Baseline-1PFCU"
+	c.NumPFCU = 1
+	c.IB = 1
+	c.NTA = 1
+	c.WeightDACs = 256
+	return c
+}

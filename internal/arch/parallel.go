@@ -1,0 +1,89 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+)
+
+// ParallelizationCost evaluates the Sec. V-D minimization objective
+// IB/NTA + CP for one candidate input-broadcast width. The objective is the
+// (normalized) sum of ADC and DAC power: broadcasting inputs to IB PFCUs
+// shares input DACs (leaving CP = NPFCU/IB independent DAC sets), while
+// channel parallelization shares ADC sets (IB of them) whose frequency is
+// already divided by NTA.
+func ParallelizationCost(ib, npfcu, nta int) (float64, error) {
+	if ib < 1 || npfcu < 1 || nta < 1 {
+		return 0, fmt.Errorf("arch: invalid parallelization point ib=%d npfcu=%d nta=%d", ib, npfcu, nta)
+	}
+	if npfcu%ib != 0 {
+		return 0, fmt.Errorf("arch: ib=%d does not divide npfcu=%d", ib, npfcu)
+	}
+	cp := npfcu / ib
+	return float64(ib)/float64(nta) + float64(cp), nil
+}
+
+// ValidIBs returns the admissible input-broadcast widths for a PFCU count:
+// the powers of two dividing it (the paper's Fig. 8 sweep domain).
+func ValidIBs(npfcu int) []int {
+	var out []int
+	for ib := 1; ib <= npfcu; ib *= 2 {
+		if npfcu%ib == 0 {
+			out = append(out, ib)
+		}
+	}
+	return out
+}
+
+// SweepPoint is one (IB, cost) sample of the Fig. 8 curve.
+type SweepPoint struct {
+	IB   int
+	Cost float64
+}
+
+// SweepParallelization evaluates the objective over all valid IB values.
+func SweepParallelization(npfcu, nta int) ([]SweepPoint, error) {
+	ibs := ValidIBs(npfcu)
+	if len(ibs) == 0 {
+		return nil, fmt.Errorf("arch: no valid IB for npfcu=%d", npfcu)
+	}
+	out := make([]SweepPoint, 0, len(ibs))
+	for _, ib := range ibs {
+		cost, err := ParallelizationCost(ib, npfcu, nta)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{IB: ib, Cost: cost})
+	}
+	return out, nil
+}
+
+// OptimalIBs returns every IB achieving the minimum cost (there can be ties:
+// for NPFCU=32 and NTA=16 both 16 and 32 are optimal, Sec. V-D).
+func OptimalIBs(npfcu, nta int) ([]int, error) {
+	points, err := SweepParallelization(npfcu, nta)
+	if err != nil {
+		return nil, err
+	}
+	best := math.Inf(1)
+	for _, p := range points {
+		if p.Cost < best {
+			best = p.Cost
+		}
+	}
+	var out []int
+	const tol = 1e-12
+	for _, p := range points {
+		if p.Cost <= best+tol {
+			out = append(out, p.IB)
+		}
+	}
+	return out, nil
+}
+
+// UnconstrainedOptimalIB returns the real-valued minimizer sqrt(NTA*NPFCU)
+// of IB/NTA + NPFCU/IB — the paper's observation that the continuous optimum
+// for NPFCU=32, NTA=16 sits at IB ~ 22.6 (reported as 23), between the two
+// valid integer optima.
+func UnconstrainedOptimalIB(npfcu, nta int) float64 {
+	return math.Sqrt(float64(nta) * float64(npfcu))
+}

@@ -1,0 +1,248 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"photofourier/internal/nets"
+	"photofourier/internal/tiling"
+)
+
+// Component names used in energy breakdowns.
+const (
+	CompInputDAC  = "input-dac"
+	CompWeightDAC = "weight-dac"
+	CompMRR       = "mrr"
+	CompADC       = "adc"
+	CompLaser     = "laser"
+	CompSRAM      = "sram"
+	CompIntercon  = "interconnect"
+	CompCMOS      = "cmos"
+)
+
+// Components lists every breakdown category in display order.
+func Components() []string {
+	return []string{CompInputDAC, CompWeightDAC, CompMRR, CompADC, CompLaser, CompSRAM, CompIntercon, CompCMOS}
+}
+
+// LayerPerf is the evaluation result for one convolution layer.
+type LayerPerf struct {
+	Layer       nets.Layer
+	TilingMode  tiling.Mode
+	Cycles      int64
+	TimeS       float64
+	EnergyJ     float64
+	Utilization float64 // input waveguide occupancy of a shot
+	FilterUtil  float64 // PFCU occupancy across filter groups
+	ADCReads    int64
+	SRAMBits    int64
+	ByComponent map[string]float64 // energy in joules
+}
+
+// NetPerf aggregates layer results over a full inference (batch 1).
+type NetPerf struct {
+	Network     string
+	Config      string
+	Layers      []LayerPerf
+	TimeS       float64
+	EnergyJ     float64
+	ByComponent map[string]float64
+}
+
+// FPS returns inferences per second.
+func (n NetPerf) FPS() float64 { return 1 / n.TimeS }
+
+// AvgPowerW returns the average power over one inference.
+func (n NetPerf) AvgPowerW() float64 { return n.EnergyJ / n.TimeS }
+
+// FPSPerWatt returns the power-efficiency metric of Figs. 10 and 13b.
+func (n NetPerf) FPSPerWatt() float64 { return 1 / n.EnergyJ }
+
+// EDP returns the energy-delay product (J*s); Fig. 13c plots its inverse.
+func (n NetPerf) EDP() float64 { return n.EnergyJ * n.TimeS }
+
+// EvalLayer evaluates one convolution layer on the configuration.
+func EvalLayer(c Config, l nets.Layer) (LayerPerf, error) {
+	if err := c.Validate(); err != nil {
+		return LayerPerf{}, err
+	}
+	if l.Kind != nets.Conv {
+		return LayerPerf{}, fmt.Errorf("arch: EvalLayer wants a conv layer, got %v", l.Kind)
+	}
+	// The JTC computes at unit stride; strided layers discard outputs
+	// (Sec. VI-E), so the plan always uses stride 1.
+	plan, err := tiling.NewPlan(l.H, l.W, l.K, c.Waveguides, l.Pad, false)
+	if err != nil {
+		return LayerPerf{}, fmt.Errorf("arch: layer %s: %w", l.Name, err)
+	}
+	// The weight-DAC budget constrains the kernel taps loaded per shot, not
+	// the whole kernel: partial row tiling and row partitioning already
+	// split the kernel across shots (Sec. III-B/C). Only when a single
+	// shot's taps exceed the active DACs are extra accumulation passes
+	// needed (Sec. IV-B).
+	perShotTaps := shotTaps(plan, l.K)
+	kernelPasses := 1
+	if perShotTaps > c.WeightDACs {
+		if plan.Mode == tiling.RowTiling {
+			// Split the K kernel rows over passes of floor(DACs/K) rows.
+			rowsPerPass := c.WeightDACs / l.K
+			if rowsPerPass < 1 {
+				// Even one kernel row exceeds the DACs: partition rows too.
+				kernelPasses = l.K * ceilDiv(l.K, c.WeightDACs)
+			} else {
+				kernelPasses = ceilDiv(l.K, rowsPerPass)
+			}
+		} else {
+			kernelPasses = ceilDiv(perShotTaps, c.WeightDACs)
+		}
+		perShotTaps = min(perShotTaps, c.WeightDACs)
+	}
+	shotsPerPlane := int64(plan.Shots()) * int64(kernelPasses)
+
+	// Filter-level parallelism: each PFCU in a broadcast group computes a
+	// unique filter; pseudo-negative doubles the filter count.
+	pnf := 1
+	if c.PseudoNegative {
+		pnf = 2
+	}
+	filters := l.Cout * pnf
+	filterGroups := ceilDiv(filters, c.NumPFCU)
+	filterUtil := float64(filters) / float64(filterGroups*c.NumPFCU)
+
+	// Channel-parallel PFCUs (CP > 1) split the input channels.
+	channelsPerSet := ceilDiv(l.Cin, c.CP())
+	cycles := shotsPerPlane * int64(channelsPerSet) * int64(filterGroups)
+
+	cycleTime := 1 / c.ClockHz
+	if !c.Pipelined {
+		cycleTime = 2 / c.ClockHz
+	}
+	timeS := float64(cycles) * cycleTime
+
+	// Input occupancy of the 1D aperture.
+	var used int
+	switch plan.Mode {
+	case tiling.RowTiling, tiling.PartialRowTiling:
+		used = plan.RowsPerShot * plan.RowLen
+	default:
+		used = min(plan.NConv, l.W)
+	}
+	uInput := float64(used) / float64(c.Waveguides)
+
+	// Temporal accumulation: the photodetector integrates up to NTA
+	// channels before one ADC readout; shallow layers read out early.
+	chGroup := min(c.NTA, channelsPerSet)
+	adcFreq := c.ClockHz / float64(chGroup)
+	adcSets := c.IB // NumPFCU/CP ADC sets (channel parallelization shares them)
+	adcCount := float64(c.Waveguides) * float64(adcSets)
+	adcReads := cycles / int64(chGroup) * int64(used) * int64(adcSets)
+
+	d := c.Devices
+	by := make(map[string]float64, 8)
+	inputSets := float64(c.CP())
+	ni := float64(c.Waveguides)
+
+	// Active-device power, integrated over the layer time. All present
+	// weight DACs stay powered — the paper keeps 25 DACs "with
+	// corresponding [routable] waveguides" and power-gates only the MRRs
+	// (Sec. IV-B); the small-filter optimization's saving is the DAC count
+	// reduction itself.
+	by[CompInputDAC] = ni * inputSets * d.DACPowerAt(c.ClockHz) * uInput * timeS
+	by[CompWeightDAC] = float64(c.WeightDACs*c.NumPFCU) * d.DACPowerAt(c.ClockHz) * filterUtil * timeS
+	mrrs := ni*inputSets*uInput + // input modulators
+		float64(min(perShotTaps, c.WeightDACs)*c.NumPFCU)*filterUtil // weight modulators (power-gated)
+	if c.FourierPlaneActive {
+		mrrs += ni * float64(c.NumPFCU) * filterUtil // square-function ring row
+	}
+	by[CompMRR] = mrrs * d.MRRPowerW * timeS
+	by[CompADC] = adcCount * d.ADCPowerAt(adcFreq) * uInput * filterUtil * timeS
+	by[CompLaser] = ni * float64(c.NumPFCU) * d.LaserPowerPerWGW * filterUtil * timeS
+	by[CompCMOS] = d.CMOSTileStaticW * float64(c.NumPFCU+1) * timeS // +1: activation tile
+
+	// Data movement: SRAM accesses and cross-domain interconnect traffic.
+	bits := int64(c.BitsPerElement)
+	// Every cycle each of the CP channel-parallel sets streams one tile of
+	// `used` activations from SRAM to its input DACs.
+	activationReadBits := cycles * int64(c.CP()) * int64(used) * bits
+	weightReadBits := cycles * int64(min(perShotTaps, c.WeightDACs)) * bits * int64(c.NumPFCU)
+	oh, ow := l.OutHW()
+	outputBits := int64(oh) * int64(ow) * int64(l.Cout) * bits * 2 // write + later read
+	sramBits := activationReadBits + weightReadBits + outputBits
+	by[CompSRAM] = float64(sramBits) * d.SRAMReadEnergyJPerBit
+	// Interconnect carries activations/weights to the DACs and ADC results
+	// back (ADC traffic shrinks with temporal accumulation).
+	adcBits := float64(adcReads) * float64(bits)
+	iconBits := float64(activationReadBits+weightReadBits) + adcBits
+	by[CompIntercon] = iconBits * d.InterconnectJPerBit
+
+	var energy float64
+	for _, v := range by {
+		energy += v
+	}
+	return LayerPerf{
+		Layer:       l,
+		TilingMode:  plan.Mode,
+		Cycles:      cycles,
+		TimeS:       timeS,
+		EnergyJ:     energy,
+		Utilization: uInput,
+		FilterUtil:  filterUtil,
+		ADCReads:    adcReads,
+		SRAMBits:    sramBits,
+		ByComponent: by,
+	}, nil
+}
+
+// EvalNetwork evaluates every convolution layer of the network (the
+// accelerated set; conv layers carry >99% of MACs in the benchmark CNNs).
+func EvalNetwork(c Config, n nets.Network) (NetPerf, error) {
+	out := NetPerf{Network: n.Name, Config: c.Name, ByComponent: make(map[string]float64)}
+	for _, l := range n.ConvLayers() {
+		lp, err := EvalLayer(c, l)
+		if err != nil {
+			return NetPerf{}, err
+		}
+		out.Layers = append(out.Layers, lp)
+		out.TimeS += lp.TimeS
+		out.EnergyJ += lp.EnergyJ
+		for k, v := range lp.ByComponent {
+			out.ByComponent[k] += v
+		}
+	}
+	if out.TimeS == 0 {
+		return NetPerf{}, fmt.Errorf("arch: network %s has no convolution layers", n.Name)
+	}
+	return out, nil
+}
+
+// GeomeanFPSPerWatt evaluates the configuration on a benchmark set and
+// returns the geometric mean FPS/W (the Table III / Fig. 10 metric).
+func GeomeanFPSPerWatt(c Config, benchmarks []nets.Network) (float64, error) {
+	if len(benchmarks) == 0 {
+		return 0, fmt.Errorf("arch: empty benchmark set")
+	}
+	logSum := 0.0
+	for _, n := range benchmarks {
+		p, err := EvalNetwork(c, n)
+		if err != nil {
+			return 0, err
+		}
+		logSum += math.Log(p.FPSPerWatt())
+	}
+	return math.Exp(logSum / float64(len(benchmarks))), nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// shotTaps returns the number of kernel taps loaded in one 1D shot under
+// the plan's tiling regime.
+func shotTaps(p *tiling.Plan, k int) int {
+	switch p.Mode {
+	case tiling.RowTiling:
+		return k * k
+	case tiling.PartialRowTiling:
+		return p.RowsPerShot * k
+	default: // RowPartitioning: one kernel row per shot
+		return k
+	}
+}

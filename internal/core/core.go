@@ -1,0 +1,617 @@
+// Package core is the executable form of the paper's primary contribution:
+// the PhotoFourier convolution engine. It combines row tiling (Sec. III),
+// the JTC compute unit abstraction (Sec. IV), pseudo-negative filters and
+// 8-bit quantization (Sec. VI-A), and photodetector-side temporal
+// accumulation with ADC readout (Sec. V-C) into nn.ConvEngine
+// implementations that run real CNN inference:
+//
+//   - RowTiledEngine: exact-arithmetic row-tiled 1D convolution — the
+//     "theoretical accuracy" substrate of Table I.
+//   - Engine: the full functional accelerator — quantized operands,
+//     grouped temporal accumulation, detector noise, ADC readout — the
+//     substrate of the Fig. 7 temporal-accumulation study.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"photofourier/internal/jtc"
+	"photofourier/internal/quant"
+	"photofourier/internal/tensor"
+	"photofourier/internal/tiling"
+)
+
+// RowTiledEngine computes convolutions through the paper's row
+// tiling/partitioning algorithm at full float precision. Same-mode layers
+// exhibit the edge effect unless ColumnPad is set (Sec. III-A).
+type RowTiledEngine struct {
+	NConv     int  // 1D convolution aperture (PFCU input waveguides)
+	ColumnPad bool // zero-pad rows: exact Same-mode equality, lower utilization
+
+	mu    sync.Mutex
+	plans map[planKey]*tiling.Plan
+}
+
+type planKey struct {
+	h, w, k int
+	pad     tensor.PadMode
+	colPad  bool
+}
+
+// NewRowTiledEngine builds the Table I substrate with the given aperture.
+func NewRowTiledEngine(nconv int) *RowTiledEngine {
+	return &RowTiledEngine{NConv: nconv, plans: make(map[planKey]*tiling.Plan)}
+}
+
+// Name implements nn.ConvEngine.
+func (e *RowTiledEngine) Name() string {
+	if e.ColumnPad {
+		return "row-tiled-1d (column padded)"
+	}
+	return "row-tiled-1d"
+}
+
+func (e *RowTiledEngine) plan(h, w, k int, pad tensor.PadMode) (*tiling.Plan, error) {
+	key := planKey{h, w, k, pad, e.ColumnPad}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.plans[key]; ok {
+		return p, nil
+	}
+	p, err := tiling.NewPlan(h, w, k, e.NConv, pad, e.ColumnPad)
+	if err != nil {
+		return nil, err
+	}
+	e.plans[key] = p
+	return p, nil
+}
+
+// Conv2D implements nn.ConvEngine: every (sample, output-channel, input-
+// channel) plane convolution runs through 1D shots; channel sums accumulate
+// at full precision; strided layers compute at unit stride and decimate.
+func (e *RowTiledEngine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (*tensor.Tensor, error) {
+	n, cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
+	cout, k := weight.Shape[0], weight.Shape[2]
+	if weight.Shape[1] != cin {
+		return nil, fmt.Errorf("core: channel mismatch %d vs %d", weight.Shape[1], cin)
+	}
+	p, err := e.plan(h, w, k, pad)
+	if err != nil {
+		return nil, err
+	}
+	full := tensor.New(n, cout, p.OutH, p.OutW)
+	inPlane := make([][]float64, h)
+	kern := make([][]float64, k)
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < cout; oc++ {
+			acc := make([]float64, p.OutH*p.OutW)
+			for ic := 0; ic < cin; ic++ {
+				base := ((b * cin) + ic) * h * w
+				for r := 0; r < h; r++ {
+					inPlane[r] = input.Data[base+r*w : base+(r+1)*w]
+				}
+				kbase := ((oc * cin) + ic) * k * k
+				for r := 0; r < k; r++ {
+					kern[r] = weight.Data[kbase+r*k : kbase+(r+1)*k]
+				}
+				plane, err := p.Conv2D(inPlane, kern, nil)
+				if err != nil {
+					return nil, err
+				}
+				for r := 0; r < p.OutH; r++ {
+					for cc := 0; cc < p.OutW; cc++ {
+						acc[r*p.OutW+cc] += plane[r][cc]
+					}
+				}
+			}
+			base := ((b * cout) + oc) * p.OutH * p.OutW
+			bv := 0.0
+			if bias != nil {
+				bv = bias[oc]
+			}
+			for i, v := range acc {
+				full.Data[base+i] = v + bv
+			}
+		}
+	}
+	if stride > 1 {
+		return tensor.Decimate2D(full, stride)
+	}
+	return full, nil
+}
+
+// Engine is the full PhotoFourier functional accelerator. Operands are
+// quantized to DAC precision, signed weights split into pseudo-negative
+// pairs, input channels processed in temporal-accumulation groups whose
+// partial sums accumulate at full precision in photodetector charge, and
+// each group readout passes through detector noise and ADC quantization.
+type Engine struct {
+	NTA      int // temporal accumulation depth (Fig. 7 sweep variable)
+	ADCBits  int // partial-sum readout precision; 0 = full precision ("fp psum")
+	DACBits  int // activation/weight precision; 0 = full precision
+	Detector jtc.Detector
+
+	// ADCCalibPercentile sets the readout full scale from the observed
+	// psum distribution per layer (>= 1 or 0 selects max-based
+	// calibration).
+	ADCCalibPercentile float64
+
+	// ReadoutNoise is the dark-current sensing noise added at every ADC
+	// readout, as a fraction of the hardware full scale. Shallow temporal
+	// accumulation performs more readouts and accumulates more of it —
+	// the second Fig. 7 mechanism (shot noise, by contrast, integrates
+	// identically at every depth and is modeled in the Detector).
+	ReadoutNoise float64
+	noiseRNG     *rand.Rand
+
+	// UseTiledPath routes every plane convolution through the exact 1D
+	// row-tiled shots (slow, full fidelity). The default fast path uses
+	// direct 2D convolution for the group partial sums, which is
+	// numerically identical except for the row-edge effect quantified by
+	// the Table I experiment.
+	UseTiledPath bool
+	NConv        int // aperture for the tiled path
+}
+
+// NewEngine builds the paper's default operating point: 16-deep temporal
+// accumulation, 8-bit ADC and DACs, noiseless linear-power detection,
+// max-based ADC range calibration.
+func NewEngine() *Engine {
+	return &Engine{
+		NTA:                16,
+		ADCBits:            8,
+		DACBits:            8,
+		Detector:           jtc.NewLinearPowerDetector(0, 0, 0),
+		ADCCalibPercentile: 1,
+		NConv:              256,
+	}
+}
+
+// Name implements nn.ConvEngine.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("photofourier(nta=%d,adc=%d,dac=%d,%s)", e.NTA, e.ADCBits, e.DACBits, e.Detector.Name())
+}
+
+// Conv2D implements nn.ConvEngine.
+func (e *Engine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (*tensor.Tensor, error) {
+	if e.NTA < 1 {
+		return nil, fmt.Errorf("core: NTA %d must be >= 1", e.NTA)
+	}
+	n, cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
+	cout, k := weight.Shape[0], weight.Shape[2]
+	if weight.Shape[1] != cin {
+		return nil, fmt.Errorf("core: channel mismatch %d vs %d", weight.Shape[1], cin)
+	}
+	// Quantize operands to DAC precision and split signs: activations and
+	// weights each decompose into non-negative (positive, negative) parts;
+	// the four cross terms recombine digitally with the right signs.
+	xq, err := quantizeParts(input, e.DACBits)
+	if err != nil {
+		return nil, err
+	}
+	wq, err := quantizeParts(weight, e.DACBits)
+	if err != nil {
+		return nil, err
+	}
+
+	oh, ow := convOutHW(h, w, k, pad)
+	out := tensor.New(n, cout, oh, ow)
+	groups := groupRanges(cin, e.NTA)
+	for _, sgn := range []struct {
+		x, w  *tensor.Tensor
+		scale float64
+	}{
+		{xq.pos, wq.pos, 1},
+		{xq.pos, wq.neg, -1},
+		{xq.neg, wq.pos, -1},
+		{xq.neg, wq.neg, 1},
+	} {
+		if sgn.x == nil || sgn.w == nil {
+			continue
+		}
+		// Compute every group's full-precision charge first. The ADC full
+		// scale is a per-layer hardware constant sized for the deepest
+		// accumulation the design supports (16 channels), NOT adapted per
+		// readout: shallow operating depths therefore spend the same
+		// absolute quantization step on each of their many readouts, and
+		// the rounding errors accumulate — exactly the 8-bit partial-sum
+		// precision loss the Fig. 7 sweep quantifies (Sec. V-C1).
+		psums, err := e.groupPsums(sgn.x, sgn.w, groups, pad)
+		if err != nil {
+			return nil, err
+		}
+		scale := e.hardwareScale(psums, cin)
+		for _, psum := range psums {
+			if err := e.readout(psum, scale); err != nil {
+				return nil, err
+			}
+			for i, v := range psum.Data {
+				out.Data[i] += sgn.scale * v
+			}
+		}
+	}
+	if bias != nil {
+		strideC := oh * ow
+		for b := 0; b < n; b++ {
+			for oc := 0; oc < cout; oc++ {
+				base := (b*cout + oc) * strideC
+				for i := 0; i < strideC; i++ {
+					out.Data[base+i] += bias[oc]
+				}
+			}
+		}
+	}
+	if stride > 1 {
+		return tensor.Decimate2D(out, stride)
+	}
+	return out, nil
+}
+
+// groupPsums computes the full-precision partial sums of every temporal-
+// accumulation group in one sweep (the charge deposited at the
+// photodetector before each readout). For square-law detection the Detect
+// stage applies per channel before accumulation; for linear power encoding
+// it applies once per group.
+func (e *Engine) groupPsums(x, wt *tensor.Tensor, groups [][2]int, pad tensor.PadMode) ([]*tensor.Tensor, error) {
+	if e.UseTiledPath {
+		return e.groupPsumsTiled(x, wt, groups, pad)
+	}
+	detectGranularity := groups
+	if e.Detector.PerChannel() {
+		// One conv "group" per channel so Detect sees each channel.
+		cin := x.Shape[1]
+		detectGranularity = groupRanges(cin, 1)
+	}
+	per, err := groupedConv2D(x, wt, detectGranularity, pad)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range per {
+		for i, v := range p.Data {
+			p.Data[i] = e.Detector.Detect(v)
+		}
+	}
+	if !e.Detector.PerChannel() {
+		return per, nil
+	}
+	// Merge the per-channel detected charges into the operating groups.
+	out := make([]*tensor.Tensor, len(groups))
+	for gi, g := range groups {
+		acc := per[g[0]].Clone()
+		for c := g[0] + 1; c < g[1]; c++ {
+			if err := acc.AddInPlace(per[c]); err != nil {
+				return nil, err
+			}
+		}
+		out[gi] = acc
+	}
+	return out, nil
+}
+
+// groupPsumsTiled is the full-fidelity path: every plane convolution runs
+// through exact 1D row-tiled shots.
+func (e *Engine) groupPsumsTiled(x, wt *tensor.Tensor, groups [][2]int, pad tensor.PadMode) ([]*tensor.Tensor, error) {
+	rt := NewRowTiledEngine(e.NConv)
+	out := make([]*tensor.Tensor, len(groups))
+	for gi, g := range groups {
+		xs, err := sliceChannels(x, g[0], g[1])
+		if err != nil {
+			return nil, err
+		}
+		ws, err := sliceWeightChannels(wt, g[0], g[1])
+		if err != nil {
+			return nil, err
+		}
+		psum, err := rt.Conv2D(xs, ws, nil, 1, pad)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range psum.Data {
+			psum.Data[i] = e.Detector.Detect(v)
+		}
+		out[gi] = psum
+	}
+	return out, nil
+}
+
+// groupedConv2D computes, for each channel group, the unit-stride
+// convolution partial sum over just that group's input channels — a single
+// sweep sharing the loop structure of tensor.Conv2D so narrow groups do not
+// pay per-call overhead.
+func groupedConv2D(x, wt *tensor.Tensor, groups [][2]int, pad tensor.PadMode) ([]*tensor.Tensor, error) {
+	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	cout, k := wt.Shape[0], wt.Shape[2]
+	if wt.Shape[1] != cin {
+		return nil, fmt.Errorf("core: grouped conv channel mismatch %d vs %d", wt.Shape[1], cin)
+	}
+	padT, padL := 0, 0
+	oh, ow := h-k+1, w-k+1
+	if pad == tensor.Same {
+		padT, padL = tensor.SamePad(k), tensor.SamePad(k)
+		oh, ow = h, w
+	}
+	if oh < 1 || ow < 1 {
+		return nil, fmt.Errorf("core: grouped conv empty output for %v k=%d", x.Shape, k)
+	}
+	out := make([]*tensor.Tensor, len(groups))
+	for gi := range groups {
+		out[gi] = tensor.New(n, cout, oh, ow)
+	}
+	// Shift-and-add formulation: each kernel tap contributes one shifted,
+	// scaled copy of the input plane. The inner loops are long contiguous
+	// rows with no per-element bounds checks, which is what keeps narrow
+	// temporal-accumulation groups from paying per-pixel overhead.
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < cout; oc++ {
+			for gi, g := range groups {
+				dst := out[gi].Data[(b*cout+oc)*oh*ow : (b*cout+oc+1)*oh*ow]
+				for ic := g[0]; ic < g[1]; ic++ {
+					inBase := (b*cin + ic) * h * w
+					wBase := (oc*cin + ic) * k * k
+					for ky := 0; ky < k; ky++ {
+						dy := ky - padT
+						oy0, oy1 := 0, oh
+						if dy < 0 {
+							oy0 = -dy
+						}
+						if dy+oy1 > h {
+							oy1 = h - dy
+						}
+						for kx := 0; kx < k; kx++ {
+							wv := wt.Data[wBase+ky*k+kx]
+							if wv == 0 {
+								continue
+							}
+							dx := kx - padL
+							ox0, ox1 := 0, ow
+							if dx < 0 {
+								ox0 = -dx
+							}
+							if dx+ox1 > w {
+								ox1 = w - dx
+							}
+							for oy := oy0; oy < oy1; oy++ {
+								srcRow := x.Data[inBase+(oy+dy)*w+dx+ox0 : inBase+(oy+dy)*w+dx+ox1]
+								dstRow := dst[oy*ow+ox0 : oy*ow+ox1]
+								for i, sv := range srcRow {
+									dstRow[i] += wv * sv
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// hardwareAccumulationDepth is the photodetector/ADC design depth: the
+// charge wells and ADC full scale are sized for 16-channel accumulation
+// (the paper's chosen depth), independent of the operating depth.
+const hardwareAccumulationDepth = 16
+
+// hardwareScale derives the fixed per-layer ADC full scale: the largest
+// charge a design-depth accumulation would deposit. Operating depths below
+// the design depth read out fractional charges against this same scale —
+// the root of the Fig. 7 accuracy loss at shallow accumulation. Consecutive
+// operating groups are merged to design depth to measure that charge.
+func (e *Engine) hardwareScale(psums []*tensor.Tensor, cin int) float64 {
+	if len(psums) == 0 {
+		return 1
+	}
+	hwDepth := hardwareAccumulationDepth
+	if e.NTA > hwDepth {
+		hwDepth = e.NTA
+	}
+	if hwDepth > cin {
+		hwDepth = cin
+	}
+	per := (hwDepth + e.NTA - 1) / e.NTA // operating groups per hardware group
+	if per < 1 {
+		per = 1
+	}
+	scale := 0.0
+	acc := make([]float64, len(psums[0].Data))
+	count := 0
+	flush := func() {
+		s := calibScale(acc, e.ADCCalibPercentile)
+		if s > scale {
+			scale = s
+		}
+		for i := range acc {
+			acc[i] = 0
+		}
+		count = 0
+	}
+	for gi, p := range psums {
+		for i, v := range p.Data {
+			acc[i] += v
+		}
+		count++
+		if count == per || gi == len(psums)-1 {
+			flush()
+		}
+	}
+	if scale <= 0 {
+		return 1
+	}
+	return scale
+}
+
+// readout applies ADC quantization (at the fixed per-layer full scale) and
+// detector post-processing to a group partial sum in place. The inline
+// quantizer is the unsigned quant.Linear rounding rule, hoisted for speed.
+func (e *Engine) readout(psum *tensor.Tensor, scale float64) error {
+	if e.ADCBits > 0 {
+		if e.ADCBits > 32 {
+			return fmt.Errorf("core: ADC bits %d out of range", e.ADCBits)
+		}
+		if scale <= 0 {
+			scale = 1
+		}
+		step := scale / float64((uint64(1)<<e.ADCBits)-1)
+		sigma := e.ReadoutNoise * scale
+		for i, v := range psum.Data {
+			if sigma > 0 {
+				if e.noiseRNG == nil {
+					e.noiseRNG = rand.New(rand.NewSource(12345))
+				}
+				v += e.noiseRNG.NormFloat64() * sigma
+			}
+			if v < 0 {
+				v = 0
+			} else if v > scale {
+				v = scale
+			}
+			psum.Data[i] = math.Round(v/step) * step
+		}
+	}
+	for i, v := range psum.Data {
+		psum.Data[i] = e.Detector.PostReadout(v)
+	}
+	return nil
+}
+
+type signedParts struct {
+	pos, neg *tensor.Tensor // nil when the corresponding part is all zero
+}
+
+// quantizeParts quantizes t to the given bit width and splits it into
+// non-negative positive/negative parts.
+func quantizeParts(t *tensor.Tensor, bits int) (signedParts, error) {
+	data := t.Data
+	if bits > 0 {
+		maxAbs := t.MaxAbs()
+		if maxAbs == 0 {
+			maxAbs = 1
+		}
+		q, err := quant.NewLinear(bits, maxAbs)
+		if err != nil {
+			return signedParts{}, err
+		}
+		data = q.QuantizeSlice(data)
+	}
+	var hasNeg, hasPos bool
+	for _, v := range data {
+		if v < 0 {
+			hasNeg = true
+		} else if v > 0 {
+			hasPos = true
+		}
+		if hasNeg && hasPos {
+			break
+		}
+	}
+	out := signedParts{}
+	if hasPos {
+		p := tensor.New(t.Shape...)
+		for i, v := range data {
+			if v > 0 {
+				p.Data[i] = v
+			}
+		}
+		out.pos = p
+	}
+	if hasNeg {
+		nn := tensor.New(t.Shape...)
+		for i, v := range data {
+			if v < 0 {
+				nn.Data[i] = -v
+			}
+		}
+		out.neg = nn
+	}
+	if !hasPos && !hasNeg {
+		// All-zero operand still needs one part for shape propagation.
+		out.pos = tensor.New(t.Shape...)
+	}
+	return out, nil
+}
+
+func sliceChannels(x *tensor.Tensor, from, to int) (*tensor.Tensor, error) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if from < 0 || to > c || from >= to {
+		return nil, fmt.Errorf("core: channel slice [%d,%d) of %d", from, to, c)
+	}
+	out := tensor.New(n, to-from, h, w)
+	for b := 0; b < n; b++ {
+		src := x.Data[(b*c+from)*h*w : (b*c+to)*h*w]
+		copy(out.Data[b*(to-from)*h*w:], src)
+	}
+	return out, nil
+}
+
+func sliceWeightChannels(wt *tensor.Tensor, from, to int) (*tensor.Tensor, error) {
+	cout, cin, kh, kw := wt.Shape[0], wt.Shape[1], wt.Shape[2], wt.Shape[3]
+	if from < 0 || to > cin || from >= to {
+		return nil, fmt.Errorf("core: weight channel slice [%d,%d) of %d", from, to, cin)
+	}
+	out := tensor.New(cout, to-from, kh, kw)
+	for oc := 0; oc < cout; oc++ {
+		src := wt.Data[(oc*cin+from)*kh*kw : (oc*cin+to)*kh*kw]
+		copy(out.Data[oc*(to-from)*kh*kw:], src)
+	}
+	return out, nil
+}
+
+func groupRanges(cin, nta int) [][2]int {
+	var out [][2]int
+	for from := 0; from < cin; from += nta {
+		to := from + nta
+		if to > cin {
+			to = cin
+		}
+		out = append(out, [2]int{from, to})
+	}
+	return out
+}
+
+func convOutHW(h, w, k int, pad tensor.PadMode) (int, int) {
+	if pad == tensor.Same {
+		return h, w
+	}
+	return h - k + 1, w - k + 1
+}
+
+// calibScale derives the ADC full scale from a charge distribution: the
+// maximum magnitude by default (percentile >= 1 or unset), or an outlier-
+// tolerant percentile when explicitly configured. Max-based calibration is
+// O(n) and matches how a deployed range would be provisioned.
+func calibScale(data []float64, percentile float64) float64 {
+	if percentile <= 0 || percentile >= 1 {
+		m := 0.0
+		for _, v := range data {
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		if m <= 0 {
+			return 1
+		}
+		return m
+	}
+	abs := make([]float64, len(data))
+	for i, v := range data {
+		if v < 0 {
+			v = -v
+		}
+		abs[i] = v
+	}
+	sort.Float64s(abs)
+	idx := int(percentile*float64(len(abs))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if abs[idx] <= 0 {
+		return 1
+	}
+	return abs[idx]
+}

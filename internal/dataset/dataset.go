@@ -1,0 +1,148 @@
+// Package dataset generates the deterministic synthetic image-classification
+// data that substitutes for CIFAR-10/ImageNet in the accuracy experiments
+// (see DESIGN.md): 3x32x32 images from 10 classes, each class defined by a
+// characteristic mixture of oriented gratings and colored blobs, perturbed
+// per sample by noise, shift, and amplitude jitter. The task is hard enough
+// that a small CNN is required, and easy enough that one trains to high
+// accuracy in seconds — which is what the row-tiling / temporal-accumulation
+// accuracy *deltas* need.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"photofourier/internal/tensor"
+)
+
+// NumClasses is the number of synthetic classes.
+const NumClasses = 10
+
+// Channels, Height, Width describe the sample geometry.
+const (
+	Channels = 3
+	Height   = 32
+	Width    = 32
+)
+
+// Dataset is a labeled set of CHW image tensors.
+type Dataset struct {
+	X []*tensor.Tensor // each [Channels][Height][Width]
+	Y []int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// classProto holds the deterministic generative parameters of one class.
+type classProto struct {
+	freqU, freqV [Channels]float64 // grating frequencies per channel
+	phase        [Channels]float64
+	blobX, blobY float64 // blob center in [0,1]
+	blobAmp      [Channels]float64
+	gratingAmp   float64
+}
+
+func protos(seed int64) []classProto {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]classProto, NumClasses)
+	for c := range out {
+		p := &out[c]
+		for ch := 0; ch < Channels; ch++ {
+			p.freqU[ch] = 0.5 + 3.5*rng.Float64()
+			p.freqV[ch] = 0.5 + 3.5*rng.Float64()
+			p.phase[ch] = 2 * math.Pi * rng.Float64()
+			p.blobAmp[ch] = 0.4 + 0.6*rng.Float64()
+		}
+		p.blobX = 0.2 + 0.6*rng.Float64()
+		p.blobY = 0.2 + 0.6*rng.Float64()
+		p.gratingAmp = 0.3 + 0.2*rng.Float64()
+	}
+	return out
+}
+
+// Synthetic generates n deterministic labeled samples. The same (n, seed)
+// always produces the same data; different seeds reshuffle both class
+// prototypes and per-sample perturbations.
+func Synthetic(n int, seed int64) (*Dataset, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dataset: n %d must be positive", n)
+	}
+	ps := protos(seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	d := &Dataset{X: make([]*tensor.Tensor, n), Y: make([]int, n)}
+	for i := 0; i < n; i++ {
+		class := i % NumClasses
+		d.Y[i] = class
+		d.X[i] = renderSample(&ps[class], rng)
+	}
+	return d, nil
+}
+
+func renderSample(p *classProto, rng *rand.Rand) *tensor.Tensor {
+	img := tensor.New(Channels, Height, Width)
+	// Per-sample jitter.
+	dx := (rng.Float64() - 0.5) * 0.3
+	dy := (rng.Float64() - 0.5) * 0.3
+	amp := 0.8 + 0.4*rng.Float64()
+	sigma := 0.12 + 0.05*rng.Float64()
+	for ch := 0; ch < Channels; ch++ {
+		for y := 0; y < Height; y++ {
+			fy := float64(y)/Height - 0.5
+			for x := 0; x < Width; x++ {
+				fx := float64(x)/Width - 0.5
+				grating := p.gratingAmp * math.Sin(2*math.Pi*(p.freqU[ch]*fx+p.freqV[ch]*fy)+p.phase[ch])
+				bx := fx - (p.blobX - 0.5) - dx
+				by := fy - (p.blobY - 0.5) - dy
+				blob := p.blobAmp[ch] * math.Exp(-(bx*bx+by*by)/(2*sigma*sigma))
+				v := amp*(grating+blob) + 0.15*rng.NormFloat64()
+				img.Set(v, ch, y, x)
+			}
+		}
+	}
+	return img
+}
+
+// Split partitions the dataset into a training prefix and evaluation suffix
+// preserving the interleaved class balance.
+func (d *Dataset) Split(trainFrac float64) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: trainFrac %g out of (0,1)", trainFrac)
+	}
+	cut := int(trainFrac * float64(d.Len()))
+	if cut == 0 || cut == d.Len() {
+		return nil, nil, fmt.Errorf("dataset: split of %d at %g leaves an empty side", d.Len(), trainFrac)
+	}
+	return &Dataset{X: d.X[:cut], Y: d.Y[:cut]}, &Dataset{X: d.X[cut:], Y: d.Y[cut:]}, nil
+}
+
+// Shuffle permutes the dataset in place with the given seed.
+func (d *Dataset) Shuffle(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(d.Len(), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// TiledRow flattens sample i's first channel through the paper's row tiling
+// for use as a realistic JTC input signal (the Fig. 2 stimulus).
+func (d *Dataset) TiledRow(i, rows int) []float64 {
+	img := d.X[i]
+	h, w := img.Shape[1], img.Shape[2]
+	if rows > h {
+		rows = h
+	}
+	out := make([]float64, 0, rows*w)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < w; c++ {
+			v := img.At(0, r, c)
+			if v < 0 {
+				v = 0 // optical amplitudes are non-negative
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package dataset
+
+import (
+	"testing"
+
+	"photofourier/internal/tensor"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ between identical seeds")
+		}
+		if tensor.RelativeError(a.X[i], b.X[i]) != 0 {
+			t.Fatal("samples differ between identical seeds")
+		}
+	}
+	c, err := Synthetic(50, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.RelativeError(a.X[0], c.X[0]) == 0 {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSyntheticShapeAndBalance(t *testing.T) {
+	d, err := Synthetic(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	counts := make([]int, NumClasses)
+	for i, x := range d.X {
+		if x.Shape[0] != Channels || x.Shape[1] != Height || x.Shape[2] != Width {
+			t.Fatalf("sample shape %v", x.Shape)
+		}
+		counts[d.Y[i]]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Errorf("class %d has %d samples, want 10", c, n)
+		}
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	if _, err := Synthetic(0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestSameClassMoreSimilarThanCrossClass(t *testing.T) {
+	// The generative model must carry class signal: same-class pairs are
+	// closer on average than cross-class pairs.
+	d, err := Synthetic(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var same, cross float64
+	var nSame, nCross int
+	dist := func(a, b *tensor.Tensor) float64 {
+		var s float64
+		for i := range a.Data {
+			df := a.Data[i] - b.Data[i]
+			s += df * df
+		}
+		return s
+	}
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			v := dist(d.X[i], d.X[j])
+			if d.Y[i] == d.Y[j] {
+				same += v
+				nSame++
+			} else {
+				cross += v
+				nCross++
+			}
+		}
+	}
+	if same/float64(nSame) >= cross/float64(nCross) {
+		t.Errorf("same-class distance %g should be below cross-class %g",
+			same/float64(nSame), cross/float64(nCross))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d, _ := Synthetic(100, 2)
+	train, test, err := d.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Errorf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	if _, _, err := d.Split(0); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, _, err := d.Split(1); err == nil {
+		t.Error("unit fraction should fail")
+	}
+}
+
+func TestShuffleDeterministicAndPermuting(t *testing.T) {
+	a, _ := Synthetic(40, 3)
+	b, _ := Synthetic(40, 3)
+	a.Shuffle(9)
+	b.Shuffle(9)
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same shuffle seed should agree")
+		}
+	}
+	// Labels remain a permutation of the original multiset.
+	counts := make([]int, NumClasses)
+	for _, y := range a.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 4 {
+			t.Errorf("class %d count %d after shuffle", c, n)
+		}
+	}
+}
+
+func TestTiledRowNonNegative(t *testing.T) {
+	d, _ := Synthetic(5, 4)
+	row := d.TiledRow(0, 8)
+	if len(row) != 8*Width {
+		t.Fatalf("TiledRow length %d", len(row))
+	}
+	for i, v := range row {
+		if v < 0 {
+			t.Fatalf("TiledRow[%d] = %g negative", i, v)
+		}
+	}
+	// Requesting more rows than available clips.
+	rowAll := d.TiledRow(0, 100)
+	if len(rowAll) != Height*Width {
+		t.Fatalf("clipped TiledRow length %d", len(rowAll))
+	}
+}

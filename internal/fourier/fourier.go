@@ -1,0 +1,321 @@
+// Package fourier provides the discrete Fourier transform machinery used to
+// simulate on-chip Fourier lenses and to accelerate large 1D correlations.
+//
+// The package implements an iterative radix-2 Cooley-Tukey FFT for
+// power-of-two lengths and Bluestein's chirp-z algorithm for arbitrary
+// lengths, plus real-input helpers and linear convolution/correlation built
+// on top of them. Everything is pure Go and allocation-conscious; the hot
+// paths reuse precomputed twiddle tables through the Plan type.
+package fourier
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPow2 returns the smallest power of two >= n. NextPow2(0) == 1.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Plan caches the twiddle factors and bit-reversal permutation for a fixed
+// power-of-two FFT length so repeated transforms avoid re-deriving them.
+// A Plan is safe for concurrent use once constructed.
+type Plan struct {
+	n       int
+	logN    int
+	rev     []int        // bit-reversal permutation
+	twiddle []complex128 // forward twiddles, n/2 entries
+}
+
+// NewPlan creates a plan for transforms of length n, which must be a
+// positive power of two.
+func NewPlan(n int) (*Plan, error) {
+	if !IsPow2(n) {
+		return nil, fmt.Errorf("fourier: plan length %d is not a power of two", n)
+	}
+	p := &Plan{n: n, logN: bits.TrailingZeros(uint(n))}
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - p.logN))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for i := range p.twiddle {
+		theta := -2 * math.Pi * float64(i) / float64(n)
+		p.twiddle[i] = cmplx.Exp(complex(0, theta))
+	}
+	return p, nil
+}
+
+// N returns the transform length of the plan.
+func (p *Plan) N() int { return p.n }
+
+// Transform computes the forward DFT of x in place. len(x) must equal the
+// plan length.
+func (p *Plan) Transform(x []complex128) error {
+	return p.transform(x, false)
+}
+
+// Inverse computes the inverse DFT of x in place, including the 1/n
+// normalization.
+func (p *Plan) Inverse(x []complex128) error {
+	return p.transform(x, true)
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) error {
+	n := p.n
+	if len(x) != n {
+		return fmt.Errorf("fourier: input length %d does not match plan length %d", len(x), n)
+	}
+	// Bit-reversal reordering.
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}
+
+// FFT returns the forward DFT of x. The input is not modified. Arbitrary
+// lengths are supported: power-of-two lengths use radix-2 Cooley-Tukey,
+// other lengths use Bluestein's algorithm.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlaceAny(out, false)
+	return out
+}
+
+// IFFT returns the inverse DFT of x (normalized by 1/n). The input is not
+// modified.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlaceAny(out, true)
+	return out
+}
+
+func fftInPlaceAny(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if IsPow2(n) {
+		p, _ := NewPlan(n)
+		_ = p.transform(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// bluestein computes the DFT of arbitrary length via the chirp-z transform,
+// which reduces the problem to a power-of-two circular convolution.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign * i*pi*k^2/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for huge n; use modular arithmetic on 2n since
+		// the exponent is periodic in 2n.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		theta := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, theta))
+	}
+	m := NextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	p, _ := NewPlan(m)
+	_ = p.transform(a, false)
+	_ = p.transform(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	_ = p.transform(a, true)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * chirp[k]
+	}
+	if inverse {
+		invN := complex(1/float64(n), 0)
+		for k := range x {
+			x[k] *= invN
+		}
+	}
+}
+
+// FFTReal computes the DFT of a real-valued input.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	fftInPlaceAny(c, false)
+	return c
+}
+
+// Real extracts the real parts of a complex slice.
+func Real(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// Magnitude returns |x[i]| for each element.
+func Magnitude(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// Intensity returns |x[i]|^2 for each element — the quantity a square-law
+// photodetector records.
+func Intensity(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return out
+}
+
+// Convolve returns the full linear convolution of a and b
+// (length len(a)+len(b)-1) computed via FFT.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	m := NextPow2(outLen)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	p, _ := NewPlan(m)
+	_ = p.Transform(fa)
+	_ = p.Transform(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	_ = p.Inverse(fa)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+// CrossCorrelate returns the full linear cross-correlation of a and b:
+// out[m] = sum_n a[n+m-(len(b)-1)] * b[n] for m in [0, len(a)+len(b)-1).
+// Equivalently it is Convolve(a, reverse(b)). Index len(b)-1 corresponds to
+// zero lag alignment of b's first element with a's first element.
+func CrossCorrelate(a, b []float64) []float64 {
+	rb := make([]float64, len(b))
+	for i, v := range b {
+		rb[len(b)-1-i] = v
+	}
+	return Convolve(a, rb)
+}
+
+// DFTDirect computes the DFT by the O(n^2) definition. It exists as a
+// cross-check oracle for tests and for tiny transforms where FFT setup
+// overhead dominates.
+func DFTDirect(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			theta := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, theta))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// FFT2D computes the forward 2D DFT of a row-major matrix, transforming rows
+// then columns. All rows must share the same length.
+func FFT2D(x [][]complex128) [][]complex128 {
+	return fft2d(x, false)
+}
+
+// IFFT2D computes the inverse 2D DFT (normalized).
+func IFFT2D(x [][]complex128) [][]complex128 {
+	return fft2d(x, true)
+}
+
+func fft2d(x [][]complex128, inverse bool) [][]complex128 {
+	rows := len(x)
+	if rows == 0 {
+		return nil
+	}
+	cols := len(x[0])
+	out := make([][]complex128, rows)
+	for r := range x {
+		row := make([]complex128, cols)
+		copy(row, x[r])
+		fftInPlaceAny(row, inverse)
+		out[r] = row
+	}
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = out[r][c]
+		}
+		fftInPlaceAny(col, inverse)
+		for r := 0; r < rows; r++ {
+			out[r][c] = col[r]
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+// Package jtc provides the functional model of a PhotoFourier Compute Unit
+// (PFCU, paper Sec. IV): an optimized on-chip JTC with a bounded number of
+// input waveguides, a reduced set of active weight DACs (the small-filter
+// optimization), a two-stage pipeline, and photodetector-side temporal
+// accumulation feeding a shared ADC (Sec. V-C).
+//
+// The physical light propagation lives in internal/optics; this package is
+// the fast numerical abstraction the inference engine uses, with hooks for
+// detector noise and the two detection-encoding variants discussed in
+// DESIGN.md.
+package jtc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"photofourier/internal/fourier"
+	"photofourier/internal/quant"
+)
+
+// Correlate1D is the ideal noiseless JTC shot: the full 1D cross-correlation
+// of signal and kernel, matching the tiling.Correlator index convention.
+func Correlate1D(signal, kernel []float64) []float64 {
+	return fourier.CrossCorrelate(signal, kernel)
+}
+
+// Detector transforms each per-channel partial sum at the photodetector
+// before charge accumulation and undoes any encoding after ADC readout.
+type Detector interface {
+	// Detect maps one optical partial sum to accumulated charge.
+	Detect(v float64) float64
+	// PostReadout maps the quantized accumulated charge back to the value
+	// domain.
+	PostReadout(v float64) float64
+	// Name identifies the detector variant in reports.
+	Name() string
+	// PerChannel reports whether Detect must be applied to every channel's
+	// partial sum individually (square-law encoding) rather than once per
+	// accumulated group (linear power encoding).
+	PerChannel() bool
+}
+
+// LinearPowerDetector models intensity (power) encoding: photocurrent is
+// linear in the encoded value, so charge accumulation across temporal
+// accumulation cycles is a full-precision linear sum (the default, see
+// DESIGN.md). Noise is additive dark-current noise plus signal-dependent
+// shot noise.
+type LinearPowerDetector struct {
+	DarkNoise       float64
+	ShotNoiseFactor float64
+	rng             *rand.Rand
+}
+
+// NewLinearPowerDetector builds the default detector with the given noise
+// parameters and RNG seed. Zero noise gives an exact pass-through.
+func NewLinearPowerDetector(dark, shot float64, seed int64) *LinearPowerDetector {
+	return &LinearPowerDetector{DarkNoise: dark, ShotNoiseFactor: shot, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Detect adds detector noise to a non-negative partial sum.
+func (d *LinearPowerDetector) Detect(v float64) float64 {
+	if d.DarkNoise == 0 && d.ShotNoiseFactor == 0 {
+		return v
+	}
+	sigma := d.DarkNoise
+	if d.ShotNoiseFactor > 0 && v > 0 {
+		sigma = math.Hypot(sigma, d.ShotNoiseFactor*math.Sqrt(v))
+	}
+	return v + d.rng.NormFloat64()*sigma
+}
+
+// PostReadout is the identity for linear power encoding.
+func (d *LinearPowerDetector) PostReadout(v float64) float64 { return v }
+
+// Name implements Detector.
+func (d *LinearPowerDetector) Name() string { return "linear-power" }
+
+// PerChannel implements Detector: photocurrent is linear in power, so a
+// group's accumulated charge equals the detected sum.
+func (d *LinearPowerDetector) PerChannel() bool { return false }
+
+// SquareLawDetector models amplitude encoding with square-law detection:
+// each partial sum is squared at the detector (the paper's "applying square
+// function to partial sums"), squares accumulate in charge, and the digital
+// side recovers sqrt after readout. Note sum-of-squares differs from
+// square-of-sum, so this variant changes temporal-accumulation semantics —
+// it exists to quantify that design choice (ablation bench).
+type SquareLawDetector struct {
+	DarkNoise float64
+	rng       *rand.Rand
+}
+
+// NewSquareLawDetector builds the ablation detector variant.
+func NewSquareLawDetector(dark float64, seed int64) *SquareLawDetector {
+	return &SquareLawDetector{DarkNoise: dark, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Detect squares the amplitude and adds dark noise.
+func (d *SquareLawDetector) Detect(v float64) float64 {
+	out := v * v
+	if d.DarkNoise > 0 {
+		out += d.rng.NormFloat64() * d.DarkNoise
+	}
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// PostReadout recovers the amplitude magnitude.
+func (d *SquareLawDetector) PostReadout(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// Name implements Detector.
+func (d *SquareLawDetector) Name() string { return "square-law" }
+
+// PerChannel implements Detector: squaring happens before accumulation, so
+// every channel must be detected individually.
+func (d *SquareLawDetector) PerChannel() bool { return true }
+
+// PFCU is one PhotoFourier Compute Unit. The zero value is not usable; use
+// NewPFCU.
+type PFCU struct {
+	InputWaveguides int // Ni: max 1D convolution size (256 in CG/NG)
+	WeightDACs      int // active weight DACs (25: supports up to 5x5 kernels)
+	PipelineDepth   int // 2 after the sample-and-hold optimization (Sec. IV-A)
+
+	detector Detector
+	shots    int64 // number of correlations performed, for perf accounting
+}
+
+// Option configures a PFCU at construction.
+type Option func(*PFCU)
+
+// WithDetector replaces the default noiseless linear-power detector.
+func WithDetector(d Detector) Option {
+	return func(p *PFCU) { p.detector = d }
+}
+
+// WithWeightDACs overrides the number of active weight DACs (default 25,
+// the paper's backward-compatibility budget for 5x5 filters).
+func WithWeightDACs(n int) Option {
+	return func(p *PFCU) { p.WeightDACs = n }
+}
+
+// NewPFCU builds a PFCU with ni input waveguides.
+func NewPFCU(ni int, opts ...Option) (*PFCU, error) {
+	if ni < 2 {
+		return nil, fmt.Errorf("jtc: %d input waveguides is not a usable PFCU", ni)
+	}
+	p := &PFCU{
+		InputWaveguides: ni,
+		WeightDACs:      25,
+		PipelineDepth:   2,
+		detector:        NewLinearPowerDetector(0, 0, 0),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.WeightDACs < 1 {
+		return nil, fmt.Errorf("jtc: %d weight DACs is invalid", p.WeightDACs)
+	}
+	return p, nil
+}
+
+// MaxConv returns the maximum 1D convolution size — the NConv fed to
+// tiling.NewPlan.
+func (p *PFCU) MaxConv() int { return p.InputWaveguides }
+
+// Shots returns the number of correlations executed so far.
+func (p *PFCU) Shots() int64 { return p.shots }
+
+// Correlate performs one JTC shot subject to the hardware constraints: the
+// signal must fit the input waveguides, the kernel tile must fit the weight
+// waveguides (same count as input waveguides), its non-zero entries must not
+// exceed the active weight DACs, and both operands must be non-negative
+// optical amplitudes (handle signed weights with quant.PseudoNegative).
+// The result follows the tiling.Correlator convention and passes through
+// the detector's Detect stage sample by sample.
+func (p *PFCU) Correlate(signal, kernelTile []float64) ([]float64, error) {
+	if len(signal) > p.InputWaveguides {
+		return nil, fmt.Errorf("jtc: signal of %d exceeds %d input waveguides", len(signal), p.InputWaveguides)
+	}
+	if len(kernelTile) > p.InputWaveguides {
+		return nil, fmt.Errorf("jtc: kernel tile of %d exceeds %d weight waveguides", len(kernelTile), p.InputWaveguides)
+	}
+	if len(signal) == 0 || len(kernelTile) == 0 {
+		return nil, fmt.Errorf("jtc: empty operands (%d, %d)", len(signal), len(kernelTile))
+	}
+	nz := 0
+	for i, v := range kernelTile {
+		if v < 0 {
+			return nil, fmt.Errorf("jtc: kernelTile[%d] = %g negative; use pseudo-negative filters", i, v)
+		}
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz > p.WeightDACs {
+		return nil, fmt.Errorf("jtc: kernel tile has %d non-zeros but only %d weight DACs are active; partition the kernel", nz, p.WeightDACs)
+	}
+	for i, v := range signal {
+		if v < 0 {
+			return nil, fmt.Errorf("jtc: signal[%d] = %g negative; optical amplitudes are non-negative", i, v)
+		}
+	}
+	p.shots++
+	out := Correlate1D(signal, kernelTile)
+	for i, v := range out {
+		out[i] = p.detector.Detect(v)
+	}
+	return out, nil
+}
+
+// Detector returns the PFCU's detector model.
+func (p *PFCU) Detector() Detector { return p.detector }
+
+// TemporalAccumulator accumulates per-sample charge across up to Depth
+// input-channel cycles before a single ADC readout (paper Sec. V-C). The
+// accumulation itself is full precision; only the readout quantizes.
+type TemporalAccumulator struct {
+	Depth  int
+	charge []float64
+	count  int
+}
+
+// NewTemporalAccumulator creates an accumulator for vectors of the given
+// width, reading out every depth additions.
+func NewTemporalAccumulator(depth, width int) (*TemporalAccumulator, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("jtc: accumulation depth %d must be >= 1", depth)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("jtc: accumulator width %d must be >= 1", width)
+	}
+	return &TemporalAccumulator{Depth: depth, charge: make([]float64, width)}, nil
+}
+
+// Add deposits one channel's detected partial sums into the charge wells.
+func (t *TemporalAccumulator) Add(samples []float64) error {
+	if len(samples) != len(t.charge) {
+		return fmt.Errorf("jtc: sample width %d != accumulator width %d", len(samples), len(t.charge))
+	}
+	if t.count >= t.Depth {
+		return fmt.Errorf("jtc: accumulator full (%d of %d); read it out first", t.count, t.Depth)
+	}
+	for i, v := range samples {
+		t.charge[i] += v
+	}
+	t.count++
+	return nil
+}
+
+// Full reports whether Depth channels have been accumulated.
+func (t *TemporalAccumulator) Full() bool { return t.count >= t.Depth }
+
+// Pending returns how many channels are currently accumulated.
+func (t *TemporalAccumulator) Pending() int { return t.count }
+
+// ReadOut converts the accumulated charge through the ADC (one conversion
+// per sample), applies the detector's post-readout mapping, resets the
+// wells, and returns the digital values. A nil ADC reads out at full
+// precision (the paper's "fp psum" reference). Reading an empty accumulator
+// is an error.
+func (t *TemporalAccumulator) ReadOut(adc *quant.ADC, det Detector) ([]float64, error) {
+	if t.count == 0 {
+		return nil, fmt.Errorf("jtc: reading out an empty accumulator")
+	}
+	out := make([]float64, len(t.charge))
+	for i, v := range t.charge {
+		if adc != nil {
+			v = adc.Convert(v)
+		}
+		if det != nil {
+			v = det.PostReadout(v)
+		}
+		out[i] = v
+		t.charge[i] = 0
+	}
+	t.count = 0
+	return out, nil
+}

@@ -1,0 +1,362 @@
+// Package nets catalogs the CNN workloads of the paper's evaluation:
+// AlexNet, VGG-16, ResNet-18/-32/-50 (the 5-network benchmark set of Table
+// III), ResNet-s (the pruned CIFAR network of the Fig. 7 accuracy study),
+// and the CrossLight comparison CNN. Networks are stored as layer-shape
+// descriptors; PhotoFourier accelerates only the convolution layers, which
+// carry >99% of the MACs in these networks (Sec. VI-A).
+package nets
+
+import (
+	"fmt"
+
+	"photofourier/internal/tensor"
+)
+
+// LayerKind discriminates descriptor entries.
+type LayerKind int
+
+const (
+	// Conv is a 2D convolution layer (the accelerated kind).
+	Conv LayerKind = iota
+	// Pool is a max/avg pooling layer (executed on the CMOS side).
+	Pool
+	// FC is a fully connected layer (executed on the CMOS side).
+	FC
+)
+
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case Pool:
+		return "pool"
+	case FC:
+		return "fc"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// Layer describes one layer's geometry. For Conv, H/W are the input spatial
+// size, K the (square) kernel, Stride the convolution stride, and Pad the
+// border mode. For FC, Cin/Cout are the feature dimensions. Branch marks
+// layers on a residual side path (1x1 downsample projections) whose input
+// comes from the block entry rather than the previous layer.
+type Layer struct {
+	Name   string
+	Kind   LayerKind
+	Cin    int
+	Cout   int
+	H, W   int
+	K      int
+	Stride int
+	Pad    tensor.PadMode
+	Branch bool
+}
+
+// OutHW returns the spatial output size of a Conv or Pool layer.
+func (l Layer) OutHW() (int, int) {
+	switch l.Kind {
+	case Conv:
+		pad := 0
+		if l.Pad == tensor.Same {
+			pad = l.K - 1
+		}
+		return tensor.ConvOut(l.H, l.K, l.Stride, pad), tensor.ConvOut(l.W, l.K, l.Stride, pad)
+	case Pool:
+		return tensor.ConvOut(l.H, l.K, l.Stride, 0), tensor.ConvOut(l.W, l.K, l.Stride, 0)
+	default:
+		return 1, 1
+	}
+}
+
+// MACs returns the multiply-accumulate count of the layer.
+func (l Layer) MACs() int64 {
+	switch l.Kind {
+	case Conv:
+		oh, ow := l.OutHW()
+		return int64(oh) * int64(ow) * int64(l.Cout) * int64(l.Cin) * int64(l.K) * int64(l.K)
+	case FC:
+		return int64(l.Cin) * int64(l.Cout)
+	default:
+		return 0
+	}
+}
+
+// Params returns the weight count of the layer.
+func (l Layer) Params() int64 {
+	switch l.Kind {
+	case Conv:
+		return int64(l.Cout) * int64(l.Cin) * int64(l.K) * int64(l.K)
+	case FC:
+		return int64(l.Cin) * int64(l.Cout)
+	default:
+		return 0
+	}
+}
+
+// InputVolume returns Cin*H*W for Conv layers (activation elements read).
+func (l Layer) InputVolume() int64 {
+	return int64(l.Cin) * int64(l.H) * int64(l.W)
+}
+
+// OutputVolume returns Cout*OutH*OutW for Conv layers.
+func (l Layer) OutputVolume() int64 {
+	oh, ow := l.OutHW()
+	return int64(l.Cout) * int64(oh) * int64(ow)
+}
+
+// Network is an ordered stack of layer descriptors.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// ConvLayers returns only the convolution layers (the accelerated set).
+func (n Network) ConvLayers() []Layer {
+	out := make([]Layer, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		if l.Kind == Conv {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ConvMACs sums MACs over convolution layers.
+func (n Network) ConvMACs() int64 {
+	var total int64
+	for _, l := range n.ConvLayers() {
+		total += l.MACs()
+	}
+	return total
+}
+
+// TotalMACs sums MACs over every layer.
+func (n Network) TotalMACs() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.MACs()
+	}
+	return total
+}
+
+// TotalParams sums weights over every layer.
+func (n Network) TotalParams() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.Params()
+	}
+	return total
+}
+
+// MaxActivationBytes returns the largest activation (input or output) of any
+// conv layer at the given bytes per element — the quantity sizing the
+// paper's ping-pong activation SRAM.
+func (n Network) MaxActivationBytes(bytesPerElem int) int64 {
+	var m int64
+	for _, l := range n.ConvLayers() {
+		if v := l.InputVolume(); v > m {
+			m = v
+		}
+		if v := l.OutputVolume(); v > m {
+			m = v
+		}
+	}
+	return m * int64(bytesPerElem)
+}
+
+// builder accumulates layers while tracking spatial size.
+type builder struct {
+	layers []Layer
+	c      int
+	h, w   int
+}
+
+func newBuilder(c, h, w int) *builder { return &builder{c: c, h: h, w: w} }
+
+func (b *builder) conv(name string, cout, k, stride int, pad tensor.PadMode) *builder {
+	l := Layer{Name: name, Kind: Conv, Cin: b.c, Cout: cout, H: b.h, W: b.w, K: k, Stride: stride, Pad: pad}
+	b.layers = append(b.layers, l)
+	b.h, b.w = l.OutHW()
+	b.c = cout
+	return b
+}
+
+func (b *builder) pool(name string, k, stride int) *builder {
+	l := Layer{Name: name, Kind: Pool, Cin: b.c, Cout: b.c, H: b.h, W: b.w, K: k, Stride: stride}
+	b.layers = append(b.layers, l)
+	b.h, b.w = l.OutHW()
+	return b
+}
+
+func (b *builder) fc(name string, cout int) *builder {
+	in := b.c * b.h * b.w
+	b.layers = append(b.layers, Layer{Name: name, Kind: FC, Cin: in, Cout: cout})
+	b.c, b.h, b.w = cout, 1, 1
+	return b
+}
+
+// AlexNet returns the AlexNet descriptor (227x227 input, grouped
+// convolutions flattened into dense ones as in most accelerator studies).
+// Its 11x11 stride-4 first layer is the strided-convolution stress case of
+// Fig. 13 (Sec. VI-E).
+func AlexNet() Network {
+	b := newBuilder(3, 227, 227)
+	b.conv("conv1", 96, 11, 4, tensor.Valid).
+		pool("pool1", 3, 2).
+		conv("conv2", 256, 5, 1, tensor.Same).
+		pool("pool2", 3, 2).
+		conv("conv3", 384, 3, 1, tensor.Same).
+		conv("conv4", 384, 3, 1, tensor.Same).
+		conv("conv5", 256, 3, 1, tensor.Same).
+		pool("pool5", 3, 2).
+		fc("fc6", 4096).fc("fc7", 4096).fc("fc8", 1000)
+	return Network{Name: "AlexNet", Layers: b.layers}
+}
+
+// VGG16 returns the VGG-16 descriptor (224x224 input).
+func VGG16() Network {
+	b := newBuilder(3, 224, 224)
+	cfg := []struct {
+		n    int
+		cout int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	idx := 1
+	for stage, s := range cfg {
+		for i := 0; i < s.n; i++ {
+			b.conv(fmt.Sprintf("conv%d_%d", stage+1, i+1), s.cout, 3, 1, tensor.Same)
+			idx++
+		}
+		b.pool(fmt.Sprintf("pool%d", stage+1), 2, 2)
+	}
+	b.fc("fc6", 4096).fc("fc7", 4096).fc("fc8", 1000)
+	return Network{Name: "VGG-16", Layers: b.layers}
+}
+
+// ResNet18 returns the ImageNet ResNet-18 descriptor (224x224 input),
+// including the 1x1 downsample projections.
+func ResNet18() Network {
+	b := newBuilder(3, 224, 224)
+	b.conv("conv1", 64, 7, 2, tensor.Same).pool("maxpool", 2, 2)
+	resStage(b, "layer1", 64, 2, 1)
+	resStage(b, "layer2", 128, 2, 2)
+	resStage(b, "layer3", 256, 2, 2)
+	resStage(b, "layer4", 512, 2, 2)
+	b.pool("avgpool", b.h, 1).fc("fc", 1000)
+	return Network{Name: "ResNet-18", Layers: b.layers}
+}
+
+// resStage appends `blocks` basic residual blocks of the given width; the
+// first block uses the given stride and a 1x1 projection when shape changes.
+func resStage(b *builder, name string, cout, blocks, stride int) {
+	for i := 0; i < blocks; i++ {
+		s := 1
+		if i == 0 {
+			s = stride
+		}
+		if i == 0 && (s != 1 || b.c != cout) {
+			// Projection shortcut on the block input.
+			b.layers = append(b.layers, Layer{
+				Name: fmt.Sprintf("%s.%d.downsample", name, i), Kind: Conv,
+				Cin: b.c, Cout: cout, H: b.h, W: b.w, K: 1, Stride: s, Pad: tensor.Same,
+				Branch: true,
+			})
+		}
+		b.conv(fmt.Sprintf("%s.%d.conv1", name, i), cout, 3, s, tensor.Same)
+		b.conv(fmt.Sprintf("%s.%d.conv2", name, i), cout, 3, 1, tensor.Same)
+	}
+}
+
+// ResNet50 returns the ImageNet ResNet-50 descriptor with bottleneck blocks.
+func ResNet50() Network {
+	b := newBuilder(3, 224, 224)
+	b.conv("conv1", 64, 7, 2, tensor.Same).pool("maxpool", 2, 2)
+	bottleneckStage(b, "layer1", 64, 3, 1)
+	bottleneckStage(b, "layer2", 128, 4, 2)
+	bottleneckStage(b, "layer3", 256, 6, 2)
+	bottleneckStage(b, "layer4", 512, 3, 2)
+	b.pool("avgpool", b.h, 1).fc("fc", 1000)
+	return Network{Name: "ResNet-50", Layers: b.layers}
+}
+
+func bottleneckStage(b *builder, name string, width, blocks, stride int) {
+	expansion := 4
+	for i := 0; i < blocks; i++ {
+		s := 1
+		if i == 0 {
+			s = stride
+		}
+		if i == 0 {
+			b.layers = append(b.layers, Layer{
+				Name: fmt.Sprintf("%s.%d.downsample", name, i), Kind: Conv,
+				Cin: b.c, Cout: width * expansion, H: b.h, W: b.w, K: 1, Stride: s, Pad: tensor.Same,
+				Branch: true,
+			})
+		}
+		b.conv(fmt.Sprintf("%s.%d.conv1", name, i), width, 1, 1, tensor.Same)
+		b.conv(fmt.Sprintf("%s.%d.conv2", name, i), width, 3, s, tensor.Same)
+		b.conv(fmt.Sprintf("%s.%d.conv3", name, i), width*expansion, 1, 1, tensor.Same)
+	}
+}
+
+// ResNet32 returns the CIFAR-10 ResNet-32 descriptor (32x32 input, 5 basic
+// blocks per stage at widths 16/32/64, He et al.).
+func ResNet32() Network {
+	b := newBuilder(3, 32, 32)
+	b.conv("conv1", 16, 3, 1, tensor.Same)
+	resStage(b, "stack1", 16, 5, 1)
+	resStage(b, "stack2", 32, 5, 2)
+	resStage(b, "stack3", 64, 5, 2)
+	b.pool("avgpool", b.h, 1).fc("fc", 10)
+	return Network{Name: "ResNet-32", Layers: b.layers}
+}
+
+// ResNetS returns the pruned CIFAR-10 ResNet used by the temporal
+// accumulation accuracy study (Fig. 7): the MLPerf Tiny ResNet-8 shape [9]
+// — one basic block per stage at widths 16/32/64.
+func ResNetS() Network {
+	b := newBuilder(3, 32, 32)
+	b.conv("conv1", 16, 3, 1, tensor.Same)
+	resStage(b, "stack1", 16, 1, 1)
+	resStage(b, "stack2", 32, 1, 2)
+	resStage(b, "stack3", 64, 1, 2)
+	b.pool("avgpool", b.h, 1).fc("fc", 10)
+	return Network{Name: "ResNet-s", Layers: b.layers}
+}
+
+// CrossLightCNN returns the 4-layer CIFAR-10 CNN used for the CrossLight
+// energy comparison (Sec. VI-E): two 3x3 conv layers with pooling followed
+// by two FC layers.
+func CrossLightCNN() Network {
+	b := newBuilder(3, 32, 32)
+	b.conv("conv1", 32, 3, 1, tensor.Same).
+		pool("pool1", 2, 2).
+		conv("conv2", 64, 3, 1, tensor.Same).
+		pool("pool2", 2, 2).
+		fc("fc1", 256).fc("fc2", 10)
+	return Network{Name: "CrossLight-CNN", Layers: b.layers}
+}
+
+// Benchmark5 returns the five CNNs of the Table III / Fig. 10 geometric
+// mean: AlexNet, VGG-16, ResNet-18, ResNet-32, ResNet-50.
+func Benchmark5() []Network {
+	return []Network{AlexNet(), VGG16(), ResNet18(), ResNet32(), ResNet50()}
+}
+
+// ImageNet3 returns the Fig. 13 comparison set.
+func ImageNet3() []Network {
+	return []Network{AlexNet(), VGG16(), ResNet18()}
+}
+
+// ByName looks a catalog network up by its Name field.
+func ByName(name string) (Network, error) {
+	for _, n := range []Network{
+		AlexNet(), VGG16(), ResNet18(), ResNet32(), ResNet50(), ResNetS(), CrossLightCNN(),
+	} {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Network{}, fmt.Errorf("nets: unknown network %q", name)
+}

@@ -1,0 +1,239 @@
+package nets
+
+import (
+	"math"
+	"testing"
+
+	"photofourier/internal/tensor"
+)
+
+func relClose(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+func TestAlexNetGeometry(t *testing.T) {
+	n := AlexNet()
+	convs := n.ConvLayers()
+	if len(convs) != 5 {
+		t.Fatalf("AlexNet has %d conv layers, want 5", len(convs))
+	}
+	c1 := convs[0]
+	if c1.K != 11 || c1.Stride != 4 {
+		t.Errorf("conv1 is %dx%d s%d, want 11x11 s4", c1.K, c1.K, c1.Stride)
+	}
+	oh, ow := c1.OutHW()
+	if oh != 55 || ow != 55 {
+		t.Errorf("conv1 output %dx%d, want 55x55", oh, ow)
+	}
+	c2 := convs[1]
+	if c2.H != 27 || c2.Cin != 96 || c2.K != 5 {
+		t.Errorf("conv2 input %dx%d c%d k%d, want 27x27 c96 k5", c2.H, c2.W, c2.Cin, c2.K)
+	}
+}
+
+func TestAlexNetMACs(t *testing.T) {
+	// Dense (ungrouped) AlexNet conv MACs ~ 1.07G.
+	got := float64(AlexNet().ConvMACs())
+	if !relClose(got, 1.07e9, 0.05) {
+		t.Errorf("AlexNet conv MACs = %g, want ~1.07G", got)
+	}
+}
+
+func TestVGG16MACs(t *testing.T) {
+	// The canonical 15.3G conv MACs.
+	got := float64(VGG16().ConvMACs())
+	if !relClose(got, 15.35e9, 0.02) {
+		t.Errorf("VGG-16 conv MACs = %g, want ~15.3G", got)
+	}
+	if len(VGG16().ConvLayers()) != 13 {
+		t.Errorf("VGG-16 conv layer count = %d, want 13", len(VGG16().ConvLayers()))
+	}
+}
+
+func TestResNet18MACs(t *testing.T) {
+	// ~1.81G MACs for ImageNet ResNet-18.
+	got := float64(ResNet18().ConvMACs())
+	if !relClose(got, 1.81e9, 0.05) {
+		t.Errorf("ResNet-18 conv MACs = %g, want ~1.81G", got)
+	}
+}
+
+func TestResNet50MACs(t *testing.T) {
+	// ~4.1G MACs for ImageNet ResNet-50.
+	got := float64(ResNet50().ConvMACs())
+	if !relClose(got, 4.1e9, 0.06) {
+		t.Errorf("ResNet-50 conv MACs = %g, want ~4.1G", got)
+	}
+}
+
+func TestResNet32Shape(t *testing.T) {
+	n := ResNet32()
+	// 1 stem + 3 stages x 5 blocks x 2 convs + 2 downsamples = 33 convs.
+	if got := len(n.ConvLayers()); got != 33 {
+		t.Errorf("ResNet-32 conv layers = %d, want 33", got)
+	}
+	// CIFAR ResNet-32 ~ 69M MACs.
+	got := float64(n.ConvMACs())
+	if !relClose(got, 69e6, 0.15) {
+		t.Errorf("ResNet-32 conv MACs = %g, want ~69M", got)
+	}
+}
+
+func TestResNetSShape(t *testing.T) {
+	n := ResNetS()
+	// Stem + 3 stages x (2 convs) + 2 downsamples = 9 convs (ResNet-8-ish).
+	if got := len(n.ConvLayers()); got != 9 {
+		t.Errorf("ResNet-s conv layers = %d, want 9", got)
+	}
+	// Last stage runs at 8x8 spatial with 64 channels.
+	last := n.ConvLayers()[len(n.ConvLayers())-1]
+	if last.Cout != 64 || last.H != 8 {
+		t.Errorf("ResNet-s last conv: cout=%d h=%d, want 64 @ 8", last.Cout, last.H)
+	}
+}
+
+func TestConvDominatesMACs(t *testing.T) {
+	// The paper's claim: >99% of MACs come from conv layers in VGG-16 and
+	// ResNet-18, justifying a conv-only accelerator benchmark.
+	for _, n := range []Network{VGG16(), ResNet18()} {
+		frac := float64(n.ConvMACs()) / float64(n.TotalMACs())
+		if frac < 0.90 {
+			t.Errorf("%s conv MAC fraction = %g, want > 0.90", n.Name, frac)
+		}
+	}
+	// ResNet-18's fraction is above 99%.
+	r := ResNet18()
+	if frac := float64(r.ConvMACs()) / float64(r.TotalMACs()); frac < 0.99 {
+		t.Errorf("ResNet-18 conv fraction %g < 0.99", frac)
+	}
+}
+
+func TestSpatialChainingConsistency(t *testing.T) {
+	// Every conv layer's input spatial size must match the previous
+	// layer's output as tracked by the builder.
+	for _, n := range Benchmark5() {
+		h, w := -1, -1
+		for _, l := range n.Layers {
+			if l.Kind == FC {
+				break
+			}
+			if h != -1 && (l.H != h || l.W != w) {
+				t.Errorf("%s %s: input %dx%d does not chain from previous output %dx%d",
+					n.Name, l.Name, l.H, l.W, h, w)
+			}
+			if l.Branch {
+				// Side-path projections read the block input; they do not
+				// advance the main path.
+				continue
+			}
+			h, w = l.OutHW()
+		}
+	}
+}
+
+func TestMaxActivationBytesSizing(t *testing.T) {
+	// The 4MB activation SRAM holds 2x the max activation of common CNNs
+	// (ping-pong buffering, Sec. V-A). VGG-16's biggest activation is
+	// 224*224*64 = 3.2MB at 8-bit; 2x exceeds 4MB only for VGG (the paper
+	// sizes for "common CNNs" — ResNet-18 fits comfortably).
+	vgg := VGG16().MaxActivationBytes(1)
+	if vgg != 224*224*64 {
+		t.Errorf("VGG max activation = %d, want %d", vgg, 224*224*64)
+	}
+	r18 := ResNet18().MaxActivationBytes(1)
+	if r18 != 112*112*64 {
+		t.Errorf("ResNet-18 max activation = %d, want %d", r18, 112*112*64)
+	}
+}
+
+func TestLayerAccessors(t *testing.T) {
+	l := Layer{Kind: Conv, Cin: 3, Cout: 8, H: 10, W: 12, K: 3, Stride: 1, Pad: tensor.Same}
+	if v := l.InputVolume(); v != 3*10*12 {
+		t.Errorf("InputVolume = %d", v)
+	}
+	if v := l.OutputVolume(); v != 8*10*12 {
+		t.Errorf("OutputVolume = %d", v)
+	}
+	if p := l.Params(); p != 8*3*9 {
+		t.Errorf("Params = %d", p)
+	}
+	fc := Layer{Kind: FC, Cin: 100, Cout: 10}
+	if fc.MACs() != 1000 || fc.Params() != 1000 {
+		t.Error("FC MACs/Params")
+	}
+	pool := Layer{Kind: Pool, Cin: 8, Cout: 8, H: 8, W: 8, K: 2, Stride: 2}
+	if pool.MACs() != 0 {
+		t.Error("Pool should have zero MACs")
+	}
+	oh, ow := pool.OutHW()
+	if oh != 4 || ow != 4 {
+		t.Errorf("pool out %dx%d", oh, ow)
+	}
+}
+
+func TestValidModeOutHW(t *testing.T) {
+	l := Layer{Kind: Conv, Cin: 3, Cout: 96, H: 227, W: 227, K: 11, Stride: 4, Pad: tensor.Valid}
+	oh, ow := l.OutHW()
+	if oh != 55 || ow != 55 {
+		t.Errorf("AlexNet conv1 out %dx%d, want 55x55", oh, ow)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"AlexNet", "VGG-16", "ResNet-18", "ResNet-32", "ResNet-50", "ResNet-s", "CrossLight-CNN"} {
+		n, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if n.Name != name {
+			t.Errorf("ByName(%q) returned %q", name, n.Name)
+		}
+	}
+	if _, err := ByName("LeNet"); err == nil {
+		t.Error("unknown network should fail")
+	}
+}
+
+func TestBenchmarkSets(t *testing.T) {
+	b5 := Benchmark5()
+	if len(b5) != 5 {
+		t.Fatalf("Benchmark5 has %d networks", len(b5))
+	}
+	i3 := ImageNet3()
+	if len(i3) != 3 {
+		t.Fatalf("ImageNet3 has %d networks", len(i3))
+	}
+	if i3[0].Name != "AlexNet" || i3[1].Name != "VGG-16" || i3[2].Name != "ResNet-18" {
+		t.Error("ImageNet3 membership")
+	}
+}
+
+func TestLayerKindString(t *testing.T) {
+	if Conv.String() != "conv" || Pool.String() != "pool" || FC.String() != "fc" {
+		t.Error("LayerKind strings")
+	}
+	if LayerKind(9).String() == "" {
+		t.Error("unknown kind should print")
+	}
+}
+
+func TestCrossLightCNNShape(t *testing.T) {
+	n := CrossLightCNN()
+	if len(n.ConvLayers()) != 2 {
+		t.Errorf("CrossLight CNN conv layers = %d, want 2", len(n.ConvLayers()))
+	}
+	if len(n.Layers) != 6 {
+		t.Errorf("CrossLight CNN total layers = %d, want 6 (2 conv + 2 pool + 2 fc)", len(n.Layers))
+	}
+}
+
+func TestAllNetworksPositiveMACs(t *testing.T) {
+	for _, n := range append(Benchmark5(), ResNetS(), CrossLightCNN()) {
+		if n.ConvMACs() <= 0 {
+			t.Errorf("%s has non-positive conv MACs", n.Name)
+		}
+		if n.TotalParams() <= 0 {
+			t.Errorf("%s has non-positive params", n.Name)
+		}
+	}
+}

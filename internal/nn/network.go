@@ -1,0 +1,321 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"photofourier/internal/tensor"
+)
+
+// Sequential chains modules.
+type Sequential struct {
+	Modules []Module
+}
+
+// Forward implements Module.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	var err error
+	for _, m := range s.Modules {
+		if x, err = m.Forward(x, train); err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// Backward implements Module.
+func (s *Sequential) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i := len(s.Modules) - 1; i >= 0; i-- {
+		if grad, err = s.Modules[i].Backward(grad); err != nil {
+			return nil, err
+		}
+	}
+	return grad, nil
+}
+
+// Params implements Module.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, m := range s.Modules {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// Residual computes Body(x) + Shortcut(x) (identity shortcut when nil),
+// the basic block of the ResNet-s accuracy network.
+type Residual struct {
+	Body     Module
+	Shortcut Module // nil = identity
+}
+
+// Forward implements Module.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	main, err := r.Body.Forward(x, train)
+	if err != nil {
+		return nil, err
+	}
+	side := x
+	if r.Shortcut != nil {
+		if side, err = r.Shortcut.Forward(x, train); err != nil {
+			return nil, err
+		}
+	}
+	out := main.Clone()
+	if err := out.AddInPlace(side); err != nil {
+		return nil, fmt.Errorf("nn: residual shapes %v vs %v: %w", main.Shape, side.Shape, err)
+	}
+	return out, nil
+}
+
+// Backward implements Module.
+func (r *Residual) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	dMain, err := r.Body.Backward(grad)
+	if err != nil {
+		return nil, err
+	}
+	dSide := grad
+	if r.Shortcut != nil {
+		if dSide, err = r.Shortcut.Backward(grad); err != nil {
+			return nil, err
+		}
+	}
+	out := dMain.Clone()
+	if err := out.AddInPlace(dSide); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Params implements Module.
+func (r *Residual) Params() []*Param {
+	out := r.Body.Params()
+	if r.Shortcut != nil {
+		out = append(out, r.Shortcut.Params()...)
+	}
+	return out
+}
+
+// Network wraps a module stack with loss and evaluation helpers.
+type Network struct {
+	Name string
+	Root Module
+}
+
+// Params returns every trainable parameter.
+func (n *Network) Params() []*Param { return n.Root.Params() }
+
+// NumParams counts scalar weights.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.W.Size()
+	}
+	return total
+}
+
+// Forward runs inference (train=false).
+func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return n.Root.Forward(x, false)
+}
+
+// LossAndGrad runs a training step's forward pass, computes mean softmax
+// cross-entropy against the labels, and backpropagates. Parameter gradients
+// accumulate; callers zero them between steps.
+func (n *Network) LossAndGrad(x *tensor.Tensor, labels []int) (float64, error) {
+	logits, err := n.Root.Forward(x, true)
+	if err != nil {
+		return 0, err
+	}
+	loss, grad, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := n.Root.Backward(grad); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// ZeroGrad clears accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.Grad.Fill(0)
+	}
+}
+
+// SetConvEngine routes every convolution's inference path through the
+// given engine (nil restores the exact reference path). Training is always
+// exact.
+func (n *Network) SetConvEngine(e ConvEngine) {
+	var walk func(Module)
+	walk = func(m Module) {
+		switch v := m.(type) {
+		case *Conv:
+			v.Engine = e
+		case *Sequential:
+			for _, c := range v.Modules {
+				walk(c)
+			}
+		case *Residual:
+			walk(v.Body)
+			if v.Shortcut != nil {
+				walk(v.Shortcut)
+			}
+		}
+	}
+	walk(n.Root)
+}
+
+// SoftmaxCrossEntropy returns the mean cross-entropy loss over the batch
+// and the gradient with respect to the logits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor, error) {
+	if logits.Rank() != 2 {
+		return 0, nil, fmt.Errorf("nn: loss wants [N][C] logits, got %v", logits.Shape)
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		return 0, nil, fmt.Errorf("nn: %d labels for batch of %d", len(labels), n)
+	}
+	probs, err := tensor.Softmax(logits)
+	if err != nil {
+		return 0, nil, err
+	}
+	grad := tensor.New(n, c)
+	var loss float64
+	for b := 0; b < n; b++ {
+		y := labels[b]
+		if y < 0 || y >= c {
+			return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", y, c)
+		}
+		p := probs.At(b, y)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		for j := 0; j < c; j++ {
+			g := probs.At(b, j)
+			if j == y {
+				g--
+			}
+			grad.Set(g/float64(n), b, j)
+		}
+	}
+	return loss / float64(n), grad, nil
+}
+
+// Predict returns the argmax class per batch row.
+func (n *Network) Predict(x *tensor.Tensor) ([]int, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	nb, c := logits.Shape[0], logits.Shape[1]
+	out := make([]int, nb)
+	for b := 0; b < nb; b++ {
+		best, bestJ := math.Inf(-1), 0
+		for j := 0; j < c; j++ {
+			if v := logits.At(b, j); v > best {
+				best, bestJ = v, j
+			}
+		}
+		out[b] = bestJ
+	}
+	return out, nil
+}
+
+// TopKCorrect reports, for each sample, whether the true label appears in
+// the k highest logits (top-1 and top-5 accuracy, as in Table I).
+func (n *Network) TopKCorrect(x *tensor.Tensor, labels []int, k int) ([]bool, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	nb, c := logits.Shape[0], logits.Shape[1]
+	if k > c {
+		k = c
+	}
+	out := make([]bool, nb)
+	for b := 0; b < nb; b++ {
+		yv := logits.At(b, labels[b])
+		higher := 0
+		for j := 0; j < c; j++ {
+			if logits.At(b, j) > yv {
+				higher++
+			}
+		}
+		out[b] = higher < k
+	}
+	return out, nil
+}
+
+// ResNetS builds the scaled-down ResNet-s analogue used by the Fig. 7 /
+// Table I experiments: stem conv + three residual stages at the given
+// widths + global pooling + classifier. Widths {8,16,32} keep single-core
+// training fast; {16,32,64} matches the MLPerf Tiny shape.
+func ResNetS(widths [3]int, classes int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	stage := func(cin, cout, stride int) Module {
+		body := &Sequential{Modules: []Module{
+			NewConv(cin, cout, 3, stride, tensor.Same, rng),
+			&ReLULayer{},
+			NewConv(cout, cout, 3, 1, tensor.Same, rng),
+		}}
+		var shortcut Module
+		if stride != 1 || cin != cout {
+			shortcut = NewConv(cin, cout, 1, stride, tensor.Same, rng)
+		}
+		return &Sequential{Modules: []Module{
+			&Residual{Body: body, Shortcut: shortcut},
+			&ReLULayer{},
+		}}
+	}
+	root := &Sequential{Modules: []Module{
+		NewConv(3, widths[0], 3, 1, tensor.Same, rng),
+		&ReLULayer{},
+		stage(widths[0], widths[0], 1),
+		stage(widths[0], widths[1], 2),
+		stage(widths[1], widths[2], 2),
+		&GlobalAvgPool{},
+		NewDense(widths[2], classes, rng),
+	}}
+	return &Network{Name: "resnet-s", Root: root}
+}
+
+// SmallCNN builds a compact VGG-style network (conv-pool stacks) used as a
+// second Table I subject.
+func SmallCNN(widths [2]int, classes int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	root := &Sequential{Modules: []Module{
+		NewConv(3, widths[0], 3, 1, tensor.Same, rng),
+		&ReLULayer{},
+		&MaxPool{K: 2, Stride: 2},
+		NewConv(widths[0], widths[1], 3, 1, tensor.Same, rng),
+		&ReLULayer{},
+		&MaxPool{K: 2, Stride: 2},
+		&GlobalAvgPool{},
+		NewDense(widths[1], classes, rng),
+	}}
+	return &Network{Name: "small-cnn", Root: root}
+}
+
+// AlexNetS builds a compact AlexNet-style analogue: a strided first
+// convolution with a larger kernel (the strided-convolution stress case)
+// followed by two 3x3 stages.
+func AlexNetS(classes int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	root := &Sequential{Modules: []Module{
+		NewConv(3, 12, 5, 2, tensor.Same, rng),
+		&ReLULayer{},
+		NewConv(12, 24, 3, 1, tensor.Same, rng),
+		&ReLULayer{},
+		&MaxPool{K: 2, Stride: 2},
+		NewConv(24, 32, 3, 1, tensor.Same, rng),
+		&ReLULayer{},
+		&GlobalAvgPool{},
+		NewDense(32, classes, rng),
+	}}
+	return &Network{Name: "alexnet-s", Root: root}
+}

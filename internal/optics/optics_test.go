@@ -1,0 +1,344 @@
+package optics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"photofourier/internal/fourier"
+)
+
+func randNonNeg(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(2, 0); err == nil {
+		t.Error("tiny system should fail")
+	}
+	if _, err := NewSystem(1024, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	sys, _ := NewSystem(64, 0)
+	if _, err := sys.Simulate(nil, []float64{1}, 0); err == nil {
+		t.Error("empty signal should fail")
+	}
+	if _, err := sys.Simulate([]float64{1}, nil, 0); err == nil {
+		t.Error("empty kernel should fail")
+	}
+	if _, err := sys.Simulate([]float64{-1}, []float64{1}, 0); err == nil {
+		t.Error("negative signal should fail")
+	}
+	if _, err := sys.Simulate([]float64{1}, []float64{-1}, 0); err == nil {
+		t.Error("negative kernel should fail")
+	}
+	if _, err := sys.Simulate(make([]float64, 8), make([]float64, 8), 4); err == nil {
+		t.Error("overlapping placement should fail")
+	}
+	if _, err := sys.Simulate(make([]float64, 40), make([]float64, 40), 0); err == nil {
+		t.Error("joint plane larger than system should fail")
+	}
+}
+
+func TestStrictOffsetAndMinSamples(t *testing.T) {
+	if got := StrictOffset(10, 3); got != 19 {
+		t.Errorf("StrictOffset(10,3) = %d, want 10+10-1", got)
+	}
+	if got := StrictOffset(3, 10); got != 12 {
+		t.Errorf("StrictOffset(3,10) = %d, want 3+10-1", got)
+	}
+	ls, lk := 16, 5
+	if MinSamples(ls, lk) != 2*StrictOffset(ls, lk)+2*lk {
+		t.Error("MinSamples formula")
+	}
+}
+
+func TestJTCComputesCrossCorrelation(t *testing.T) {
+	// The heart of the JTC: the extracted term equals the ideal
+	// cross-correlation, as computed directly.
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ ls, lk int }{
+		{8, 3}, {16, 5}, {31, 31}, {20, 1}, {1, 7}, {64, 13},
+	} {
+		sig := randNonNeg(rng, tc.ls)
+		kern := randNonNeg(rng, tc.lk)
+		n := fourier.NextPow2(MinSamples(tc.ls, tc.lk))
+		sys, err := NewSystem(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Simulate(sig, kern, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.ExtractCorrelation()
+		want := fourier.CrossCorrelate(sig, kern)
+		if len(got) != len(want) {
+			t.Fatalf("ls=%d lk=%d: length %d want %d", tc.ls, tc.lk, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("ls=%d lk=%d idx %d: got %g want %g", tc.ls, tc.lk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJTCCorrelationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ls := 4 + rng.Intn(40)
+		lk := 1 + rng.Intn(20)
+		sig := randNonNeg(rng, ls)
+		kern := randNonNeg(rng, lk)
+		n := fourier.NextPow2(MinSamples(ls, lk))
+		sys, _ := NewSystem(n, 0)
+		res, err := sys.Simulate(sig, kern, 0)
+		if err != nil {
+			return false
+		}
+		got := res.ExtractCorrelation()
+		want := fourier.CrossCorrelate(sig, kern)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeTermsSeparatedStrictPlacement(t *testing.T) {
+	// With the strict offset, the residual region outside the three Eq. 1
+	// terms carries (numerically) zero energy, and the direct and mirror
+	// cross terms are equal by symmetry.
+	rng := rand.New(rand.NewSource(2))
+	sig := randNonNeg(rng, 32)
+	kern := randNonNeg(rng, 7)
+	n := fourier.NextPow2(MinSamples(32, 7))
+	sys, _ := NewSystem(n, 0)
+	res, err := sys.Simulate(sig, kern, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center, cross, mirror, residual := res.TermEnergies()
+	if center <= 0 || cross <= 0 || mirror <= 0 {
+		t.Fatalf("term energies should be positive: %g %g %g", center, cross, mirror)
+	}
+	if residual > 1e-12*(center+cross) {
+		t.Errorf("residual energy %g should be ~0 under strict placement", residual)
+	}
+	if math.Abs(cross-mirror) > 1e-9*cross {
+		t.Errorf("direct %g and mirror %g cross terms should match", cross, mirror)
+	}
+}
+
+func TestOutputPlaneIsSymmetric(t *testing.T) {
+	// The noiseless output is the autocorrelation of a real signal:
+	// r[m] == r[N-m].
+	rng := rand.New(rand.NewSource(3))
+	sig := randNonNeg(rng, 16)
+	kern := randNonNeg(rng, 4)
+	sys, _ := NewSystem(256, 0)
+	res, err := sys.Simulate(sig, kern, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.Output)
+	for m := 1; m < n; m++ {
+		if math.Abs(res.Output[m]-res.Output[n-m]) > 1e-9 {
+			t.Fatalf("autocorrelation symmetry violated at lag %d", m)
+		}
+	}
+}
+
+func TestCenterTermIsAutocorrelationSum(t *testing.T) {
+	// At zero lag the output equals the total energy of the joint plane:
+	// r[0] = sum g^2 = sum s^2 + sum k^2.
+	rng := rand.New(rand.NewSource(4))
+	sig := randNonNeg(rng, 20)
+	kern := randNonNeg(rng, 6)
+	sys, _ := NewSystem(256, 0)
+	res, err := sys.Simulate(sig, kern, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, v := range sig {
+		want += v * v
+	}
+	for _, v := range kern {
+		want += v * v
+	}
+	if math.Abs(res.Output[0]-want) > 1e-9 {
+		t.Errorf("r[0] = %g, want %g", res.Output[0], want)
+	}
+}
+
+func TestNoiseDegradesGracefully(t *testing.T) {
+	// More detector noise lowers the extraction SNR monotonically (in
+	// expectation; single seeds are used so allow generous ordering).
+	rng := rand.New(rand.NewSource(5))
+	sig := randNonNeg(rng, 32)
+	kern := randNonNeg(rng, 7)
+	n := fourier.NextPow2(MinSamples(32, 7))
+	cleanSys, _ := NewSystem(n, 1)
+	clean, err := cleanSys.Simulate(sig, kern, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevSNR = math.Inf(1)
+	for _, noise := range []float64{1e-6, 1e-2, 1.0} {
+		sys, _ := NewSystem(n, 1)
+		sys.DarkNoise = noise
+		noisy, err := sys.Simulate(sig, kern, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snr := SNRdB(noisy, clean)
+		if snr >= prevSNR {
+			t.Errorf("noise %g: SNR %g dB did not decrease (prev %g)", noise, snr, prevSNR)
+		}
+		prevSNR = snr
+	}
+	if prevSNR > 40 {
+		t.Errorf("heavy noise should push SNR below 40 dB, got %g", prevSNR)
+	}
+}
+
+func TestShotNoiseScalesWithSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sig := randNonNeg(rng, 32)
+	kern := randNonNeg(rng, 7)
+	n := fourier.NextPow2(MinSamples(32, 7))
+	cleanSys, _ := NewSystem(n, 2)
+	clean, _ := cleanSys.Simulate(sig, kern, 0)
+
+	weak, _ := NewSystem(n, 2)
+	weak.ShotNoiseFactor = 1e-4
+	strong, _ := NewSystem(n, 2)
+	strong.ShotNoiseFactor = 1e-2
+	resWeak, _ := weak.Simulate(sig, kern, 0)
+	resStrong, _ := strong.Simulate(sig, kern, 0)
+	if SNRdB(resStrong, clean) >= SNRdB(resWeak, clean) {
+		t.Error("stronger shot noise should lower SNR")
+	}
+}
+
+func TestNegativeIntensityClamped(t *testing.T) {
+	// Even with huge dark noise, detected intensity stays non-negative.
+	sys, _ := NewSystem(64, 3)
+	sys.DarkNoise = 100
+	res, err := sys.Simulate([]float64{1, 2, 3}, []float64{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.FourierIntensity {
+		if v < 0 {
+			t.Fatalf("intensity[%d] = %g is negative", i, v)
+		}
+	}
+}
+
+func TestCorrelate1DWrapper(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sig := randNonNeg(rng, 24)
+	kern := randNonNeg(rng, 5)
+	sys, _ := NewSystem(fourier.NextPow2(MinSamples(24, 5)), 0)
+	got, err := sys.Correlate1D(sig, kern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fourier.CrossCorrelate(sig, kern)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("idx %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+	// Too-small system surfaces an error.
+	small, _ := NewSystem(16, 0)
+	if _, err := small.Correlate1D(sig, kern); err == nil {
+		t.Error("undersized system should fail")
+	}
+}
+
+func TestSNRdBEdgeCases(t *testing.T) {
+	sys, _ := NewSystem(64, 0)
+	a, _ := sys.Simulate([]float64{1, 2}, []float64{1}, 0)
+	if !math.IsInf(SNRdB(a, a), 1) {
+		t.Error("identical results should give +Inf SNR")
+	}
+	sys2, _ := NewSystem(128, 0)
+	b, _ := sys2.Simulate([]float64{1, 2}, []float64{1}, 0)
+	if !math.IsNaN(SNRdB(a, b)) {
+		t.Error("mismatched sizes should give NaN")
+	}
+}
+
+func TestLoosePlacementContaminatesStrictIsExact(t *testing.T) {
+	// The center non-convolution term O(x) of a smooth positive signal has
+	// long autocorrelation tails, so placing the kernel closer than
+	// StrictOffset lets O(x) bleed into the extracted correlation. This is
+	// exactly why the paper adjusts "the distance between two inputs"
+	// (Sec. II-A): the gap between signal and kernel waveguides needs no
+	// active components, so the strict offset is free in hardware.
+	n := 2048
+	ls, lk := 256, 31
+	sig := make([]float64, ls)
+	for i := range sig {
+		sig[i] = 0.5 + 0.4*math.Sin(float64(i)/9)*math.Sin(float64(i)/23)
+	}
+	rng := rand.New(rand.NewSource(9))
+	kern := randNonNeg(rng, lk)
+	want := fourier.CrossCorrelate(sig, kern)
+
+	relErrAt := func(offset int) float64 {
+		sys, _ := NewSystem(n, 0)
+		res, err := sys.Simulate(sig, kern, offset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.ExtractCorrelation()
+		var num, den float64
+		for i := range got {
+			d := got[i] - want[i]
+			num += d * d
+			den += want[i] * want[i]
+		}
+		return math.Sqrt(num / den)
+	}
+
+	loose := relErrAt(ls + 64) // offset 320 < strict 511: contaminated
+	if loose < 0.5 {
+		t.Errorf("loose placement error %g unexpectedly small; the center term should contaminate", loose)
+	}
+	strict := relErrAt(StrictOffset(ls, lk))
+	if strict > 1e-8 {
+		t.Errorf("strict placement should be exact, got relative error %g", strict)
+	}
+}
+
+func BenchmarkJTCSimulate1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	sig := randNonNeg(rng, 256)
+	kern := randNonNeg(rng, 31)
+	sys, _ := NewSystem(2048, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Simulate(sig, kern, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package photonics holds the device-level inputs of the PhotoFourier
+// architecture model: the component power catalog (paper Table IV), the
+// component dimensions (Table V), the technology-scaling rules (linear ADC
+// frequency scaling, Walden-FOM generation scaling), and the calibrated
+// PFCU area model behind the Table III design-space sweep.
+package photonics
+
+import (
+	"fmt"
+	"math"
+)
+
+// DeviceSet is one column of Table IV: the per-component powers and
+// operating points of a PhotoFourier technology generation.
+type DeviceSet struct {
+	Name string
+
+	MRRPowerW        float64 // per active micro-ring resonator
+	LaserPowerPerWGW float64 // laser power budget per waveguide
+	ADCPowerW        float64 // per ADC at ADCFreqHz
+	ADCFreqHz        float64
+	DACPowerW        float64 // per DAC at DACFreqHz
+	DACFreqHz        float64
+
+	TechNode string
+	Chiplets int
+
+	// SRAMReadEnergyJPerBit calibrates the memory model: the paper derives
+	// it from a commercial 14 nm memory compiler (CG) and PCACTI 7 nm
+	// FinFET models (NG); we calibrate so the Fig. 12 power shares hold.
+	SRAMReadEnergyJPerBit float64
+	// InterconnectJPerBit is the energy of moving one bit between the
+	// memory/CMOS side and the PFCU analog interface: a 2.5D chiplet link
+	// for CG, on-die wires for NG. Together with SRAM this forms the
+	// paper's "data movement" cost (Sec. VII).
+	InterconnectJPerBit float64
+	// CMOSTileStaticW approximates the non-SRAM CMOS tile power (control,
+	// accumulators, activation units) per tile at full activity.
+	CMOSTileStaticW float64
+}
+
+// WaldenNGScale is the ADC/DAC power reduction the paper derives for the NG
+// generation from the Walden figure-of-merit envelope (Sec. VI-A): 5.81x.
+const WaldenNGScale = 5.81
+
+// CG returns the PhotoFourier-CG device set (14 nm CMOS chiplet + PIC
+// chiplet, Table IV left column).
+func CG() DeviceSet {
+	return DeviceSet{
+		Name:                  "PhotoFourier-CG",
+		MRRPowerW:             3.1e-3,  // [46] ring-resonator optical DAC
+		LaserPowerPerWGW:      0.5e-3,  // >= 20 dB SNR at the photodetectors
+		ADCPowerW:             0.93e-3, // [40] scaled to 625 MHz
+		ADCFreqHz:             625e6,
+		DACPowerW:             35.71e-3, // [11] 14 GS/s 8-bit, scaled to 10 GHz
+		DACFreqHz:             10e9,
+		TechNode:              "14nm",
+		Chiplets:              2,
+		SRAMReadEnergyJPerBit: 0.07e-12, // 14 nm compiler, wide low-voltage bus
+		InterconnectJPerBit:   0.04e-12, // 2.5D chiplet link
+		CMOSTileStaticW:       0.30,
+	}
+}
+
+// NG returns the PhotoFourier-NG device set (7 nm monolithic, Table IV
+// right column). ADC/DAC follow the Walden-FOM scaling; the MRR power comes
+// from the next-generation modulator of [56].
+func NG() DeviceSet {
+	return DeviceSet{
+		Name:                  "PhotoFourier-NG",
+		MRRPowerW:             0.42e-3,
+		LaserPowerPerWGW:      0.5e-3,
+		ADCPowerW:             0.16e-3, // 0.93 mW / 5.81
+		ADCFreqHz:             625e6,
+		DACPowerW:             6.15e-3, // 35.71 mW / 5.81
+		DACFreqHz:             10e9,
+		TechNode:              "7nm",
+		Chiplets:              1,
+		SRAMReadEnergyJPerBit: 0.095e-12, // PCACTI 7 nm FinFET, wide-bus penalty (Sec. VI-D)
+		InterconnectJPerBit:   0.02e-12,  // monolithic on-die wires
+		CMOSTileStaticW:       0.08,
+	}
+}
+
+// ADCPowerAt linearly rescales ADC power to another sampling rate — the
+// paper's assumption when temporal accumulation divides the ADC frequency
+// (Sec. V-C).
+func (d DeviceSet) ADCPowerAt(freqHz float64) float64 {
+	return d.ADCPowerW * freqHz / d.ADCFreqHz
+}
+
+// DACPowerAt linearly rescales DAC power to another update rate.
+func (d DeviceSet) DACPowerAt(freqHz float64) float64 {
+	return d.DACPowerW * freqHz / d.DACFreqHz
+}
+
+// Dimensions lists the optical component footprints of Table V, in
+// micrometers.
+type Dimensions struct {
+	MRRWidthUM, MRRHeightUM           float64 // 15 x 17
+	SplitterWidthUM, SplitterHeightUM float64 // 1.2 x 2.2
+	PDWidthUM, PDHeightUM             float64 // 16 x 120
+	WaveguidePitchUM                  float64 // 1.3
+	LaserWidthUM, LaserHeightUM       float64 // 400 x 300
+	LensWidthMM, LensHeightMM         float64 // 2 x 1 (256-waveguide lens)
+}
+
+// ComponentDims returns the Table V values, identical for CG and NG.
+func ComponentDims() Dimensions {
+	return Dimensions{
+		MRRWidthUM: 15, MRRHeightUM: 17,
+		SplitterWidthUM: 1.2, SplitterHeightUM: 2.2,
+		PDWidthUM: 16, PDHeightUM: 120,
+		WaveguidePitchUM: 1.3,
+		LaserWidthUM:     400, LaserHeightUM: 300,
+		LensWidthMM: 2, LensHeightMM: 1,
+	}
+}
+
+// AreaModel gives the area of one PFCU as a function of its input waveguide
+// count W: RoutingCoeff*W^2 + PerWaveguide*W + Fixed, in mm^2.
+//
+// The quadratic term captures waveguide routing (W waveguides whose length
+// also grows with the array span — the dominant cost in the folded CG
+// layout, Sec. V-A); the linear term captures per-waveguide components
+// (MRRs, photodetectors, DAC landing pads, splitters); Fixed captures
+// layout-independent overhead. Coefficients are calibrated so the
+// max-waveguide column of Table III is reproduced exactly for both
+// generations under the paper's 100 mm^2 budget.
+type AreaModel struct {
+	RoutingCoeff float64
+	PerWaveguide float64
+	Fixed        float64
+}
+
+// CGArea returns the PhotoFourier-CG area model (folded two-chiplet layout).
+func CGArea() AreaModel {
+	return AreaModel{RoutingCoeff: 1.005547e-4, PerWaveguide: 0.0190045, Fixed: 0}
+}
+
+// NGArea returns the PhotoFourier-NG area model (monolithic, unfolded —
+// note the ~3x smaller per-waveguide cost from relaxing the layout
+// constraints and dropping the Fourier-plane MRR/PD row).
+func NGArea() AreaModel {
+	return AreaModel{RoutingCoeff: 6.43341e-5, PerWaveguide: 0.0061924, Fixed: 0.008925}
+}
+
+// PFCUArea returns the area of one PFCU with w input waveguides, in mm^2.
+func (m AreaModel) PFCUArea(w int) float64 {
+	fw := float64(w)
+	return m.RoutingCoeff*fw*fw + m.PerWaveguide*fw + m.Fixed
+}
+
+// MaxWaveguides returns the largest per-PFCU input waveguide count such
+// that npfcu PFCUs fit within the budget (Table III's first column pairs).
+func (m AreaModel) MaxWaveguides(budgetMM2 float64, npfcu int) (int, error) {
+	if npfcu < 1 {
+		return 0, fmt.Errorf("photonics: npfcu %d must be positive", npfcu)
+	}
+	if budgetMM2 <= 0 {
+		return 0, fmt.Errorf("photonics: budget %g mm^2 must be positive", budgetMM2)
+	}
+	per := budgetMM2/float64(npfcu) - m.Fixed
+	if per <= 0 {
+		return 0, fmt.Errorf("photonics: budget %g mm^2 too small for %d PFCUs", budgetMM2, npfcu)
+	}
+	// Solve RoutingCoeff*w^2 + PerWaveguide*w = per for the positive root.
+	a, b := m.RoutingCoeff, m.PerWaveguide
+	var w float64
+	if a == 0 {
+		w = per / b
+	} else {
+		w = (-b + math.Sqrt(b*b+4*a*per)) / (2 * a)
+	}
+	n := int(w)
+	// Guard the floating-point boundary.
+	for n > 0 && m.PFCUArea(n)*float64(npfcu) > budgetMM2 {
+		n--
+	}
+	for m.PFCUArea(n+1)*float64(npfcu) <= budgetMM2 {
+		n++
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("photonics: budget %g mm^2 fits no waveguides at %d PFCUs", budgetMM2, npfcu)
+	}
+	return n, nil
+}
+
+// AreaBreakdown splits a PIC's total area into the Fig. 11 categories.
+// The per-component entries follow Table V footprints; waveguide routing
+// (including layout-constraint redundancy) absorbs the remainder, which for
+// the CG folded layout is nearly half the chip (Sec. VI-C).
+type AreaBreakdown struct {
+	LensMM2      float64
+	MRRPDMM2     float64
+	LaserMM2     float64
+	RoutingMM2   float64 // waveguides + redundant area from layout constraints
+	TotalPICMM2  float64
+	SRAMMM2      float64
+	CMOSTilesMM2 float64
+}
+
+// Total returns PIC + SRAM + CMOS area.
+func (a AreaBreakdown) Total() float64 { return a.TotalPICMM2 + a.SRAMMM2 + a.CMOSTilesMM2 }
+
+// Breakdown computes the Fig. 11 area decomposition for npfcu PFCUs of w
+// waveguides. fourierPlaneActive selects whether the Fourier-plane MRR+PD
+// row exists (true for CG, false for NG's passive nonlinear material).
+// sramMM2 and cmosMM2 come from the memory compiler results embedded in the
+// architecture configs.
+func Breakdown(model AreaModel, dims Dimensions, npfcu, w int, fourierPlaneActive bool, sramMM2, cmosMM2 float64) AreaBreakdown {
+	total := model.PFCUArea(w) * float64(npfcu)
+	// Two lenses per PFCU; lens width scales with the joint-plane span
+	// (2w waveguides at Table V pitch), height is the Table V focal depth.
+	span := 2 * float64(w) * dims.WaveguidePitchUM * 1e-3 // mm
+	lens := 2 * dims.LensWidthMM * span / (2 * 256 * dims.WaveguidePitchUM * 1e-3)
+	lensArea := float64(npfcu) * lens * dims.LensHeightMM
+	// Component census per PFCU (Sec. IV / Fig. 5c): w input modulator MRRs
+	// + w weight MRRs always; the Fourier-plane square function adds 2w
+	// MRRs and 2w PDs in the CG generation only; the output plane carries w
+	// photodetectors.
+	mrrArea := dims.MRRWidthUM * dims.MRRHeightUM * 1e-6 // mm^2
+	pdArea := dims.PDWidthUM * dims.PDHeightUM * 1e-6
+	mrrCount := 2 * w
+	pdCount := w
+	if fourierPlaneActive {
+		mrrCount += 2 * w
+		pdCount += 2 * w
+	}
+	mrrpd := float64(npfcu) * (float64(mrrCount)*mrrArea + float64(pdCount)*pdArea)
+	laser := float64(npfcu) * dims.LaserWidthUM * dims.LaserHeightUM * 1e-6
+	routing := total - lensArea - mrrpd - laser
+	if routing < 0 {
+		routing = 0
+	}
+	return AreaBreakdown{
+		LensMM2:      lensArea,
+		MRRPDMM2:     mrrpd,
+		LaserMM2:     laser,
+		RoutingMM2:   routing,
+		TotalPICMM2:  total,
+		SRAMMM2:      sramMM2,
+		CMOSTilesMM2: cmosMM2,
+	}
+}

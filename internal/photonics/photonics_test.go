@@ -1,0 +1,195 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIVValues(t *testing.T) {
+	cg, ng := CG(), NG()
+	// Table IV, exact paper values.
+	if cg.MRRPowerW != 3.1e-3 {
+		t.Errorf("CG MRR = %g", cg.MRRPowerW)
+	}
+	if ng.MRRPowerW != 0.42e-3 {
+		t.Errorf("NG MRR = %g", ng.MRRPowerW)
+	}
+	if cg.LaserPowerPerWGW != 0.5e-3 || ng.LaserPowerPerWGW != 0.5e-3 {
+		t.Error("laser power per waveguide should be 0.5 mW in both")
+	}
+	if cg.ADCPowerW != 0.93e-3 || cg.ADCFreqHz != 625e6 {
+		t.Error("CG ADC operating point")
+	}
+	if cg.DACPowerW != 35.71e-3 || cg.DACFreqHz != 10e9 {
+		t.Error("CG DAC operating point")
+	}
+	if cg.Chiplets != 2 || ng.Chiplets != 1 {
+		t.Error("chiplet counts")
+	}
+	if cg.TechNode != "14nm" || ng.TechNode != "7nm" {
+		t.Error("technology nodes")
+	}
+}
+
+func TestWaldenScalingConsistency(t *testing.T) {
+	// NG ADC/DAC powers are the CG values divided by the Walden factor.
+	cg, ng := CG(), NG()
+	if math.Abs(ng.ADCPowerW-cg.ADCPowerW/WaldenNGScale) > 0.01e-3 {
+		t.Errorf("NG ADC %g vs CG/5.81 = %g", ng.ADCPowerW, cg.ADCPowerW/WaldenNGScale)
+	}
+	if math.Abs(ng.DACPowerW-cg.DACPowerW/WaldenNGScale) > 0.05e-3 {
+		t.Errorf("NG DAC %g vs CG/5.81 = %g", ng.DACPowerW, cg.DACPowerW/WaldenNGScale)
+	}
+}
+
+func TestADCLinearFrequencyScaling(t *testing.T) {
+	cg := CG()
+	// 10 GHz ADC = 16x the 625 MHz power (the temporal-accumulation saving).
+	p10 := cg.ADCPowerAt(10e9)
+	if math.Abs(p10-16*cg.ADCPowerW) > 1e-9 {
+		t.Errorf("ADC at 10 GHz = %g, want 16x", p10)
+	}
+	if math.Abs(cg.ADCPowerAt(cg.ADCFreqHz)-cg.ADCPowerW) > 1e-12 {
+		t.Error("identity scaling")
+	}
+	if math.Abs(cg.DACPowerAt(5e9)-cg.DACPowerW/2) > 1e-9 {
+		t.Error("DAC scaling at half rate")
+	}
+}
+
+func TestTableVDimensions(t *testing.T) {
+	d := ComponentDims()
+	if d.MRRWidthUM != 15 || d.MRRHeightUM != 17 {
+		t.Error("MRR dims")
+	}
+	if d.SplitterWidthUM != 1.2 || d.SplitterHeightUM != 2.2 {
+		t.Error("splitter dims")
+	}
+	if d.PDWidthUM != 16 || d.PDHeightUM != 120 {
+		t.Error("PD dims")
+	}
+	if d.WaveguidePitchUM != 1.3 {
+		t.Error("waveguide pitch")
+	}
+	if d.LaserWidthUM != 400 || d.LaserHeightUM != 300 {
+		t.Error("laser dims")
+	}
+	if d.LensWidthMM != 2 || d.LensHeightMM != 1 {
+		t.Error("lens dims")
+	}
+}
+
+func TestTableIIIMaxWaveguidesExact(t *testing.T) {
+	// The calibrated area model must reproduce the paper's max-waveguide
+	// column of Table III exactly, for both generations.
+	cgWant := map[int]int{4: 412, 8: 270, 16: 172, 32: 105, 64: 61}
+	ngWant := map[int]int{4: 576, 8: 395, 16: 267, 32: 177, 64: 114}
+	for n, want := range cgWant {
+		got, err := CGArea().MaxWaveguides(100, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("CG N=%d: MaxWaveguides = %d, want %d", n, got, want)
+		}
+	}
+	for n, want := range ngWant {
+		got, err := NGArea().MaxWaveguides(100, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("NG N=%d: MaxWaveguides = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMaxWaveguidesErrors(t *testing.T) {
+	m := CGArea()
+	if _, err := m.MaxWaveguides(100, 0); err == nil {
+		t.Error("npfcu 0 should fail")
+	}
+	if _, err := m.MaxWaveguides(-5, 8); err == nil {
+		t.Error("negative budget should fail")
+	}
+	if _, err := m.MaxWaveguides(0.001, 64); err == nil {
+		t.Error("tiny budget should fail")
+	}
+}
+
+func TestPFCUAreaMonotone(t *testing.T) {
+	for _, m := range []AreaModel{CGArea(), NGArea()} {
+		prev := 0.0
+		for w := 16; w <= 1024; w *= 2 {
+			a := m.PFCUArea(w)
+			if a <= prev {
+				t.Fatalf("area not increasing at w=%d", w)
+			}
+			prev = a
+		}
+	}
+}
+
+func TestChipAreasMatchFig11(t *testing.T) {
+	// CG: 8 PFCUs x 256 waveguides -> PIC chiplet 92.2 mm^2 (within 2%).
+	cgPIC := CGArea().PFCUArea(256) * 8
+	if math.Abs(cgPIC-92.2)/92.2 > 0.02 {
+		t.Errorf("CG PIC area %g mm^2, paper 92.2", cgPIC)
+	}
+	// NG: 16 PFCUs x 256 -> 93.5 mm^2 (within 2%).
+	ngPIC := NGArea().PFCUArea(256) * 16
+	if math.Abs(ngPIC-93.5)/93.5 > 0.02 {
+		t.Errorf("NG PIC area %g mm^2, paper 93.5", ngPIC)
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	d := ComponentDims()
+	b := Breakdown(CGArea(), d, 8, 256, true, 5.85, 10.15)
+	sum := b.LensMM2 + b.MRRPDMM2 + b.LaserMM2 + b.RoutingMM2
+	if math.Abs(sum-b.TotalPICMM2) > 1e-9 {
+		t.Errorf("breakdown sums to %g, total %g", sum, b.TotalPICMM2)
+	}
+	if b.Total() != b.TotalPICMM2+5.85+10.15 {
+		t.Error("Total should include SRAM and CMOS")
+	}
+}
+
+func TestBreakdownRoutingDominatesCG(t *testing.T) {
+	// Paper Sec. VI-C: "waveguide routing (including redundant space) uses
+	// nearly half of the chip area" in CG.
+	d := ComponentDims()
+	b := Breakdown(CGArea(), d, 8, 256, true, 5.85, 10.15)
+	frac := b.RoutingMM2 / b.TotalPICMM2
+	if frac < 0.40 || frac > 0.75 {
+		t.Errorf("CG routing fraction %g, want ~half", frac)
+	}
+	// MRR+PD consume a small portion (paper: shrinking them barely
+	// improves area).
+	if b.MRRPDMM2/b.TotalPICMM2 > 0.20 {
+		t.Errorf("MRR+PD fraction %g should be small", b.MRRPDMM2/b.TotalPICMM2)
+	}
+}
+
+func TestBreakdownNGMoreCompact(t *testing.T) {
+	// NG drops the Fourier-plane MRR/PD row and relaxes layout: with 2x the
+	// PFCUs its PIC stays roughly the same size as CG's.
+	d := ComponentDims()
+	cg := Breakdown(CGArea(), d, 8, 256, true, 5.85, 10.15)
+	ng := Breakdown(NGArea(), d, 16, 256, false, 5.3, 16.5)
+	if ng.TotalPICMM2 > cg.TotalPICMM2*1.10 {
+		t.Errorf("NG PIC %g should be comparable to CG %g despite 2x PFCUs", ng.TotalPICMM2, cg.TotalPICMM2)
+	}
+	if ng.MRRPDMM2 >= cg.MRRPDMM2 {
+		t.Errorf("NG MRR+PD %g should shrink vs CG %g (passive nonlinearity)", ng.MRRPDMM2, cg.MRRPDMM2)
+	}
+}
+
+func TestNGPerWaveguideCheaper(t *testing.T) {
+	if NGArea().PerWaveguide >= CGArea().PerWaveguide {
+		t.Error("NG per-waveguide area should be cheaper (monolithic, no Fourier-plane row)")
+	}
+	if NGArea().RoutingCoeff >= CGArea().RoutingCoeff {
+		t.Error("NG routing should be cheaper (unfolded layout)")
+	}
+}

@@ -1,0 +1,285 @@
+package tensor
+
+import "fmt"
+
+// PadMode selects how 2D convolution treats the input borders.
+type PadMode int
+
+const (
+	// Valid computes outputs only where the kernel fits entirely inside
+	// the input (output is smaller than the input).
+	Valid PadMode = iota
+	// Same zero-pads the input so the unit-stride output matches the
+	// input's spatial size (the common CNN convention).
+	Same
+)
+
+func (m PadMode) String() string {
+	switch m {
+	case Valid:
+		return "valid"
+	case Same:
+		return "same"
+	default:
+		return fmt.Sprintf("PadMode(%d)", int(m))
+	}
+}
+
+// ConvOut returns the output spatial size of a convolution over an input of
+// size in with kernel k, stride s, and total padding pad (both sides summed).
+func ConvOut(in, k, s, pad int) int {
+	return (in+pad-k)/s + 1
+}
+
+// SamePad returns the top/left padding used by Same mode for kernel size k:
+// (k-1)/2, matching the PyTorch convention for odd kernels.
+func SamePad(k int) int { return (k - 1) / 2 }
+
+// Conv2D computes a batched 2D cross-correlation (the deep-learning
+// "convolution"): input is NCHW, weight is [Cout][Cin][Kh][Kw], bias has
+// length Cout (nil means zero bias). Stride applies to both dimensions.
+//
+// In Same mode the input is zero-padded by (K-1)/2 on top/left and K/2 on
+// bottom/right so that a unit-stride output has the input's spatial size.
+func Conv2D(input, weight *Tensor, bias []float64, stride int, mode PadMode) (*Tensor, error) {
+	if input.Rank() != 4 || weight.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: Conv2D wants rank-4 input and weight, got %v and %v", input.Shape, weight.Shape)
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("tensor: Conv2D stride %d < 1", stride)
+	}
+	n, cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
+	cout, cinW, kh, kw := weight.Shape[0], weight.Shape[1], weight.Shape[2], weight.Shape[3]
+	if cin != cinW {
+		return nil, fmt.Errorf("tensor: Conv2D channel mismatch: input %d, weight %d", cin, cinW)
+	}
+	if bias != nil && len(bias) != cout {
+		return nil, fmt.Errorf("tensor: Conv2D bias length %d != Cout %d", len(bias), cout)
+	}
+	padT, padL := 0, 0
+	padB, padR := 0, 0
+	if mode == Same {
+		padT, padL = SamePad(kh), SamePad(kw)
+		padB, padR = kh-1-padT, kw-1-padL
+	}
+	oh := ConvOut(h, kh, stride, padT+padB)
+	ow := ConvOut(w, kw, stride, padL+padR)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: Conv2D output would be empty (%dx%d)", oh, ow)
+	}
+	out := New(n, cout, oh, ow)
+	inStrideC := h * w
+	inStrideN := cin * inStrideC
+	wStrideC := kh * kw
+	wStrideO := cinW * wStrideC
+	outStrideC := oh * ow
+	outStrideN := cout * outStrideC
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < cout; oc++ {
+			base := bias0(bias, oc)
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*stride - padT
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*stride - padL
+					sum := base
+					for ic := 0; ic < cin; ic++ {
+						inBase := b*inStrideN + ic*inStrideC
+						wBase := oc*wStrideO + ic*wStrideC
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							rowBase := inBase + iy*w
+							wRow := wBase + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += input.Data[rowBase+ix] * weight.Data[wRow+kx]
+							}
+						}
+					}
+					out.Data[b*outStrideN+oc*outStrideC+oy*ow+ox] = sum
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func bias0(bias []float64, i int) float64 {
+	if bias == nil {
+		return 0
+	}
+	return bias[i]
+}
+
+// Conv2DSingle convolves one 2D plane with one 2D kernel (no channels, no
+// batch) — the primitive the row-tiling equivalence proofs are written
+// against. Unit stride.
+func Conv2DSingle(input, kernel [][]float64, mode PadMode) [][]float64 {
+	h := len(input)
+	if h == 0 {
+		return nil
+	}
+	w := len(input[0])
+	kh := len(kernel)
+	kw := len(kernel[0])
+	padT, padL := 0, 0
+	oh, ow := h-kh+1, w-kw+1
+	if mode == Same {
+		padT, padL = SamePad(kh), SamePad(kw)
+		oh, ow = h, w
+	}
+	if oh <= 0 || ow <= 0 {
+		return nil
+	}
+	out := make([][]float64, oh)
+	for oy := range out {
+		out[oy] = make([]float64, ow)
+		for ox := range out[oy] {
+			var sum float64
+			for ky := 0; ky < kh; ky++ {
+				iy := oy - padT + ky
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < kw; kx++ {
+					ix := ox - padL + kx
+					if ix < 0 || ix >= w {
+						continue
+					}
+					sum += input[iy][ix] * kernel[ky][kx]
+				}
+			}
+			out[oy][ox] = sum
+		}
+	}
+	return out
+}
+
+// Im2Col unrolls convolution windows into a matrix of shape
+// [Cin*Kh*Kw][OH*OW] for one image (CHW input), enabling convolution as a
+// matrix multiply. Used by the trainable NN package for speed.
+func Im2Col(input *Tensor, kh, kw, stride int, mode PadMode) (*Tensor, int, int, error) {
+	if input.Rank() != 3 {
+		return nil, 0, 0, fmt.Errorf("tensor: Im2Col wants CHW input, got %v", input.Shape)
+	}
+	c, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	padT, padL := 0, 0
+	padB, padR := 0, 0
+	if mode == Same {
+		padT, padL = SamePad(kh), SamePad(kw)
+		padB, padR = kh-1-padT, kw-1-padL
+	}
+	oh := ConvOut(h, kh, stride, padT+padB)
+	ow := ConvOut(w, kw, stride, padL+padR)
+	if oh <= 0 || ow <= 0 {
+		return nil, 0, 0, fmt.Errorf("tensor: Im2Col empty output")
+	}
+	out := New(c*kh*kw, oh*ow)
+	row := 0
+	for ic := 0; ic < c; ic++ {
+		chBase := ic * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				dst := out.Data[row*oh*ow : (row+1)*oh*ow]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - padT + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - padL + kx
+						if ix < 0 || ix >= w {
+							dst[i] = 0
+						} else {
+							dst[i] = input.Data[rowBase+ix]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out, oh, ow, nil
+}
+
+// Col2Im scatters a column matrix (as produced by Im2Col) back into a CHW
+// image, summing overlapping contributions — the adjoint of Im2Col, used by
+// convolution backpropagation.
+func Col2Im(col *Tensor, c, h, w, kh, kw, stride int, mode PadMode) (*Tensor, error) {
+	if col.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: Col2Im wants rank-2 input, got %v", col.Shape)
+	}
+	padT, padL := 0, 0
+	padB, padR := 0, 0
+	if mode == Same {
+		padT, padL = SamePad(kh), SamePad(kw)
+		padB, padR = kh-1-padT, kw-1-padL
+	}
+	oh := ConvOut(h, kh, stride, padT+padB)
+	ow := ConvOut(w, kw, stride, padL+padR)
+	if col.Shape[0] != c*kh*kw || col.Shape[1] != oh*ow {
+		return nil, fmt.Errorf("tensor: Col2Im shape %v does not match geometry [%d][%d]", col.Shape, c*kh*kw, oh*ow)
+	}
+	img := New(c, h, w)
+	row := 0
+	for ic := 0; ic < c; ic++ {
+		chBase := ic * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				src := col.Data[row*oh*ow : (row+1)*oh*ow]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - padT + ky
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - padL + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							img.Data[chBase+iy*w+ix] += src[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return img, nil
+}
+
+// MatMul computes C = A x B for rank-2 tensors.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul wants rank-2 operands, got %v and %v", a.Shape, b.Shape)
+	}
+	m, ka := a.Shape[0], a.Shape[1]
+	kb, n := b.Shape[0], b.Shape[1]
+	if ka != kb {
+		return nil, fmt.Errorf("tensor: MatMul inner dims %d and %d differ", ka, kb)
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*ka : (i+1)*ka]
+		orow := out.Data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReLU applies max(0, x) element-wise, returning a new tensor.
+func ReLU(t *Tensor) *Tensor {
+	out := t.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies kxk max pooling with the given stride to an NCHW tensor.
+// Windows that would extend past the input are dropped (floor semantics).
+func MaxPool2D(t *Tensor, k, stride int) (*Tensor, error) {
+	if t.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: MaxPool2D wants NCHW, got %v", t.Shape)
+	}
+	if k < 1 || stride < 1 {
+		return nil, fmt.Errorf("tensor: MaxPool2D invalid k=%d stride=%d", k, stride)
+	}
+	n, c, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: MaxPool2D empty output for %v k=%d s=%d", t.Shape, k, stride)
+	}
+	out := New(n, c, oh, ow)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (b*c + ch) * h * w
+			outBase := (b*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					for ky := 0; ky < k; ky++ {
+						row := inBase + (oy*stride+ky)*w + ox*stride
+						for kx := 0; kx < k; kx++ {
+							if v := t.Data[row+kx]; v > best {
+								best = v
+							}
+						}
+					}
+					out.Data[outBase+oy*ow+ox] = best
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPool2D reduces each NCHW channel plane to its mean, returning an
+// [N][C] tensor.
+func GlobalAvgPool2D(t *Tensor) (*Tensor, error) {
+	if t.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: GlobalAvgPool2D wants NCHW, got %v", t.Shape)
+	}
+	n, c, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	out := New(n, c)
+	area := float64(h * w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			var sum float64
+			for i := 0; i < h*w; i++ {
+				sum += t.Data[base+i]
+			}
+			out.Data[b*c+ch] = sum / area
+		}
+	}
+	return out, nil
+}
+
+// Dense computes out = x*W^T + b for x of shape [N][In], weight [Out][In].
+func Dense(x, weight *Tensor, bias []float64) (*Tensor, error) {
+	if x.Rank() != 2 || weight.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: Dense wants rank-2 operands, got %v and %v", x.Shape, weight.Shape)
+	}
+	n, in := x.Shape[0], x.Shape[1]
+	outDim, inW := weight.Shape[0], weight.Shape[1]
+	if in != inW {
+		return nil, fmt.Errorf("tensor: Dense input dim %d != weight dim %d", in, inW)
+	}
+	if bias != nil && len(bias) != outDim {
+		return nil, fmt.Errorf("tensor: Dense bias length %d != out dim %d", len(bias), outDim)
+	}
+	out := New(n, outDim)
+	for b := 0; b < n; b++ {
+		xrow := x.Data[b*in : (b+1)*in]
+		for o := 0; o < outDim; o++ {
+			wrow := weight.Data[o*in : (o+1)*in]
+			sum := bias0(bias, o)
+			for i, v := range xrow {
+				sum += v * wrow[i]
+			}
+			out.Data[b*outDim+o] = sum
+		}
+	}
+	return out, nil
+}
+
+// Softmax applies a numerically-stable softmax along the last axis of a
+// rank-2 tensor.
+func Softmax(t *Tensor) (*Tensor, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: Softmax wants rank-2 input, got %v", t.Shape)
+	}
+	n, c := t.Shape[0], t.Shape[1]
+	out := New(n, c)
+	for b := 0; b < n; b++ {
+		row := t.Data[b*c : (b+1)*c]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		orow := out.Data[b*c : (b+1)*c]
+		for i, v := range row {
+			e := math.Exp(v - m)
+			orow[i] = e
+			sum += e
+		}
+		for i := range orow {
+			orow[i] /= sum
+		}
+	}
+	return out, nil
+}
+
+// Decimate2D subsamples an NCHW tensor spatially by the given stride,
+// keeping elements at positions (0, s, 2s, ...). PhotoFourier uses this to
+// realize strided convolutions: the JTC computes at unit stride and the
+// unnecessary outputs are discarded (paper Sec. VI-E).
+func Decimate2D(t *Tensor, stride int) (*Tensor, error) {
+	if t.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: Decimate2D wants NCHW, got %v", t.Shape)
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("tensor: Decimate2D stride %d < 1", stride)
+	}
+	if stride == 1 {
+		return t.Clone(), nil
+	}
+	n, c, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	oh := (h + stride - 1) / stride
+	ow := (w + stride - 1) / stride
+	out := New(n, c, oh, ow)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (b*c + ch) * h * w
+			outBase := (b*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					out.Data[outBase+oy*ow+ox] = t.Data[inBase+oy*stride*w+ox*stride]
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+// Package tensor provides a small dense tensor library with the reference
+// CNN operations (2D convolution, pooling, dense layers, activations) that
+// the rest of the repository treats as ground truth. Tensors are row-major
+// float64 with arbitrary rank; CNN operators use NCHW layout.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zero tensor with the given shape. Panics if any dimension
+// is negative; a zero-dimensional tensor holds a single scalar.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: make([]float64, n)}
+}
+
+// FromSlice wraps data with the given shape. The data is used directly, not
+// copied. Returns an error if the element count does not match.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("tensor: shape %v needs %d elements, got %d", shape, n, len(data))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: data}, nil
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reshape returns a view with a new shape sharing the same backing data.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != t.Size() {
+		return nil, fmt.Errorf("tensor: cannot reshape %v (size %d) to %v", t.Shape, t.Size(), shape)
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: t.Data}, nil
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// RandN fills the tensor with N(0, std) samples from rng.
+func (t *Tensor) RandN(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// Scale multiplies every element by v in place and returns t.
+func (t *Tensor) Scale(v float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= v
+	}
+	return t
+}
+
+// AddInPlace adds o element-wise into t. Shapes must match exactly.
+func (t *Tensor) AddInPlace(o *Tensor) error {
+	if !sameShape(t.Shape, o.Shape) {
+		return fmt.Errorf("tensor: add shape mismatch %v vs %v", t.Shape, o.Shape)
+	}
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+	return nil
+}
+
+// MaxAbs returns the maximum absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Argmax returns the index of the largest element.
+func (t *Tensor) Argmax() int {
+	best, bestIdx := math.Inf(-1), -1
+	for i, v := range t.Data {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return bestIdx
+}
+
+// RelativeError returns ||a-b||_2 / ||b||_2, a scale-free fidelity metric.
+// Returns 0 when both tensors are zero and +Inf when only b is zero.
+func RelativeError(a, b *Tensor) float64 {
+	if !sameShape(a.Shape, b.Shape) {
+		return math.Inf(1)
+	}
+	var num, den float64
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		num += d * d
+		den += b.Data[i] * b.Data[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}

@@ -1,0 +1,669 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndSize(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", a.Size())
+	}
+	if a.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", a.Rank())
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("New tensor should be zero")
+		}
+	}
+}
+
+func TestNewScalar(t *testing.T) {
+	s := New()
+	if s.Size() != 1 || s.Rank() != 0 {
+		t.Fatalf("scalar: size=%d rank=%d", s.Size(), s.Rank())
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	a, err := FromSlice(data, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %g, want 6", a.At(1, 2))
+	}
+	if _, err := FromSlice(data, 2, 2); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := New(3, 4, 5)
+	a.Set(7.5, 2, 1, 3)
+	if got := a.At(2, 1, 3); got != 7.5 {
+		t.Fatalf("At = %g, want 7.5", got)
+	}
+	// Row-major layout: offset = (2*4+1)*5 + 3 = 48.
+	if a.Data[48] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.At(2, 0)
+}
+
+func TestAtPanicsWrongRank(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.At(1)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(1)
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := New(2, 6)
+	b, err := a.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Data[0] = 5
+	if a.Data[0] != 5 {
+		t.Fatal("Reshape should share data")
+	}
+	if _, err := a.Reshape(5, 5); err == nil {
+		t.Fatal("expected reshape size error")
+	}
+}
+
+func TestScaleSumMaxAbs(t *testing.T) {
+	a, _ := FromSlice([]float64{1, -2, 3}, 3)
+	a.Scale(2)
+	if a.Sum() != 4 {
+		t.Fatalf("Sum = %g, want 4", a.Sum())
+	}
+	if a.MaxAbs() != 6 {
+		t.Fatalf("MaxAbs = %g, want 6", a.MaxAbs())
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2}, 2)
+	b, _ := FromSlice([]float64{10, 20}, 2)
+	if err := a.AddInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[0] != 11 || a.Data[1] != 22 {
+		t.Fatalf("AddInPlace result %v", a.Data)
+	}
+	c := New(3)
+	if err := a.AddInPlace(c); err == nil {
+		t.Fatal("expected shape mismatch")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	a, _ := FromSlice([]float64{0.1, 3, -5, 2}, 4)
+	if got := a.Argmax(); got != 1 {
+		t.Fatalf("Argmax = %d, want 1", got)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3}, 3)
+	b, _ := FromSlice([]float64{1, 2, 3}, 3)
+	if RelativeError(a, b) != 0 {
+		t.Fatal("identical tensors should have zero error")
+	}
+	c, _ := FromSlice([]float64{2, 4, 6}, 3)
+	if got := RelativeError(c, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("RelativeError = %g, want 1", got)
+	}
+	z := New(3)
+	if RelativeError(z, z) != 0 {
+		t.Fatal("zero vs zero should be 0")
+	}
+	if !math.IsInf(RelativeError(a, z), 1) {
+		t.Fatal("nonzero vs zero should be +Inf")
+	}
+	d := New(4)
+	if !math.IsInf(RelativeError(a, d), 1) {
+		t.Fatal("shape mismatch should be +Inf")
+	}
+}
+
+func TestRandNDeterministic(t *testing.T) {
+	a := New(10)
+	b := New(10)
+	a.RandN(rand.New(rand.NewSource(42)), 1)
+	b.RandN(rand.New(rand.NewSource(42)), 1)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("RandN with same seed should be identical")
+		}
+	}
+}
+
+// --- Conv2D ---
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := New(1, 1, 5, 5)
+	in.RandN(rng, 1)
+	w := New(1, 1, 3, 3)
+	w.Set(1, 0, 0, 1, 1) // centered delta
+	out, err := Conv2D(in, w, nil, 1, Same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data {
+		if math.Abs(out.Data[i]-in.Data[i]) > 1e-12 {
+			t.Fatalf("identity conv mismatch at %d", i)
+		}
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 3x3 input, 2x2 kernel, valid mode: hand-computed.
+	in, _ := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	w, _ := FromSlice([]float64{
+		1, 0,
+		0, 1,
+	}, 1, 1, 2, 2)
+	out, err := Conv2D(in, w, nil, 1, Valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1 + 5, 2 + 6, 4 + 8, 5 + 9}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("elem %d: got %g want %g", i, out.Data[i], v)
+		}
+	}
+	if out.Shape[2] != 2 || out.Shape[3] != 2 {
+		t.Fatalf("valid output shape %v", out.Shape)
+	}
+}
+
+func TestConv2DSameShape(t *testing.T) {
+	in := New(2, 3, 7, 9)
+	w := New(4, 3, 3, 3)
+	out, err := Conv2D(in, w, nil, 1, Same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 7, 9}
+	for i := range want {
+		if out.Shape[i] != want[i] {
+			t.Fatalf("shape %v, want %v", out.Shape, want)
+		}
+	}
+}
+
+func TestConv2DBias(t *testing.T) {
+	in := New(1, 1, 3, 3)
+	w := New(2, 1, 1, 1)
+	out, err := Conv2D(in, w, []float64{1.5, -2}, 1, Same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 1, 1) != 1.5 || out.At(0, 1, 1, 1) != -2 {
+		t.Fatal("bias not applied per channel")
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	in := New(1, 1, 8, 8)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	w := New(1, 1, 1, 1)
+	w.Data[0] = 1
+	out, err := Conv2D(in, w, nil, 2, Valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape[2] != 4 || out.Shape[3] != 4 {
+		t.Fatalf("strided shape %v", out.Shape)
+	}
+	if out.At(0, 0, 1, 1) != in.At(0, 0, 2, 2) {
+		t.Fatal("stride sampling wrong")
+	}
+}
+
+func TestConv2DStrideSameMatchesDecimation(t *testing.T) {
+	// Strided Same conv == unit-stride Same conv + decimation, the identity
+	// PhotoFourier exploits for strided layers.
+	rng := rand.New(rand.NewSource(2))
+	in := New(1, 2, 9, 9)
+	in.RandN(rng, 1)
+	w := New(3, 2, 3, 3)
+	w.RandN(rng, 1)
+	strided, err := Conv2D(in, w, nil, 2, Same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := Conv2D(in, w, nil, 1, Same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decimate2D(unit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strided.Data) != len(dec.Data) {
+		t.Fatalf("size mismatch %v vs %v", strided.Shape, dec.Shape)
+	}
+	for i := range strided.Data {
+		if math.Abs(strided.Data[i]-dec.Data[i]) > 1e-12 {
+			t.Fatalf("mismatch at %d: %g vs %g", i, strided.Data[i], dec.Data[i])
+		}
+	}
+}
+
+func TestConv2DErrors(t *testing.T) {
+	in := New(1, 2, 5, 5)
+	w := New(1, 3, 3, 3) // channel mismatch
+	if _, err := Conv2D(in, w, nil, 1, Same); err == nil {
+		t.Error("expected channel mismatch error")
+	}
+	w2 := New(1, 2, 3, 3)
+	if _, err := Conv2D(in, w2, []float64{1, 2}, 1, Same); err == nil {
+		t.Error("expected bias length error")
+	}
+	if _, err := Conv2D(in, w2, nil, 0, Same); err == nil {
+		t.Error("expected stride error")
+	}
+	bad := New(5, 5)
+	if _, err := Conv2D(bad, w2, nil, 1, Same); err == nil {
+		t.Error("expected rank error")
+	}
+	big := New(1, 2, 9, 9)
+	if _, err := Conv2D(in, big, nil, 1, Valid); err == nil {
+		t.Error("expected empty-output error")
+	}
+}
+
+func TestConv2DLinearityProperty(t *testing.T) {
+	// conv(a+b, w) == conv(a, w) + conv(b, w)
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := New(1, 2, 6, 6)
+		b := New(1, 2, 6, 6)
+		w := New(3, 2, 3, 3)
+		a.RandN(r, 1)
+		b.RandN(r, 1)
+		w.RandN(r, 1)
+		sum := a.Clone()
+		_ = sum.AddInPlace(b)
+		ca, _ := Conv2D(a, w, nil, 1, Same)
+		cb, _ := Conv2D(b, w, nil, 1, Same)
+		csum, _ := Conv2D(sum, w, nil, 1, Same)
+		_ = ca.AddInPlace(cb)
+		return RelativeError(csum, ca) < 1e-10
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConv2DSingleMatchesConv2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, mode := range []PadMode{Valid, Same} {
+		h, w, k := 8, 10, 3
+		plane := make([][]float64, h)
+		inT := New(1, 1, h, w)
+		for y := range plane {
+			plane[y] = make([]float64, w)
+			for x := range plane[y] {
+				v := rng.NormFloat64()
+				plane[y][x] = v
+				inT.Set(v, 0, 0, y, x)
+			}
+		}
+		kern := make([][]float64, k)
+		kT := New(1, 1, k, k)
+		for y := range kern {
+			kern[y] = make([]float64, k)
+			for x := range kern[y] {
+				v := rng.NormFloat64()
+				kern[y][x] = v
+				kT.Set(v, 0, 0, y, x)
+			}
+		}
+		got := Conv2DSingle(plane, kern, mode)
+		want, err := Conv2D(inT, kT, nil, 1, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := range got {
+			for x := range got[y] {
+				if math.Abs(got[y][x]-want.At(0, 0, y, x)) > 1e-10 {
+					t.Fatalf("mode=%v (%d,%d): %g vs %g", mode, y, x, got[y][x], want.At(0, 0, y, x))
+				}
+			}
+		}
+	}
+}
+
+// --- Im2Col / MatMul ---
+
+func TestIm2ColConvEquivalence(t *testing.T) {
+	// weight-as-matrix x im2col == Conv2D, for both modes and strides.
+	rng := rand.New(rand.NewSource(5))
+	for _, mode := range []PadMode{Valid, Same} {
+		for _, stride := range []int{1, 2} {
+			cin, h, w := 3, 7, 8
+			cout, k := 4, 3
+			img := New(cin, h, w)
+			img.RandN(rng, 1)
+			weight := New(cout, cin, k, k)
+			weight.RandN(rng, 1)
+
+			col, oh, ow, err := Im2Col(img, k, k, stride, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wmat, _ := weight.Reshape(cout, cin*k*k)
+			prod, err := MatMul(wmat, col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in4, _ := img.Reshape(1, cin, h, w)
+			want, err := Conv2D(in4, weight, nil, stride, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prod.Shape[1] != oh*ow {
+				t.Fatalf("col output %d, want %d", prod.Shape[1], oh*ow)
+			}
+			for i := range prod.Data {
+				if math.Abs(prod.Data[i]-want.Data[i]) > 1e-10 {
+					t.Fatalf("mode=%v s=%d elem %d: %g vs %g", mode, stride, i, prod.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCol2ImIsIm2ColAdjoint(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> — the defining adjoint property the
+	// convolution backward pass depends on.
+	rng := rand.New(rand.NewSource(6))
+	for _, mode := range []PadMode{Valid, Same} {
+		for _, stride := range []int{1, 2} {
+			c, h, w, k := 2, 6, 7, 3
+			x := New(c, h, w)
+			x.RandN(rng, 1)
+			col, oh, ow, err := Im2Col(x, k, k, stride, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			y := New(c*k*k, oh*ow)
+			y.RandN(rng, 1)
+			back, err := Col2Im(y, c, h, w, k, k, stride, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lhs, rhs float64
+			for i := range col.Data {
+				lhs += col.Data[i] * y.Data[i]
+			}
+			for i := range x.Data {
+				rhs += x.Data[i] * back.Data[i]
+			}
+			if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+				t.Fatalf("mode=%v stride=%d: adjoint violated: %g vs %g", mode, stride, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestCol2ImErrors(t *testing.T) {
+	if _, err := Col2Im(New(4), 1, 4, 4, 2, 2, 1, Valid); err == nil {
+		t.Error("rank-1 input should fail")
+	}
+	if _, err := Col2Im(New(3, 9), 1, 4, 4, 2, 2, 1, Valid); err == nil {
+		t.Error("geometry mismatch should fail")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b, _ := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("elem %d: got %g want %g", i, c.Data[i], want[i])
+		}
+	}
+}
+
+func TestMatMulErrors(t *testing.T) {
+	a := New(2, 3)
+	b := New(4, 2)
+	if _, err := MatMul(a, b); err == nil {
+		t.Error("expected inner-dim error")
+	}
+	c := New(3)
+	if _, err := MatMul(a, c); err == nil {
+		t.Error("expected rank error")
+	}
+}
+
+// --- Pooling and activations ---
+
+func TestReLU(t *testing.T) {
+	a, _ := FromSlice([]float64{-1, 0, 2}, 3)
+	out := ReLU(a)
+	want := []float64{0, 0, 2}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("ReLU[%d] = %g", i, out.Data[i])
+		}
+	}
+	if a.Data[0] != -1 {
+		t.Fatal("ReLU should not mutate input")
+	}
+}
+
+func TestMaxPool2DKnown(t *testing.T) {
+	in, _ := FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out, err := MaxPool2D(in, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{6, 8, 14, 16}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("pool[%d] = %g want %g", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestMaxPool2DErrors(t *testing.T) {
+	if _, err := MaxPool2D(New(2, 2), 2, 2); err == nil {
+		t.Error("expected rank error")
+	}
+	if _, err := MaxPool2D(New(1, 1, 4, 4), 0, 2); err == nil {
+		t.Error("expected k error")
+	}
+	if _, err := MaxPool2D(New(1, 1, 2, 2), 3, 1); err == nil {
+		t.Error("expected empty output error")
+	}
+}
+
+func TestGlobalAvgPool2D(t *testing.T) {
+	in, _ := FromSlice([]float64{1, 2, 3, 4, 10, 20, 30, 40}, 1, 2, 2, 2)
+	out, err := GlobalAvgPool2D(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 2.5 || out.At(0, 1) != 25 {
+		t.Fatalf("gap = %v", out.Data)
+	}
+	if _, err := GlobalAvgPool2D(New(2, 2)); err == nil {
+		t.Error("expected rank error")
+	}
+}
+
+func TestDenseKnown(t *testing.T) {
+	x, _ := FromSlice([]float64{1, 2}, 1, 2)
+	w, _ := FromSlice([]float64{3, 4, 5, 6}, 2, 2)
+	out, err := Dense(x, w, []float64{0.5, -0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 11.5 || out.At(0, 1) != 16.5 {
+		t.Fatalf("dense = %v", out.Data)
+	}
+}
+
+func TestDenseErrors(t *testing.T) {
+	x := New(1, 3)
+	w := New(2, 4)
+	if _, err := Dense(x, w, nil); err == nil {
+		t.Error("expected dim error")
+	}
+	w2 := New(2, 3)
+	if _, err := Dense(x, w2, []float64{1}); err == nil {
+		t.Error("expected bias error")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	x, _ := FromSlice([]float64{1, 2, 3, 1000, 1001, 1002}, 2, 3)
+	out, err := Softmax(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			v := out.At(b, c)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax out of range: %g", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", b, sum)
+		}
+	}
+	// Rows with the same relative logits produce the same distribution.
+	for c := 0; c < 3; c++ {
+		if math.Abs(out.At(0, c)-out.At(1, c)) > 1e-9 {
+			t.Fatal("softmax shift invariance violated")
+		}
+	}
+}
+
+func TestDecimate2D(t *testing.T) {
+	in := New(1, 1, 5, 5)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	out, err := Decimate2D(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape[2] != 3 || out.Shape[3] != 3 {
+		t.Fatalf("decimated shape %v", out.Shape)
+	}
+	if out.At(0, 0, 1, 1) != in.At(0, 0, 2, 2) {
+		t.Fatal("decimation picks wrong elements")
+	}
+	same, err := Decimate2D(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RelativeError(same, in) != 0 {
+		t.Fatal("stride-1 decimation should be identity")
+	}
+	if _, err := Decimate2D(in, 0); err == nil {
+		t.Error("expected stride error")
+	}
+}
+
+func TestConvOutAndSamePad(t *testing.T) {
+	if ConvOut(224, 3, 1, 2) != 224 {
+		t.Error("ConvOut same-style")
+	}
+	if ConvOut(224, 11, 4, 4) != 55 {
+		t.Error("ConvOut AlexNet conv1: want 55")
+	}
+	if SamePad(3) != 1 || SamePad(5) != 2 || SamePad(1) != 0 || SamePad(11) != 5 {
+		t.Error("SamePad values")
+	}
+}
+
+func TestPadModeString(t *testing.T) {
+	if Valid.String() != "valid" || Same.String() != "same" {
+		t.Error("PadMode.String")
+	}
+	if PadMode(9).String() == "" {
+		t.Error("unknown PadMode should still print")
+	}
+}
+
+func BenchmarkConv2D32x32x16(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	in := New(1, 16, 32, 32)
+	w := New(16, 16, 3, 3)
+	in.RandN(rng, 1)
+	w.RandN(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2D(in, w, nil, 1, Same); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

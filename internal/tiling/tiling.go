@@ -1,0 +1,375 @@
+// Package tiling implements the paper's row tiling/partitioning algorithm
+// (PhotoFourier Sec. III): computing 2D convolutions with the 1D convolutions
+// an on-chip JTC provides. Rows of the 2D input and kernel are tiled into 1D
+// signals such that a single 1D cross-correlation produces several valid 2D
+// output rows at once.
+//
+// Three regimes exist, selected by the relation between the maximum 1D
+// convolution size NConv, the row length W, and the kernel size K:
+//
+//   - Row tiling (NConv >= K*W): several full output rows per 1D conv.
+//   - Partial row tiling (W <= NConv < K*W): one output row needs
+//     ceil(K/RowsPerShot) accumulation passes.
+//   - Row partitioning (NConv < W): a single row is split into segments.
+//
+// Row-tiled results equal 2D convolution exactly in Valid mode. In Same mode
+// they differ only at row edges (the "edge effect", Fig. 3e) unless column
+// zero-padding is enabled, which restores exactness at a utilization cost.
+package tiling
+
+import (
+	"fmt"
+	"math"
+
+	"photofourier/internal/fourier"
+	"photofourier/internal/tensor"
+)
+
+// Mode identifies which of the three tiling regimes a plan uses.
+type Mode int
+
+const (
+	// RowTiling tiles several input rows per 1D convolution and produces
+	// Nor complete output rows per shot.
+	RowTiling Mode = iota
+	// PartialRowTiling tiles fewer than K rows per shot; partial sums for
+	// one output row accumulate over multiple shots.
+	PartialRowTiling
+	// RowPartitioning splits single rows into segments because the 1D
+	// convolution is shorter than one row.
+	RowPartitioning
+)
+
+func (m Mode) String() string {
+	switch m {
+	case RowTiling:
+		return "row-tiling"
+	case PartialRowTiling:
+		return "partial-row-tiling"
+	case RowPartitioning:
+		return "row-partitioning"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Correlator computes the full 1D cross-correlation of a signal with a
+// kernel: the result has length len(signal)+len(kernel)-1, and shift m
+// (kernel start aligned with signal index m) lives at index m+len(kernel)-1.
+// fourier.CrossCorrelate satisfies this contract; internal/jtc provides a
+// physical JTC-backed implementation.
+type Correlator func(signal, kernel []float64) []float64
+
+// Plan describes how one (H, W, K, NConv) convolution maps onto 1D shots.
+type Plan struct {
+	H, W  int // input spatial size (H rows of length W)
+	K     int // square kernel size
+	NConv int // maximum 1D convolution size supported by the hardware
+
+	Pad       tensor.PadMode // 2D semantics to reproduce (Same or Valid)
+	ColumnPad bool           // zero-pad rows to eliminate the edge effect
+
+	Mode        Mode
+	RowLen      int // length of one tiled row (W, or W+K-1 when ColumnPad)
+	RowsPerShot int // input rows loaded per shot (Nir in the paper)
+	Nor         int // valid output rows per shot (row tiling only)
+	OutH, OutW  int // 2D output size
+	padT, padL  int // top/left zero padding implied by Same mode
+}
+
+// NewPlan validates the geometry and selects the tiling regime.
+func NewPlan(h, w, k, nconv int, pad tensor.PadMode, columnPad bool) (*Plan, error) {
+	if h < 1 || w < 1 {
+		return nil, fmt.Errorf("tiling: input %dx%d must be positive", h, w)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("tiling: kernel size %d must be positive", k)
+	}
+	if nconv < 1 {
+		return nil, fmt.Errorf("tiling: NConv %d must be positive", nconv)
+	}
+	if pad == tensor.Valid && (k > h || k > w) {
+		return nil, fmt.Errorf("tiling: %dx%d kernel does not fit %dx%d input in valid mode", k, k, h, w)
+	}
+	p := &Plan{H: h, W: w, K: k, NConv: nconv, Pad: pad, ColumnPad: columnPad}
+	if pad == tensor.Same {
+		p.padT = tensor.SamePad(k)
+		p.padL = tensor.SamePad(k)
+		p.OutH, p.OutW = h, w
+	} else {
+		p.OutH, p.OutW = h-k+1, w-k+1
+	}
+	p.RowLen = w
+	if columnPad && pad == tensor.Same {
+		p.RowLen = w + k - 1
+	}
+	if k > nconv {
+		return nil, fmt.Errorf("tiling: kernel row of %d exceeds NConv %d; partition the kernel first", k, nconv)
+	}
+	switch {
+	case nconv >= k*p.RowLen:
+		p.Mode = RowTiling
+		p.RowsPerShot = nconv / p.RowLen
+		p.Nor = p.RowsPerShot - k + 1
+	case nconv >= p.RowLen:
+		p.Mode = PartialRowTiling
+		p.RowsPerShot = nconv / p.RowLen
+		p.Nor = 0
+	default:
+		p.Mode = RowPartitioning
+		p.RowsPerShot = 0
+		p.Nor = 0
+	}
+	return p, nil
+}
+
+// Shots returns the number of 1D convolutions needed for one 2D plane,
+// following the paper's cycle formulas (Sec. III-A to III-C).
+func (p *Plan) Shots() int {
+	switch p.Mode {
+	case RowTiling:
+		return ceilDiv(p.OutH, p.Nor)
+	case PartialRowTiling:
+		return p.OutH * ceilDiv(p.K, p.RowsPerShot)
+	default: // RowPartitioning
+		return p.OutH * p.K * ceilDiv(p.W, p.NConv)
+	}
+}
+
+// Efficiency returns the fraction of 1D output samples that are valid 2D
+// outputs — the paper's computation-efficiency metric. Higher NConv or
+// smaller inputs improve it (Sec. III-A).
+func (p *Plan) Efficiency() float64 {
+	total := float64(p.Shots() * p.NConv)
+	if total == 0 {
+		return 0
+	}
+	switch p.Mode {
+	case RowTiling, PartialRowTiling:
+		return float64(p.OutH*p.OutW) / total
+	default:
+		return float64(p.OutH*p.OutW) / total * float64(p.K)
+	}
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic("tiling: ceilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+// TileKernel lays the K rows of a KxK kernel into a 1D signal, separating
+// consecutive rows by rowLen-K zeros so kernel rows align with tiled input
+// rows (Fig. 3b). The result has length (K-1)*rowLen + K.
+func TileKernel(kernel [][]float64, rowLen int) ([]float64, error) {
+	k := len(kernel)
+	if k == 0 {
+		return nil, fmt.Errorf("tiling: empty kernel")
+	}
+	for _, row := range kernel {
+		if len(row) != k {
+			return nil, fmt.Errorf("tiling: kernel must be square, row has %d elements for size %d", len(row), k)
+		}
+	}
+	if rowLen < k {
+		return nil, fmt.Errorf("tiling: rowLen %d shorter than kernel size %d", rowLen, k)
+	}
+	out := make([]float64, (k-1)*rowLen+k)
+	for j, row := range kernel {
+		copy(out[j*rowLen:], row)
+	}
+	return out, nil
+}
+
+// Conv2D computes the 2D convolution of input with kernel through 1D shots,
+// using corr as the 1D correlation backend (nil means the ideal FFT
+// correlator). The output has the plan's OutH x OutW size.
+//
+// Valid mode and ColumnPad Same mode reproduce 2D convolution exactly;
+// plain Same mode exhibits the paper's edge effect within K-1 columns of
+// row boundaries.
+func (p *Plan) Conv2D(input, kernel [][]float64, corr Correlator) ([][]float64, error) {
+	if len(input) != p.H {
+		return nil, fmt.Errorf("tiling: input has %d rows, plan expects %d", len(input), p.H)
+	}
+	for _, row := range input {
+		if len(row) != p.W {
+			return nil, fmt.Errorf("tiling: input row has %d cols, plan expects %d", len(row), p.W)
+		}
+	}
+	if len(kernel) != p.K {
+		return nil, fmt.Errorf("tiling: kernel has %d rows, plan expects %d", len(kernel), p.K)
+	}
+	if corr == nil {
+		corr = fourier.CrossCorrelate
+	}
+	out := make([][]float64, p.OutH)
+	for i := range out {
+		out[i] = make([]float64, p.OutW)
+	}
+	switch p.Mode {
+	case RowTiling:
+		if err := p.convRowTiled(input, kernel, corr, out); err != nil {
+			return nil, err
+		}
+	case PartialRowTiling:
+		if err := p.convPartial(input, kernel, corr, out); err != nil {
+			return nil, err
+		}
+	default:
+		if err := p.convPartitioned(input, kernel, corr, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p *Plan) convRowTiled(input, kernel [][]float64, corr Correlator, out [][]float64) error {
+	k1d, err := TileKernel(kernel, p.RowLen)
+	if err != nil {
+		return err
+	}
+	lk := len(k1d)
+	colOff := p.padL
+	if p.ColumnPad && p.Pad == tensor.Same {
+		// Padded rows already carry the left zeros; output col c aligns
+		// with shift c directly.
+		colOff = 0
+	}
+	for shot := 0; shot*p.Nor < p.OutH; shot++ {
+		rOut0 := shot * p.Nor
+		firstRow := rOut0 - p.padT
+		g := p.tileRowsN(input, firstRow, p.RowsPerShot)
+		full := corr(g, k1d)
+		for t := 0; t < p.Nor && rOut0+t < p.OutH; t++ {
+			for c := 0; c < p.OutW; c++ {
+				m := t*p.RowLen + c - colOff
+				idx := m + lk - 1
+				if idx < 0 || idx >= len(full) {
+					continue
+				}
+				out[rOut0+t][c] = full[idx]
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Plan) convPartial(input, kernel [][]float64, corr Correlator, out [][]float64) error {
+	passes := ceilDiv(p.K, p.RowsPerShot)
+	colOff := p.padL
+	if p.ColumnPad && p.Pad == tensor.Same {
+		colOff = 0
+	}
+	for r := 0; r < p.OutH; r++ {
+		for pass := 0; pass < passes; pass++ {
+			j0 := pass * p.RowsPerShot
+			nRows := min(p.RowsPerShot, p.K-j0)
+			// Tile the nRows input rows feeding kernel rows j0..j0+nRows-1.
+			g := p.tileRowsN(input, r-p.padT+j0, nRows)
+			k1d := p.tileKernelRows(kernel, j0, nRows)
+			full := corr(g, k1d)
+			lk := len(k1d)
+			for c := 0; c < p.OutW; c++ {
+				idx := c - colOff + lk - 1
+				if idx < 0 || idx >= len(full) {
+					continue
+				}
+				out[r][c] += full[idx]
+			}
+		}
+	}
+	return nil
+}
+
+// tileRowsN builds the 1D input signal for one shot: nRows consecutive input
+// rows starting at firstRow (virtual rows outside [0, H) contribute zeros,
+// realizing Same-mode vertical padding), each laid out in a RowLen slot,
+// zero-filled to NConv.
+func (p *Plan) tileRowsN(input [][]float64, firstRow, nRows int) []float64 {
+	g := make([]float64, p.NConv)
+	for t := 0; t < nRows; t++ {
+		r := firstRow + t
+		if r < 0 || r >= p.H {
+			continue
+		}
+		dst := g[t*p.RowLen:]
+		if p.ColumnPad && p.Pad == tensor.Same {
+			copy(dst[p.padL:], input[r])
+		} else {
+			copy(dst, input[r])
+		}
+	}
+	return g
+}
+
+func (p *Plan) tileKernelRows(kernel [][]float64, j0, nRows int) []float64 {
+	out := make([]float64, (nRows-1)*p.RowLen+p.K)
+	for t := 0; t < nRows; t++ {
+		copy(out[t*p.RowLen:], kernel[j0+t])
+	}
+	return out
+}
+
+func (p *Plan) convPartitioned(input, kernel [][]float64, corr Correlator, out [][]float64) error {
+	// Each (output row, kernel row) pair is a 1D row correlation executed in
+	// segments of NConv samples. Segments overlap by K-1 (halo) so the
+	// assembled result equals an exact row correlation with zero boundaries:
+	// row partitioning has no edge effect.
+	step := p.NConv - p.K + 1
+	if step < 1 {
+		return fmt.Errorf("tiling: NConv %d cannot fit kernel %d with halo", p.NConv, p.K)
+	}
+	seg := make([]float64, p.NConv)
+	for r := 0; r < p.OutH; r++ {
+		for j := 0; j < p.K; j++ {
+			ri := r - p.padT + j
+			if ri < 0 || ri >= p.H {
+				continue
+			}
+			row := input[ri]
+			krow := kernel[j]
+			for c0 := 0; c0 < p.OutW; c0 += step {
+				for i := range seg {
+					ix := c0 - p.padL + i
+					if ix < 0 || ix >= p.W {
+						seg[i] = 0
+					} else {
+						seg[i] = row[ix]
+					}
+				}
+				full := corr(seg, krow)
+				for c := c0; c < min(c0+step, p.OutW); c++ {
+					out[r][c] += full[(c-c0)+p.K-1]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MaxRelativeEdgeError bounds how far a Same-mode row-tiled result may
+// deviate from the exact 2D convolution: the edge effect touches only
+// columns within K-1 of a row boundary, so interior columns must match to
+// numerical precision. It returns the maximum absolute difference observed
+// strictly inside the safe interior region (should be ~0) — a diagnostic
+// used by tests and the fidelity experiment.
+func MaxRelativeEdgeError(got, want [][]float64, k int) (interior, edge float64) {
+	padL := tensor.SamePad(k)
+	for r := range got {
+		for c := range got[r] {
+			d := math.Abs(got[r][c] - want[r][c])
+			// Interior: the kernel window [c-padL, c-padL+K) stays within
+			// [0, W) so no tap crosses a row boundary.
+			if c-padL >= 0 && c-padL+k <= len(got[r]) {
+				if d > interior {
+					interior = d
+				}
+			} else if d > edge {
+				edge = d
+			}
+		}
+	}
+	return interior, edge
+}

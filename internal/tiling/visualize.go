@@ -1,0 +1,40 @@
+package tiling
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Visualize renders an ASCII walk-through of the row tiling layout for the
+// plan — the worked example of Fig. 3 — marking which 1D output positions
+// carry valid 2D results. Intended for the jtcviz tool and documentation.
+func (p *Plan) Visualize() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "row tiling plan: input %dx%d, kernel %dx%d, NConv=%d, mode=%s\n",
+		p.H, p.W, p.K, p.K, p.NConv, p.Mode)
+	fmt.Fprintf(&b, "  pad=%s columnPad=%v rowLen=%d rowsPerShot=%d validOutputRowsPerShot=%d shots=%d efficiency=%.1f%%\n",
+		p.Pad, p.ColumnPad, p.RowLen, p.RowsPerShot, p.Nor, p.Shots(), 100*p.Efficiency())
+	if p.Mode != RowTiling {
+		return b.String()
+	}
+	b.WriteString("  tiled input : ")
+	for t := 0; t < p.RowsPerShot; t++ {
+		fmt.Fprintf(&b, "[row%-2d%s]", t, strings.Repeat("-", max(0, p.RowLen-6)))
+	}
+	b.WriteString("0pad\n")
+	b.WriteString("  tiled kernel: ")
+	for j := 0; j < p.K; j++ {
+		fmt.Fprintf(&b, "[k%d]%s", j, strings.Repeat(".", max(0, p.RowLen-p.K)))
+	}
+	b.WriteString("\n")
+	b.WriteString("  1D output   : ")
+	for t := 0; t < p.RowsPerShot; t++ {
+		mark := "v" // valid
+		if t >= p.Nor {
+			mark = "x" // invalid: kernel slid past the tiled rows (Fig. 3d row 3)
+		}
+		b.WriteString(strings.Repeat(mark, p.RowLen))
+	}
+	b.WriteString("  (v=valid 2D output, x=invalid)\n")
+	return b.String()
+}

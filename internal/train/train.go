@@ -1,0 +1,137 @@
+// Package train provides the SGD training loop for the accuracy-study
+// networks (Table I and Fig. 7 substitutes). Training always runs the exact
+// reference convolution path; the trained network is then evaluated under
+// different convolution engines to isolate substrate-induced accuracy
+// changes.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"photofourier/internal/dataset"
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+// Options configures a training run.
+type Options struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	Seed      int64
+	// LRDecay multiplies the learning rate after each epoch (1 = constant).
+	LRDecay float64
+}
+
+// DefaultOptions returns settings that train the small study networks to
+// usable accuracy in seconds on one core.
+func DefaultOptions() Options {
+	return Options{Epochs: 3, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 7, LRDecay: 0.7}
+}
+
+// Result summarizes a training run.
+type Result struct {
+	EpochLosses []float64
+	FinalLoss   float64
+}
+
+// SGD trains the network on the dataset with momentum SGD.
+func SGD(net *nn.Network, data *dataset.Dataset, opt Options) (*Result, error) {
+	if opt.Epochs < 1 || opt.BatchSize < 1 {
+		return nil, fmt.Errorf("train: invalid options %+v", opt)
+	}
+	if data.Len() == 0 {
+		return nil, fmt.Errorf("train: empty dataset")
+	}
+	if opt.LRDecay <= 0 {
+		opt.LRDecay = 1
+	}
+	params := net.Params()
+	velocity := make([][]float64, len(params))
+	for i, p := range params {
+		velocity[i] = make([]float64, p.W.Size())
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	order := make([]int, data.Len())
+	for i := range order {
+		order[i] = i
+	}
+	res := &Result{}
+	lr := opt.LR
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(order); start += opt.BatchSize {
+			end := min(start+opt.BatchSize, len(order))
+			x, y := batch(data, order[start:end])
+			net.ZeroGrad()
+			loss, err := net.LossAndGrad(x, y)
+			if err != nil {
+				return nil, err
+			}
+			epochLoss += loss
+			batches++
+			for i, p := range params {
+				v := velocity[i]
+				for j := range p.W.Data {
+					v[j] = opt.Momentum*v[j] - lr*p.Grad.Data[j]
+					p.W.Data[j] += v[j]
+				}
+			}
+		}
+		res.EpochLosses = append(res.EpochLosses, epochLoss/float64(batches))
+		lr *= opt.LRDecay
+	}
+	res.FinalLoss = res.EpochLosses[len(res.EpochLosses)-1]
+	return res, nil
+}
+
+func batch(d *dataset.Dataset, idx []int) (*tensor.Tensor, []int) {
+	c, h, w := dataset.Channels, dataset.Height, dataset.Width
+	x := tensor.New(len(idx), c, h, w)
+	y := make([]int, len(idx))
+	for i, id := range idx {
+		copy(x.Data[i*c*h*w:(i+1)*c*h*w], d.X[id].Data)
+		y[i] = d.Y[id]
+	}
+	return x, y
+}
+
+// Accuracy evaluates top-1 and top-k accuracy of the network on a dataset
+// using its current convolution engine. Evaluation batches keep memory flat.
+func Accuracy(net *nn.Network, data *dataset.Dataset, topK int) (top1, topk float64, err error) {
+	if data.Len() == 0 {
+		return 0, 0, fmt.Errorf("train: empty evaluation set")
+	}
+	const evalBatch = 25
+	var hits1, hitsK int
+	for start := 0; start < data.Len(); start += evalBatch {
+		end := min(start+evalBatch, data.Len())
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, y := batch(data, idx)
+		c1, err := net.TopKCorrect(x, y, 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		ck, err := net.TopKCorrect(x, y, topK)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i := range c1 {
+			if c1[i] {
+				hits1++
+			}
+			if ck[i] {
+				hitsK++
+			}
+		}
+	}
+	n := float64(data.Len())
+	return float64(hits1) / n, float64(hitsK) / n, nil
+}

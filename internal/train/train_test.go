@@ -1,0 +1,101 @@
+package train
+
+import (
+	"testing"
+
+	"photofourier/internal/dataset"
+	"photofourier/internal/nn"
+)
+
+func TestSGDValidation(t *testing.T) {
+	net := nn.SmallCNN([2]int{2, 4}, 10, 1)
+	d, _ := dataset.Synthetic(20, 1)
+	if _, err := SGD(net, d, Options{Epochs: 0, BatchSize: 4, LR: 0.1}); err == nil {
+		t.Error("zero epochs should fail")
+	}
+	if _, err := SGD(net, d, Options{Epochs: 1, BatchSize: 0, LR: 0.1}); err == nil {
+		t.Error("zero batch should fail")
+	}
+	empty := &dataset.Dataset{}
+	if _, err := SGD(net, empty, DefaultOptions()); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	net := nn.SmallCNN([2]int{4, 8}, 10, 1)
+	d, err := dataset.Synthetic(120, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Epochs = 3
+	res, err := SGD(net, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EpochLosses) != 3 {
+		t.Fatalf("epoch losses %v", res.EpochLosses)
+	}
+	if res.EpochLosses[2] >= res.EpochLosses[0] {
+		t.Errorf("loss did not decrease: %v", res.EpochLosses)
+	}
+}
+
+func TestTrainingBeatsChanceOnSynthetic(t *testing.T) {
+	// The synthetic task must be learnable well above the 10% chance
+	// floor by a tiny CNN in a couple of epochs.
+	data, err := dataset.Synthetic(400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSet, testSet, err := data.Split(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.SmallCNN([2]int{6, 12}, dataset.NumClasses, 2)
+	opt := DefaultOptions()
+	opt.Epochs = 3
+	if _, err := SGD(net, trainSet, opt); err != nil {
+		t.Fatal(err)
+	}
+	top1, top5, err := Accuracy(net, testSet, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top1 < 0.4 {
+		t.Errorf("top-1 accuracy %.2f too close to the 0.10 chance floor", top1)
+	}
+	if top5 < top1 {
+		t.Errorf("top-5 (%.2f) below top-1 (%.2f)", top5, top1)
+	}
+	if top5 < 0.8 {
+		t.Errorf("top-5 accuracy %.2f unexpectedly low", top5)
+	}
+}
+
+func TestAccuracyEmptySet(t *testing.T) {
+	net := nn.SmallCNN([2]int{2, 4}, 10, 1)
+	if _, _, err := Accuracy(net, &dataset.Dataset{}, 5); err == nil {
+		t.Error("empty evaluation set should fail")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	d, _ := dataset.Synthetic(60, 31)
+	opt := DefaultOptions()
+	opt.Epochs = 1
+	a := nn.SmallCNN([2]int{3, 6}, 10, 5)
+	b := nn.SmallCNN([2]int{3, 6}, 10, 5)
+	ra, err := SGD(a, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := SGD(b, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.FinalLoss != rb.FinalLoss {
+		t.Errorf("identical seeds should train identically: %g vs %g", ra.FinalLoss, rb.FinalLoss)
+	}
+}

@@ -1,0 +1,100 @@
+// Package photofourier is the public API of the PhotoFourier reproduction:
+// a photonic Joint Transform Correlator-based neural network accelerator
+// (Li et al., HPCA 2023). It re-exports the main entry points of the
+// internal packages:
+//
+//   - functional inference: RowTiledEngine and AcceleratorEngine run real
+//     CNN convolutions through the paper's row-tiling algorithm and the
+//     full quantized/temporally-accumulated accelerator model;
+//   - architecture evaluation: CG/NG/Baseline configurations with
+//     cycle/energy/area models for every workload in the paper;
+//   - experiments: regeneration of every table and figure.
+//
+// See the runnable programs under examples/ for typical usage.
+package photofourier
+
+import (
+	"photofourier/internal/arch"
+	"photofourier/internal/core"
+	"photofourier/internal/experiments"
+	"photofourier/internal/nets"
+	"photofourier/internal/nn"
+	"photofourier/internal/optics"
+	"photofourier/internal/tensor"
+	"photofourier/internal/tiling"
+)
+
+// Accelerator configurations (paper Sec. V).
+var (
+	// ConfigCG returns the PhotoFourier-CG flagship (8 PFCUs, 14 nm).
+	ConfigCG = arch.PhotoFourierCG
+	// ConfigNG returns the PhotoFourier-NG next-generation design.
+	ConfigNG = arch.PhotoFourierNG
+	// ConfigBaseline returns the unoptimized single-PFCU system.
+	ConfigBaseline = arch.Baseline
+)
+
+// Config is an accelerator configuration.
+type Config = arch.Config
+
+// NetPerf is the result of evaluating a network on a configuration.
+type NetPerf = arch.NetPerf
+
+// Evaluate runs the architecture model on a named workload ("AlexNet",
+// "VGG-16", "ResNet-18", "ResNet-32", "ResNet-50", "ResNet-s",
+// "CrossLight-CNN").
+func Evaluate(cfg Config, network string) (NetPerf, error) {
+	n, err := nets.ByName(network)
+	if err != nil {
+		return NetPerf{}, err
+	}
+	return arch.EvalNetwork(cfg, n)
+}
+
+// Functional convolution engines (paper Sec. III-IV, VI-A).
+type (
+	// ConvEngine executes CNN convolutions on a substrate.
+	ConvEngine = nn.ConvEngine
+	// RowTiledEngine is the exact row-tiled 1D substrate (Table I).
+	RowTiledEngine = core.RowTiledEngine
+	// AcceleratorEngine is the full quantized accelerator (Fig. 7).
+	AcceleratorEngine = core.Engine
+)
+
+// NewRowTiledEngine builds a row-tiled engine with the given 1D aperture
+// (256 in the paper's PFCU).
+func NewRowTiledEngine(nconv int) *RowTiledEngine { return core.NewRowTiledEngine(nconv) }
+
+// NewAcceleratorEngine builds the accelerator engine at the paper's default
+// operating point (NTA=16, 8-bit ADC/DAC).
+func NewAcceleratorEngine() *AcceleratorEngine { return core.NewEngine() }
+
+// TilingPlan describes how one 2D convolution maps to 1D JTC shots.
+type TilingPlan = tiling.Plan
+
+// NewTilingPlan plans a HxW input with a KxK kernel on an nconv-sample 1D
+// aperture; same selects Same (true) or Valid (false) 2D semantics.
+func NewTilingPlan(h, w, k, nconv int, same bool) (*TilingPlan, error) {
+	mode := tensor.Valid
+	if same {
+		mode = tensor.Same
+	}
+	return tiling.NewPlan(h, w, k, nconv, mode, false)
+}
+
+// JTCSystem is the physical-optics simulator (Fig. 2).
+type JTCSystem = optics.System
+
+// NewJTCSystem builds an optics simulator with the given field resolution
+// and RNG seed.
+func NewJTCSystem(samples int, seed int64) (*JTCSystem, error) {
+	return optics.NewSystem(samples, seed)
+}
+
+// Experiment runs one named paper experiment (see ExperimentIDs).
+func Experiment(id string, quick bool) (*experiments.Result, error) {
+	return experiments.Run(id, experiments.Options{Quick: quick})
+}
+
+// ExperimentIDs lists every reproducible table/figure id.
+func ExperimentIDs() []string { return experiments.IDs() }
