@@ -1,6 +1,8 @@
 package photofourier
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"photofourier/internal/arch"
@@ -120,6 +122,66 @@ func BenchmarkAblationTemporalDepth(b *testing.B) {
 		b.Run(map[int]string{1: "depth-1", 16: "depth-16"}[nta], func(b *testing.B) {
 			e := core.NewEngine()
 			e.NTA = nta
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// parallelismSweep returns the Parallelism values the end-to-end conv
+// benchmarks cover: serial and all cores (deduplicated on 1-CPU machines).
+func parallelismSweep() []int {
+	ps := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
+// BenchmarkRowTiledConvParallel sweeps the Parallelism knob on a
+// CNN-layer-sized row-tiled convolution, measuring the worker-pool speedup
+// of the (batch x output-channel) sweep together with the plan-cache and
+// kernel-spectrum amortization (both engines share those).
+func BenchmarkRowTiledConvParallel(b *testing.B) {
+	in := tensor.New(2, 16, 32, 32)
+	w := tensor.New(16, 16, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = float64(i%97) / 97
+	}
+	for i := range w.Data {
+		w.Data[i] = float64(i%53)/53 - 0.4
+	}
+	for _, p := range parallelismSweep() {
+		b.Run(fmt.Sprintf("parallelism-%d", p), func(b *testing.B) {
+			e := core.NewRowTiledEngine(256)
+			e.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAcceleratorConvParallel is the same sweep through the full
+// quantized accelerator fast path (grouped temporal accumulation + ADC).
+func BenchmarkAcceleratorConvParallel(b *testing.B) {
+	in := tensor.New(2, 16, 32, 32)
+	w := tensor.New(16, 16, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = float64(i%89) / 89
+	}
+	for i := range w.Data {
+		w.Data[i] = float64(i%37)/37 - 0.4
+	}
+	for _, p := range parallelismSweep() {
+		b.Run(fmt.Sprintf("parallelism-%d", p), func(b *testing.B) {
+			e := core.NewEngine()
+			e.Parallelism = p
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
 					b.Fatal(err)

@@ -1,0 +1,3 @@
+module photofourier
+
+go 1.24

@@ -32,6 +32,11 @@ type RowTiledEngine struct {
 	NConv     int  // 1D convolution aperture (PFCU input waveguides)
 	ColumnPad bool // zero-pad rows: exact Same-mode equality, lower utilization
 
+	// Parallelism bounds the worker pool Conv2D spreads (batch x
+	// output-channel) work items over. <= 0 selects runtime.NumCPU(); 1
+	// runs serially. Parallel output is bit-identical to serial.
+	Parallelism int
+
 	mu    sync.Mutex
 	plans map[planKey]*tiling.Plan
 }
@@ -73,6 +78,14 @@ func (e *RowTiledEngine) plan(h, w, k int, pad tensor.PadMode) (*tiling.Plan, er
 // Conv2D implements nn.ConvEngine: every (sample, output-channel, input-
 // channel) plane convolution runs through 1D shots; channel sums accumulate
 // at full precision; strided layers compute at unit stride and decimate.
+//
+// Each (output-channel, input-channel) kernel tile is transformed to the
+// frequency domain exactly once per call and its spectrum reused across
+// every shot and batch sample — mirroring how the hardware latches weights
+// while streaming activations. Work items (one per batch sample and output
+// channel) run on a worker pool sized by Parallelism; each item accumulates
+// its input channels in a fixed order into a disjoint output region, so the
+// result is bit-identical at any worker count.
 func (e *RowTiledEngine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (*tensor.Tensor, error) {
 	n, cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
 	cout, k := weight.Shape[0], weight.Shape[2]
@@ -83,40 +96,47 @@ func (e *RowTiledEngine) Conv2D(input, weight *tensor.Tensor, bias []float64, st
 	if err != nil {
 		return nil, err
 	}
-	full := tensor.New(n, cout, p.OutH, p.OutW)
-	inPlane := make([][]float64, h)
+	// One kernel spectrum per (oc, ic) plane, shared read-only by all
+	// workers for the whole layer.
+	kplans := make([]*tiling.KernelPlan, cout*cin)
 	kern := make([][]float64, k)
-	for b := 0; b < n; b++ {
-		for oc := 0; oc < cout; oc++ {
-			acc := make([]float64, p.OutH*p.OutW)
-			for ic := 0; ic < cin; ic++ {
-				base := ((b * cin) + ic) * h * w
-				for r := 0; r < h; r++ {
-					inPlane[r] = input.Data[base+r*w : base+(r+1)*w]
-				}
-				kbase := ((oc * cin) + ic) * k * k
-				for r := 0; r < k; r++ {
-					kern[r] = weight.Data[kbase+r*k : kbase+(r+1)*k]
-				}
-				plane, err := p.Conv2D(inPlane, kern, nil)
-				if err != nil {
-					return nil, err
-				}
-				for r := 0; r < p.OutH; r++ {
-					for cc := 0; cc < p.OutW; cc++ {
-						acc[r*p.OutW+cc] += plane[r][cc]
-					}
-				}
+	for oc := 0; oc < cout; oc++ {
+		for ic := 0; ic < cin; ic++ {
+			kbase := ((oc * cin) + ic) * k * k
+			for r := 0; r < k; r++ {
+				kern[r] = weight.Data[kbase+r*k : kbase+(r+1)*k]
 			}
-			base := ((b * cout) + oc) * p.OutH * p.OutW
-			bv := 0.0
-			if bias != nil {
-				bv = bias[oc]
+			kp, err := p.PlanKernel(kern)
+			if err != nil {
+				return nil, err
 			}
-			for i, v := range acc {
-				full.Data[base+i] = v + bv
+			kplans[oc*cin+ic] = kp
+		}
+	}
+	full := tensor.New(n, cout, p.OutH, p.OutW)
+	workers := resolveWorkers(e.Parallelism)
+	err = parallelFor(n*cout, workers, func(item int) error {
+		b, oc := item/cout, item%cout
+		inPlane := make([][]float64, h)
+		acc := full.Data[((b*cout)+oc)*p.OutH*p.OutW : ((b*cout)+oc+1)*p.OutH*p.OutW]
+		for ic := 0; ic < cin; ic++ {
+			base := ((b * cin) + ic) * h * w
+			for r := 0; r < h; r++ {
+				inPlane[r] = input.Data[base+r*w : base+(r+1)*w]
+			}
+			if err := p.Conv2DPlannedAccum(inPlane, kplans[oc*cin+ic], acc); err != nil {
+				return err
 			}
 		}
+		if bias != nil {
+			for i := range acc {
+				acc[i] += bias[oc]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if stride > 1 {
 		return tensor.Decimate2D(full, stride)
@@ -147,6 +167,14 @@ type Engine struct {
 	// identically at every depth and is modeled in the Detector).
 	ReadoutNoise float64
 	noiseRNG     *rand.Rand
+	noiseOnce    sync.Once
+
+	// Parallelism bounds the worker pool the convolution sweeps spread
+	// (batch x output-channel) work items over. <= 0 selects
+	// runtime.NumCPU(); 1 runs serially. Detector noise sampling and ADC
+	// readout stay serial in group order, so parallel output is
+	// bit-identical to serial for a fixed seed.
+	Parallelism int
 
 	// UseTiledPath routes every plane convolution through the exact 1D
 	// row-tiled shots (slow, full fidelity). The default fast path uses
@@ -168,7 +196,21 @@ func NewEngine() *Engine {
 		Detector:           jtc.NewLinearPowerDetector(0, 0, 0),
 		ADCCalibPercentile: 1,
 		NConv:              256,
+		noiseRNG:           rand.New(rand.NewSource(12345)),
 	}
+}
+
+// readoutRNG returns the readout-noise RNG, constructing the default-seeded
+// one exactly once for Engines built as struct literals (NewEngine seeds it
+// at construction). Lazy init used to live inside the readout loop, which
+// was a latent data race once convolutions ran on a worker pool.
+func (e *Engine) readoutRNG() *rand.Rand {
+	e.noiseOnce.Do(func() {
+		if e.noiseRNG == nil {
+			e.noiseRNG = rand.New(rand.NewSource(12345))
+		}
+	})
+	return e.noiseRNG
 }
 
 // Name implements nn.ConvEngine.
@@ -266,7 +308,7 @@ func (e *Engine) groupPsums(x, wt *tensor.Tensor, groups [][2]int, pad tensor.Pa
 		cin := x.Shape[1]
 		detectGranularity = groupRanges(cin, 1)
 	}
-	per, err := groupedConv2D(x, wt, detectGranularity, pad)
+	per, err := groupedConv2D(x, wt, detectGranularity, pad, resolveWorkers(e.Parallelism))
 	if err != nil {
 		return nil, err
 	}
@@ -296,6 +338,10 @@ func (e *Engine) groupPsums(x, wt *tensor.Tensor, groups [][2]int, pad tensor.Pa
 // through exact 1D row-tiled shots.
 func (e *Engine) groupPsumsTiled(x, wt *tensor.Tensor, groups [][2]int, pad tensor.PadMode) ([]*tensor.Tensor, error) {
 	rt := NewRowTiledEngine(e.NConv)
+	// The inner engine parallelizes each group's (batch x output-channel)
+	// sweep; groups stay serial so Detect consumes detector noise in the
+	// same order as a fully serial run.
+	rt.Parallelism = e.Parallelism
 	out := make([]*tensor.Tensor, len(groups))
 	for gi, g := range groups {
 		xs, err := sliceChannels(x, g[0], g[1])
@@ -321,8 +367,11 @@ func (e *Engine) groupPsumsTiled(x, wt *tensor.Tensor, groups [][2]int, pad tens
 // groupedConv2D computes, for each channel group, the unit-stride
 // convolution partial sum over just that group's input channels — a single
 // sweep sharing the loop structure of tensor.Conv2D so narrow groups do not
-// pay per-call overhead.
-func groupedConv2D(x, wt *tensor.Tensor, groups [][2]int, pad tensor.PadMode) ([]*tensor.Tensor, error) {
+// pay per-call overhead. The (batch x output-channel) work items run on up
+// to workers goroutines; each item writes a disjoint slice of every group's
+// output and keeps its group/channel/tap loops in serial order, so the
+// result is bit-identical at any worker count.
+func groupedConv2D(x, wt *tensor.Tensor, groups [][2]int, pad tensor.PadMode, workers int) ([]*tensor.Tensor, error) {
 	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	cout, k := wt.Shape[0], wt.Shape[2]
 	if wt.Shape[1] != cin {
@@ -345,47 +394,50 @@ func groupedConv2D(x, wt *tensor.Tensor, groups [][2]int, pad tensor.PadMode) ([
 	// scaled copy of the input plane. The inner loops are long contiguous
 	// rows with no per-element bounds checks, which is what keeps narrow
 	// temporal-accumulation groups from paying per-pixel overhead.
-	for b := 0; b < n; b++ {
-		for oc := 0; oc < cout; oc++ {
-			for gi, g := range groups {
-				dst := out[gi].Data[(b*cout+oc)*oh*ow : (b*cout+oc+1)*oh*ow]
-				for ic := g[0]; ic < g[1]; ic++ {
-					inBase := (b*cin + ic) * h * w
-					wBase := (oc*cin + ic) * k * k
-					for ky := 0; ky < k; ky++ {
-						dy := ky - padT
-						oy0, oy1 := 0, oh
-						if dy < 0 {
-							oy0 = -dy
+	err := parallelFor(n*cout, workers, func(item int) error {
+		b, oc := item/cout, item%cout
+		for gi, g := range groups {
+			dst := out[gi].Data[(b*cout+oc)*oh*ow : (b*cout+oc+1)*oh*ow]
+			for ic := g[0]; ic < g[1]; ic++ {
+				inBase := (b*cin + ic) * h * w
+				wBase := (oc*cin + ic) * k * k
+				for ky := 0; ky < k; ky++ {
+					dy := ky - padT
+					oy0, oy1 := 0, oh
+					if dy < 0 {
+						oy0 = -dy
+					}
+					if dy+oy1 > h {
+						oy1 = h - dy
+					}
+					for kx := 0; kx < k; kx++ {
+						wv := wt.Data[wBase+ky*k+kx]
+						if wv == 0 {
+							continue
 						}
-						if dy+oy1 > h {
-							oy1 = h - dy
+						dx := kx - padL
+						ox0, ox1 := 0, ow
+						if dx < 0 {
+							ox0 = -dx
 						}
-						for kx := 0; kx < k; kx++ {
-							wv := wt.Data[wBase+ky*k+kx]
-							if wv == 0 {
-								continue
-							}
-							dx := kx - padL
-							ox0, ox1 := 0, ow
-							if dx < 0 {
-								ox0 = -dx
-							}
-							if dx+ox1 > w {
-								ox1 = w - dx
-							}
-							for oy := oy0; oy < oy1; oy++ {
-								srcRow := x.Data[inBase+(oy+dy)*w+dx+ox0 : inBase+(oy+dy)*w+dx+ox1]
-								dstRow := dst[oy*ow+ox0 : oy*ow+ox1]
-								for i, sv := range srcRow {
-									dstRow[i] += wv * sv
-								}
+						if dx+ox1 > w {
+							ox1 = w - dx
+						}
+						for oy := oy0; oy < oy1; oy++ {
+							srcRow := x.Data[inBase+(oy+dy)*w+dx+ox0 : inBase+(oy+dy)*w+dx+ox1]
+							dstRow := dst[oy*ow+ox0 : oy*ow+ox1]
+							for i, sv := range srcRow {
+								dstRow[i] += wv * sv
 							}
 						}
 					}
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -456,12 +508,13 @@ func (e *Engine) readout(psum *tensor.Tensor, scale float64) error {
 		}
 		step := scale / float64((uint64(1)<<e.ADCBits)-1)
 		sigma := e.ReadoutNoise * scale
+		var rng *rand.Rand
+		if sigma > 0 {
+			rng = e.readoutRNG()
+		}
 		for i, v := range psum.Data {
 			if sigma > 0 {
-				if e.noiseRNG == nil {
-					e.noiseRNG = rand.New(rand.NewSource(12345))
-				}
-				v += e.noiseRNG.NormFloat64() * sigma
+				v += rng.NormFloat64() * sigma
 			}
 			if v < 0 {
 				v = 0

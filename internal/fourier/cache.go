@@ -1,0 +1,332 @@
+// Plan caching and scratch-buffer pooling: the JTC hot path issues thousands
+// of same-length transforms per CNN layer, so twiddle tables, bit-reversal
+// permutations, and Bluestein chirp sequences are derived once per length for
+// the life of the process, and transform scratch comes from a sync.Pool
+// instead of the garbage collector.
+
+package fourier
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// planCache memoizes radix-2 plans process-wide, keyed by transform length.
+// Plans are immutable after construction, so a single instance is shared by
+// every goroutine.
+var planCache sync.Map // int -> *Plan
+
+// PlanFor returns the process-wide shared plan for power-of-two length n,
+// constructing and caching it on first use. The returned plan is safe for
+// concurrent use.
+func PlanFor(n int) (*Plan, error) {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan), nil
+	}
+	p, err := NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := planCache.LoadOrStore(n, p)
+	return v.(*Plan), nil
+}
+
+// bluesteinCache memoizes chirp-z plans process-wide, keyed by length.
+var bluesteinCache sync.Map // int -> *BluesteinPlan
+
+// BluesteinPlanFor returns the process-wide shared chirp-z plan for length n,
+// constructing and caching it on first use.
+func BluesteinPlanFor(n int) (*BluesteinPlan, error) {
+	if v, ok := bluesteinCache.Load(n); ok {
+		return v.(*BluesteinPlan), nil
+	}
+	p, err := NewBluesteinPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := bluesteinCache.LoadOrStore(n, p)
+	return v.(*BluesteinPlan), nil
+}
+
+// BluesteinPlan precomputes everything Bluestein's chirp-z algorithm needs
+// for a fixed arbitrary length n: the chirp sequence, the forward transform
+// of the convolution kernel sequence b, and the inner power-of-two plan.
+// A BluesteinPlan is safe for concurrent use once constructed.
+type BluesteinPlan struct {
+	n     int
+	m     int          // inner power-of-two convolution length
+	chirp []complex128 // exp(-i*pi*k^2/n), n entries
+	fb    []complex128 // forward FFT of the b sequence, m entries
+	inner *Plan
+}
+
+// NewBluesteinPlan builds a chirp-z plan for transforms of length n >= 1.
+func NewBluesteinPlan(n int) (*BluesteinPlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fourier: bluestein length %d must be >= 1", n)
+	}
+	bp := &BluesteinPlan{n: n, m: NextPow2(2*n - 1)}
+	bp.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for huge n; the exponent is periodic in 2n.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		theta := -math.Pi * float64(kk) / float64(n)
+		bp.chirp[k] = cmplx.Exp(complex(0, theta))
+	}
+	inner, err := PlanFor(bp.m)
+	if err != nil {
+		return nil, err
+	}
+	bp.inner = inner
+	b := make([]complex128, bp.m)
+	for k := 0; k < n; k++ {
+		b[k] = cmplx.Conj(bp.chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[bp.m-k] = cmplx.Conj(bp.chirp[k])
+	}
+	if err := inner.transform(b, false); err != nil {
+		return nil, err
+	}
+	bp.fb = b
+	return bp, nil
+}
+
+// N returns the transform length of the plan.
+func (bp *BluesteinPlan) N() int { return bp.n }
+
+// Transform computes the forward DFT of x in place. len(x) must equal the
+// plan length.
+func (bp *BluesteinPlan) Transform(x []complex128) error {
+	if len(x) != bp.n {
+		return fmt.Errorf("fourier: input length %d does not match bluestein plan length %d", len(x), bp.n)
+	}
+	a := getComplex(bp.m)
+	for k := 0; k < bp.n; k++ {
+		a[k] = x[k] * bp.chirp[k]
+	}
+	// getComplex recycles without zeroing; the padding tail must be clean.
+	for k := bp.n; k < bp.m; k++ {
+		a[k] = 0
+	}
+	_ = bp.inner.transform(a, false)
+	for i := range a {
+		a[i] *= bp.fb[i]
+	}
+	_ = bp.inner.transform(a, true)
+	for k := 0; k < bp.n; k++ {
+		x[k] = a[k] * bp.chirp[k]
+	}
+	putComplex(a)
+	return nil
+}
+
+// Inverse computes the inverse DFT of x in place (normalized by 1/n) using
+// the identity IDFT(x) = conj(DFT(conj(x)))/n, so forward and inverse share
+// one cached plan.
+func (bp *BluesteinPlan) Inverse(x []complex128) error {
+	if len(x) != bp.n {
+		return fmt.Errorf("fourier: input length %d does not match bluestein plan length %d", len(x), bp.n)
+	}
+	for i, v := range x {
+		x[i] = cmplx.Conj(v)
+	}
+	_ = bp.Transform(x)
+	invN := 1 / float64(bp.n)
+	for i, v := range x {
+		x[i] = complex(real(v)*invN, -imag(v)*invN)
+	}
+	return nil
+}
+
+// RealPlan computes length-m transforms of real inputs through a half-length
+// complex FFT: the m real samples pack into m/2 complex points, one
+// half-length transform runs, and an O(m) twiddle recombination recovers the
+// non-redundant half spectrum X[0..m/2] (the rest follows from Hermitian
+// symmetry). Forward and inverse each cost about half of a full complex
+// transform — the dominant win on the convolution path, where every operand
+// is real. Immutable after construction and safe for concurrent use.
+type RealPlan struct {
+	m     int
+	hm    int // m/2
+	inner *Plan
+	w     []complex128 // exp(-2*pi*i*k/m), k in [0, m/2)
+}
+
+var realPlanCache sync.Map // int -> *RealPlan
+
+// RealPlanFor returns the process-wide shared real-input plan for even
+// power-of-two length m >= 2, constructing and caching it on first use.
+func RealPlanFor(m int) (*RealPlan, error) {
+	if v, ok := realPlanCache.Load(m); ok {
+		return v.(*RealPlan), nil
+	}
+	if !IsPow2(m) || m < 2 {
+		return nil, fmt.Errorf("fourier: real plan length %d is not an even power of two", m)
+	}
+	rp := &RealPlan{m: m, hm: m / 2}
+	inner, err := PlanFor(rp.hm)
+	if err != nil {
+		return nil, err
+	}
+	rp.inner = inner
+	rp.w = make([]complex128, rp.hm)
+	for k := range rp.w {
+		theta := -2 * math.Pi * float64(k) / float64(m)
+		rp.w[k] = cmplx.Exp(complex(0, theta))
+	}
+	v, _ := realPlanCache.LoadOrStore(m, rp)
+	return v.(*RealPlan), nil
+}
+
+// N returns the transform length of the plan.
+func (rp *RealPlan) N() int { return rp.m }
+
+// HalfSpectrumLen returns the number of non-redundant bins, m/2+1.
+func (rp *RealPlan) HalfSpectrumLen() int { return rp.hm + 1 }
+
+// Transform computes the half spectrum of the real input x (length <= m;
+// the tail is treated as zeros) into spec, which must have HalfSpectrumLen
+// entries. The transform runs entirely inside spec — no scratch is
+// allocated.
+func (rp *RealPlan) Transform(x []float64, spec []complex128) error {
+	if len(x) > rp.m {
+		return fmt.Errorf("fourier: real input length %d exceeds plan length %d", len(x), rp.m)
+	}
+	if len(spec) != rp.hm+1 {
+		return fmt.Errorf("fourier: spectrum length %d, plan needs %d", len(spec), rp.hm+1)
+	}
+	rp.rfft(x, spec)
+	return nil
+}
+
+// Inverse reconstructs the real signal whose half spectrum is spec into out
+// (length <= m: only that prefix is written), including the 1/m
+// normalization. spec is used as working storage and is clobbered.
+func (rp *RealPlan) Inverse(spec []complex128, out []float64) error {
+	if len(spec) != rp.hm+1 {
+		return fmt.Errorf("fourier: spectrum length %d, plan needs %d", len(spec), rp.hm+1)
+	}
+	if len(out) > rp.m {
+		return fmt.Errorf("fourier: real output length %d exceeds plan length %d", len(out), rp.m)
+	}
+	rp.irfft(spec, out)
+	return nil
+}
+
+// rfft fills spec (length hm+1) with the half spectrum of the real input x
+// (length <= m; the tail is zero-padded). spec[:hm] doubles as the packing
+// buffer, and the twiddle recombination walks bins k and hm-k as a pair —
+// they depend on exactly the inner bins k and hm-k, so the update is done
+// in place with no scratch.
+func (rp *RealPlan) rfft(x []float64, spec []complex128) {
+	hm := rp.hm
+	z := spec[:hm]
+	if len(x) == rp.m {
+		for j := range z {
+			z[j] = complex(x[2*j], x[2*j+1])
+		}
+	} else {
+		n2 := len(x) / 2
+		for j := 0; j < n2; j++ {
+			z[j] = complex(x[2*j], x[2*j+1])
+		}
+		if len(x)%2 == 1 {
+			z[n2] = complex(x[len(x)-1], 0)
+			n2++
+		}
+		for j := n2; j < hm; j++ {
+			z[j] = 0
+		}
+	}
+	_ = rp.inner.transform(z, false)
+	z0 := z[0]
+	spec[hm] = complex(real(z0)-imag(z0), 0)
+	spec[0] = complex(real(z0)+imag(z0), 0)
+	// Even/odd half-signal spectra: E = (Z[k]+conj(Z[H-k]))/2,
+	// O = -i*(Z[k]-conj(Z[H-k]))/2; X[k] = E + w[k]*O and
+	// X[H-k] = conj(E - w[k]*O).
+	for k := 1; 2*k < hm; k++ {
+		zk, zc := z[k], z[hm-k]
+		er := (real(zk) + real(zc)) / 2
+		ei := (imag(zk) - imag(zc)) / 2
+		or := (imag(zk) + imag(zc)) / 2
+		oi := (real(zc) - real(zk)) / 2
+		w := rp.w[k]
+		wor := or*real(w) - oi*imag(w)
+		woi := or*imag(w) + oi*real(w)
+		spec[k] = complex(er+wor, ei+woi)
+		spec[hm-k] = complex(er-wor, woi-ei)
+	}
+	if hm >= 2 {
+		zm := z[hm/2]
+		spec[hm/2] = complex(real(zm), -imag(zm))
+	}
+}
+
+// irfft reconstructs the real signal whose half spectrum is spec (length
+// hm+1) into out (length <= m: only the prefix is written). spec is
+// clobbered: the inverse recombination runs in place over spec[:hm].
+func (rp *RealPlan) irfft(spec []complex128, out []float64) {
+	hm := rp.hm
+	z := spec[:hm]
+	// Invert the rfft recombination: E = (P[k]+conj(P[H-k]))/2,
+	// O = conj(w[k])*(P[k]-conj(P[H-k]))/2, Z[k] = E + i*O and
+	// Z[H-k] = conj(E - i*O).
+	p0, ph := spec[0], spec[hm]
+	{
+		er := (real(p0) + real(ph)) / 2
+		ei := (imag(p0) - imag(ph)) / 2
+		dr := (real(p0) - real(ph)) / 2
+		di := (imag(p0) + imag(ph)) / 2
+		z[0] = complex(er-di, ei+dr)
+	}
+	for k := 1; 2*k < hm; k++ {
+		pk, pc := spec[k], spec[hm-k]
+		er := (real(pk) + real(pc)) / 2
+		ei := (imag(pk) - imag(pc)) / 2
+		dr := (real(pk) - real(pc)) / 2
+		di := (imag(pk) + imag(pc)) / 2
+		w := rp.w[k]
+		or := dr*real(w) + di*imag(w)
+		oi := di*real(w) - dr*imag(w)
+		z[k] = complex(er-oi, ei+or)
+		z[hm-k] = complex(er+oi, or-ei)
+	}
+	if hm >= 2 {
+		pm := spec[hm/2]
+		z[hm/2] = complex(real(pm), -imag(pm))
+	}
+	_ = rp.inner.transform(z, true)
+	for j := 0; 2*j < len(out); j++ {
+		out[2*j] = real(z[j])
+		if 2*j+1 < len(out) {
+			out[2*j+1] = imag(z[j])
+		}
+	}
+}
+
+// complexPool recycles transform scratch. Slices of mixed capacity share one
+// pool; a drawn slice too small for the request is simply dropped and a fresh
+// one allocated, which keeps the steady state (one dominant length per
+// workload) allocation-free.
+var complexPool = sync.Pool{}
+
+// getComplex returns a scratch slice of length n. Recycled slices are NOT
+// zeroed — the convolution hot path overwrites every entry, so callers that
+// rely on zero padding must clear the relevant range themselves.
+func getComplex(n int) []complex128 {
+	if v := complexPool.Get(); v != nil {
+		s := *(v.(*[]complex128))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]complex128, n)
+}
+
+func putComplex(s []complex128) {
+	complexPool.Put(&s)
+}

@@ -1,0 +1,502 @@
+package fourier
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestPlanForReturnsSharedInstance verifies the cache hands every caller the
+// same plan for a given length.
+func TestPlanForReturnsSharedInstance(t *testing.T) {
+	a, err := PlanFor(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanFor(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("PlanFor(64) returned distinct instances")
+	}
+	if _, err := PlanFor(3); err == nil {
+		t.Error("PlanFor(3) should fail")
+	}
+}
+
+// TestBluesteinPlanMatchesDirect checks the precomputed chirp-z plan against
+// the O(n^2) oracle, forward and inverse, on awkward lengths.
+func TestBluesteinPlanMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, n := range []int{2, 3, 5, 7, 12, 17, 25, 100, 131, 255} {
+		bp, err := NewBluesteinPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randComplex(rng, n)
+		fwd := make([]complex128, n)
+		copy(fwd, x)
+		if err := bp.Transform(fwd); err != nil {
+			t.Fatal(err)
+		}
+		slicesClose(t, fwd, DFTDirect(x), 1e-7*float64(n))
+		if err := bp.Inverse(fwd); err != nil {
+			t.Fatal(err)
+		}
+		slicesClose(t, fwd, x, 1e-8*float64(n))
+	}
+	if _, err := NewBluesteinPlan(0); err == nil {
+		t.Error("NewBluesteinPlan(0) should fail")
+	}
+}
+
+// TestFFTUnchangedByPlanCaching pins down that cached plans produce exactly
+// the bits the seed's per-call plans produced: two calls through the cache
+// agree with each other and with a freshly constructed plan.
+func TestFFTUnchangedByPlanCaching(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{8, 64, 256} {
+		x := randComplex(rng, n)
+		first := FFT(x)
+		second := FFT(x)
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("n=%d bin %d: cached FFT not deterministic: %v vs %v", n, i, first[i], second[i])
+			}
+		}
+		fresh, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]complex128, n)
+		copy(buf, x)
+		if err := fresh.Transform(buf); err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			if buf[i] != first[i] {
+				t.Fatalf("n=%d bin %d: cached plan differs from fresh plan: %v vs %v", n, i, first[i], buf[i])
+			}
+		}
+	}
+}
+
+// TestConvPlanMatchesConvolve verifies the kernel-spectrum path is
+// bit-identical to the one-shot Convolve when the signal fills the plan, and
+// exact against the direct sum for shorter signals.
+func TestConvPlanMatchesConvolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct{ sig, kern, maxSig int }{
+		{256, 25, 256}, {100, 7, 100}, {64, 64, 64}, {40, 5, 256}, {1, 3, 8},
+	} {
+		a := make([]float64, tc.sig)
+		k := make([]float64, tc.kern)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range k {
+			k[i] = rng.NormFloat64()
+		}
+		cp, err := NewConvPlan(k, tc.maxSig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cp.Convolve(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.sig == tc.maxSig {
+			want := Convolve(a, k)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("sig=%d kern=%d elem %d: planned %g != one-shot %g", tc.sig, tc.kern, i, got[i], want[i])
+				}
+			}
+		}
+		want := convolveDirect(a, k)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("sig=%d kern=%d maxSig=%d elem %d: got %g want %g", tc.sig, tc.kern, tc.maxSig, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCorrPlanMatchesCrossCorrelate verifies the correlation-convention plan
+// against the free function, bit for bit.
+func TestCorrPlanMatchesCrossCorrelate(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := make([]float64, 120)
+	k := make([]float64, 11)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range k {
+		k[i] = rng.NormFloat64()
+	}
+	cp, err := NewCorrPlan(k, len(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cp.Convolve(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CrossCorrelate(a, k)
+	if len(got) != len(want) {
+		t.Fatalf("length: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("lag %d: planned %g != free %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRealPlanMatchesFFTReal verifies the half-length real-input transform
+// against the full complex path, forward and inverse.
+func TestRealPlanMatchesFFTReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, m := range []int{2, 4, 16, 64, 256, 1024} {
+		rp, err := RealPlanFor(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec := make([]complex128, rp.HalfSpectrumLen())
+		if err := rp.Transform(x, spec); err != nil {
+			t.Fatal(err)
+		}
+		want := FFTReal(x)
+		for k := 0; k <= m/2; k++ {
+			if !complexClose(spec[k], want[k], 1e-8*float64(m)) {
+				t.Fatalf("m=%d bin %d: got %v want %v", m, k, spec[k], want[k])
+			}
+		}
+		back := make([]float64, m)
+		if err := rp.Inverse(spec, back); err != nil {
+			t.Fatal(err)
+		}
+		for i := range back {
+			if math.Abs(back[i]-x[i]) > 1e-9*float64(m) {
+				t.Fatalf("m=%d sample %d: round trip %g want %g", m, i, back[i], x[i])
+			}
+		}
+		// Zero-padded short input matches a manually padded transform.
+		short := x[:m/3+1]
+		if err := rp.Transform(short, spec); err != nil {
+			t.Fatal(err)
+		}
+		padded := make([]float64, m)
+		copy(padded, short)
+		want = FFTReal(padded)
+		for k := 0; k <= m/2; k++ {
+			if !complexClose(spec[k], want[k], 1e-8*float64(m)) {
+				t.Fatalf("m=%d padded bin %d: got %v want %v", m, k, spec[k], want[k])
+			}
+		}
+	}
+	if _, err := RealPlanFor(3); err == nil {
+		t.Error("RealPlanFor(3) should fail")
+	}
+	if _, err := RealPlanFor(1); err == nil {
+		t.Error("RealPlanFor(1) should fail")
+	}
+}
+
+// TestConvPlanRejectsOversizedSignal covers the plan-bound validation.
+func TestConvPlanRejectsOversizedSignal(t *testing.T) {
+	cp, err := NewConvPlan([]float64{1, 2, 3}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Convolve(make([]float64, 17)); err == nil {
+		t.Error("signal longer than maxSignalLen should fail")
+	}
+	if _, err := cp.Convolve(nil); err == nil {
+		t.Error("empty signal should fail")
+	}
+	if _, err := cp.ConvolveInto(make([]float64, 3), make([]float64, 16)); err == nil {
+		t.Error("undersized dst should fail")
+	}
+	if _, err := NewConvPlan(nil, 16); err == nil {
+		t.Error("empty kernel should fail")
+	}
+	if _, err := NewConvPlan([]float64{1}, 0); err == nil {
+		t.Error("non-positive max signal length should fail")
+	}
+}
+
+// TestPlanCacheConcurrent hammers the plan caches, the FFT entry points, and
+// the scratch pool from many goroutines. Run with -race; every goroutine
+// also checks numerical agreement with the direct oracle so a torn cache
+// write would surface as a wrong answer, not just a race report.
+func TestPlanCacheConcurrent(t *testing.T) {
+	lengths := []int{8, 16, 60, 64, 100, 128, 131, 256}
+	type oracle struct {
+		x    []complex128
+		want []complex128
+	}
+	oracles := make(map[int]oracle)
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range lengths {
+		x := randComplex(rng, n)
+		oracles[n] = oracle{x: x, want: DFTDirect(x)}
+	}
+	sig := make([]float64, 64)
+	kern := make([]float64, 9)
+	for i := range sig {
+		sig[i] = rng.NormFloat64()
+	}
+	for i := range kern {
+		kern[i] = rng.NormFloat64()
+	}
+	convWant := convolveDirect(sig, kern)
+	cp, err := NewCorrPlan(kern, len(sig))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const iters = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				n := lengths[(g+it)%len(lengths)]
+				o := oracles[n]
+				got := FFT(o.x)
+				for i := range got {
+					if !complexClose(got[i], o.want[i], 1e-7*float64(n)) {
+						errs <- errMismatch(n, i)
+						return
+					}
+				}
+				c := Convolve(sig, kern)
+				for i := range c {
+					if math.Abs(c[i]-convWant[i]) > 1e-8 {
+						errs <- errMismatch(len(sig), i)
+						return
+					}
+				}
+				pc, err := cp.Convolve(sig)
+				if err != nil {
+					errs <- err
+					return
+				}
+				_ = pc
+				if _, err := PlanFor(64); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := BluesteinPlanFor(100); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{ n, i int }
+
+func (e mismatchError) Error() string { return "concurrent transform mismatch" }
+
+func errMismatch(n, i int) error { return mismatchError{n, i} }
+
+// Micro-benchmarks: the plan-cache speedup (repeated same-length transforms
+// vs. rebuilding the plan per call, the seed's behavior) and the
+// kernel-spectrum reuse win on repeated-kernel convolution workloads.
+
+func benchSignal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// BenchmarkFFTPerCallPlan rebuilds the radix-2 plan on every transform —
+// what FFT cost before the plan cache.
+func BenchmarkFFTPerCallPlan(b *testing.B) {
+	rng := rand.New(rand.NewSource(50))
+	x := randComplex(rng, 1024)
+	buf := make([]complex128, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		p, _ := NewPlan(1024)
+		_ = p.Transform(buf)
+	}
+}
+
+// BenchmarkFFTCachedPlan is the same transform through the process-wide
+// plan cache.
+func BenchmarkFFTCachedPlan(b *testing.B) {
+	rng := rand.New(rand.NewSource(50))
+	x := randComplex(rng, 1024)
+	buf := make([]complex128, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		p, _ := PlanFor(1024)
+		_ = p.Transform(buf)
+	}
+}
+
+// BenchmarkBluesteinPerCallPlan rebuilds the chirp and the transformed b
+// sequence on every call — the seed's arbitrary-length path.
+func BenchmarkBluesteinPerCallPlan(b *testing.B) {
+	for _, n := range []int{100, 131, 1000} {
+		b.Run(benchName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(51))
+			x := randComplex(rng, n)
+			buf := make([]complex128, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, x)
+				bp, _ := NewBluesteinPlan(n)
+				_ = bp.Transform(buf)
+			}
+		})
+	}
+}
+
+// BenchmarkBluesteinCachedPlan reuses the cached chirp-z plan.
+func BenchmarkBluesteinCachedPlan(b *testing.B) {
+	for _, n := range []int{100, 131, 1000} {
+		b.Run(benchName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(51))
+			x := randComplex(rng, n)
+			buf := make([]complex128, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, x)
+				bp, _ := BluesteinPlanFor(n)
+				_ = bp.Transform(buf)
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	switch n {
+	case 100:
+		return "n=100"
+	case 131:
+		return "n=131"
+	default:
+		return "n=1000"
+	}
+}
+
+// BenchmarkRealTransformSeedPerCall reconstructs the seed's only path for
+// transforming a real signal — widen to complex, build the plan, run the
+// full-length transform — per call, the cost every JTC shot used to pay.
+func BenchmarkRealTransformSeedPerCall(b *testing.B) {
+	x := benchSignal(1024, 54)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := make([]complex128, len(x))
+		for j, v := range x {
+			c[j] = complex(v, 0)
+		}
+		p, _ := NewPlan(len(x))
+		_ = p.Transform(c)
+	}
+}
+
+// BenchmarkRealTransformCachedPlan is the same real transform through the
+// cached half-length real-input plan — the hot path after this change.
+func BenchmarkRealTransformCachedPlan(b *testing.B) {
+	x := benchSignal(1024, 54)
+	rp, err := RealPlanFor(len(x))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := make([]complex128, rp.HalfSpectrumLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rp.Transform(x, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSeedConvolveShot reconstructs the seed's per-call convolution
+// path exactly — fresh plan, fresh full-length complex buffers, two forward
+// transforms plus one inverse — for a 256-sample JTC shot against a 5x5
+// kernel tile. This is the baseline the plan cache, the real-input path,
+// and kernel-spectrum reuse are measured against.
+func BenchmarkSeedConvolveShot(b *testing.B) {
+	sig := benchSignal(256, 52)
+	kern := benchSignal(25, 53)
+	outLen := len(sig) + len(kern) - 1
+	m := NextPow2(outLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fa := make([]complex128, m)
+		fb := make([]complex128, m)
+		for j, v := range sig {
+			fa[j] = complex(v, 0)
+		}
+		for j, v := range kern {
+			fb[j] = complex(v, 0)
+		}
+		p, _ := NewPlan(m)
+		_ = p.Transform(fa)
+		_ = p.Transform(fb)
+		for j := range fa {
+			fa[j] *= fb[j]
+		}
+		_ = p.Inverse(fa)
+		out := make([]float64, outLen)
+		for j := range out {
+			out[j] = real(fa[j])
+		}
+	}
+}
+
+// BenchmarkConvolveRepeatedKernel convolves a stream of signals against one
+// fixed kernel through the free function: two FFTs plus one inverse per
+// call.
+func BenchmarkConvolveRepeatedKernel(b *testing.B) {
+	sig := benchSignal(256, 52)
+	kern := benchSignal(25, 53)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Convolve(sig, kern)
+	}
+}
+
+// BenchmarkConvPlanRepeatedKernel is the same workload with the kernel
+// spectrum precomputed: one FFT plus one inverse per call, no allocation.
+func BenchmarkConvPlanRepeatedKernel(b *testing.B) {
+	sig := benchSignal(256, 52)
+	kern := benchSignal(25, 53)
+	cp, err := NewConvPlan(kern, len(sig))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, cp.OutLen(len(sig)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.ConvolveInto(dst, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package fourier
+
+import "fmt"
+
+// ConvPlan precomputes the frequency-domain spectrum of one fixed kernel so
+// repeated convolutions against varying signals pay a single forward
+// transform per call instead of two. This is the software analogue of the
+// JTC's amortized weight loading: a CNN layer transforms each kernel tile
+// once and correlates every shot against the cached spectrum.
+//
+// The plan is sized for signals up to MaxSignalLen samples; any shorter
+// signal is handled exactly (the FFT length already covers the padding).
+// Operands are real, so the transform runs through the half-length
+// real-input path — the same code the Convolve free function uses, which
+// keeps the two bit-identical on full-length signals. A ConvPlan is safe
+// for concurrent use once constructed.
+type ConvPlan struct {
+	kLen   int
+	maxSig int
+	m      int // FFT length: NextPow2(maxSig + kLen - 1)
+	rp     *RealPlan
+	kspec  []complex128 // half spectrum of the zero-padded kernel, m/2+1 bins
+	k0     float64      // degenerate m==1 case: plain product
+}
+
+// NewConvPlan builds a convolution plan for the given kernel and maximum
+// signal length. Convolve then returns the full linear convolution
+// (len(signal)+len(kernel)-1 samples), bit-identical to the one-shot
+// Convolve free function when len(signal) == maxSignalLen.
+func NewConvPlan(kernel []float64, maxSignalLen int) (*ConvPlan, error) {
+	if len(kernel) == 0 {
+		return nil, fmt.Errorf("fourier: conv plan needs a non-empty kernel")
+	}
+	if maxSignalLen < 1 {
+		return nil, fmt.Errorf("fourier: conv plan max signal length %d must be >= 1", maxSignalLen)
+	}
+	cp := &ConvPlan{kLen: len(kernel), maxSig: maxSignalLen}
+	cp.m = NextPow2(maxSignalLen + len(kernel) - 1)
+	if cp.m == 1 {
+		cp.k0 = kernel[0]
+		return cp, nil
+	}
+	rp, err := RealPlanFor(cp.m)
+	if err != nil {
+		return nil, err
+	}
+	cp.rp = rp
+	cp.kspec = make([]complex128, rp.hm+1)
+	rp.rfft(kernel, cp.kspec)
+	return cp, nil
+}
+
+// NewCorrPlan builds a plan whose Convolve computes the full linear
+// cross-correlation against the given kernel (the CrossCorrelate index
+// convention: zero lag at index len(kernel)-1). It is NewConvPlan on the
+// reversed kernel.
+func NewCorrPlan(kernel []float64, maxSignalLen int) (*ConvPlan, error) {
+	rb := make([]float64, len(kernel))
+	for i, v := range kernel {
+		rb[len(kernel)-1-i] = v
+	}
+	return NewConvPlan(rb, maxSignalLen)
+}
+
+// KernelLen returns the length of the planned kernel.
+func (cp *ConvPlan) KernelLen() int { return cp.kLen }
+
+// MaxSignalLen returns the largest signal length the plan supports.
+func (cp *ConvPlan) MaxSignalLen() int { return cp.maxSig }
+
+// OutLen returns the convolution output length for a signal of length
+// sigLen.
+func (cp *ConvPlan) OutLen(sigLen int) int { return sigLen + cp.kLen - 1 }
+
+// Convolve returns the full linear convolution of signal with the planned
+// kernel.
+func (cp *ConvPlan) Convolve(signal []float64) ([]float64, error) {
+	out := make([]float64, cp.OutLen(len(signal)))
+	return cp.ConvolveInto(out, signal)
+}
+
+// ConvolveInto computes the full linear convolution of signal with the
+// planned kernel into dst, which must have room for OutLen(len(signal))
+// samples. It returns the filled prefix of dst. Scratch comes from the
+// package buffer pool, so a hot loop reusing dst performs no allocation.
+func (cp *ConvPlan) ConvolveInto(dst, signal []float64) ([]float64, error) {
+	if len(signal) == 0 {
+		return nil, fmt.Errorf("fourier: conv plan signal is empty")
+	}
+	if len(signal) > cp.maxSig {
+		return nil, fmt.Errorf("fourier: signal length %d exceeds conv plan max %d", len(signal), cp.maxSig)
+	}
+	outLen := cp.OutLen(len(signal))
+	if len(dst) < outLen {
+		return nil, fmt.Errorf("fourier: conv plan dst length %d < output length %d", len(dst), outLen)
+	}
+	dst = dst[:outLen]
+	if cp.m == 1 {
+		dst[0] = signal[0] * cp.k0
+		return dst, nil
+	}
+	rp := cp.rp
+	sa := getComplex(rp.hm + 1)
+	rp.rfft(signal, sa)
+	for i := range sa {
+		sa[i] *= cp.kspec[i]
+	}
+	rp.irfft(sa, dst)
+	putComplex(sa)
+	return dst, nil
+}

@@ -32,10 +32,11 @@ func NextPow2(n int) int {
 // power-of-two FFT length so repeated transforms avoid re-deriving them.
 // A Plan is safe for concurrent use once constructed.
 type Plan struct {
-	n       int
-	logN    int
-	rev     []int        // bit-reversal permutation
-	twiddle []complex128 // forward twiddles, n/2 entries
+	n          int
+	logN       int
+	rev        []int        // bit-reversal permutation
+	twiddle    []complex128 // forward twiddles, n/2 entries
+	twiddleInv []complex128 // conjugate twiddles, so the butterfly loop never calls cmplx.Conj
 }
 
 // NewPlan creates a plan for transforms of length n, which must be a
@@ -50,9 +51,11 @@ func NewPlan(n int) (*Plan, error) {
 		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - p.logN))
 	}
 	p.twiddle = make([]complex128, n/2)
+	p.twiddleInv = make([]complex128, n/2)
 	for i := range p.twiddle {
 		theta := -2 * math.Pi * float64(i) / float64(n)
 		p.twiddle[i] = cmplx.Exp(complex(0, theta))
+		p.twiddleInv[i] = cmplx.Conj(p.twiddle[i])
 	}
 	return p, nil
 }
@@ -83,21 +86,86 @@ func (p *Plan) transform(x []complex128, inverse bool) error {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Iterative butterflies.
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := n / size
-		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				w := p.twiddle[k*step]
-				if inverse {
-					w = cmplx.Conj(w)
-				}
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
+	// Iterative butterflies. The size-2 and size-4 stages fuse into one
+	// pass with no twiddle loads (their factors are 1 and -/+i), later
+	// stages special-case k=0 the same way, and split half-slices let the
+	// compiler elide bounds checks in the inner loop.
+	tw := p.twiddle
+	if inverse {
+		tw = p.twiddleInv
+	}
+	if n >= 4 {
+		for i := 0; i < n; i += 4 {
+			a, b, c, d := x[i], x[i+1], x[i+2], x[i+3]
+			ab, sb := a+b, a-b
+			cd, sd := c+d, c-d
+			var rot complex128
+			if inverse {
+				rot = complex(-imag(sd), real(sd))
+			} else {
+				rot = complex(imag(sd), -real(sd))
 			}
+			x[i] = ab + cd
+			x[i+2] = ab - cd
+			x[i+1] = sb + rot
+			x[i+3] = sb - rot
+		}
+	} else if n == 2 {
+		a, b := x[0], x[1]
+		x[0], x[1] = a+b, a-b
+	}
+	// Remaining stages run in fused pairs: two consecutive radix-2 stages
+	// (sizes s and 2s) combine into one radix-4-style pass that loads and
+	// stores each element once instead of twice — the butterflies are
+	// memory-bound, so halving the passes is the dominant win. The
+	// arithmetic and its order per element are exactly the unfused
+	// stages', so results are bit-identical.
+	size := 8
+	for ; size<<1 <= n; size <<= 2 {
+		half := size >> 1
+		size2 := size << 1
+		stepA := n / size
+		stepB := stepA >> 1
+		for start := 0; start < n; start += size2 {
+			blk := x[start : start+size2 : start+size2]
+			// k = 0: stage-A and first stage-B twiddles are 1.
+			a, b := blk[0], blk[half]
+			c, d := blk[size], blk[size+half]
+			a1, b1 := a+b, a-b
+			c1, d1 := c+d, c-d
+			blk[0], blk[size] = a1+c1, a1-c1
+			tB := d1 * tw[half*stepB]
+			blk[half], blk[size+half] = b1+tB, b1-tB
+			for k := 1; k < half; k++ {
+				wA := tw[k*stepA]
+				wB1 := tw[k*stepB]
+				wB2 := tw[(k+half)*stepB]
+				a, b := blk[k], blk[k+half]
+				c, d := blk[size+k], blk[size+k+half]
+				tA := b * wA
+				a1, b1 := a+tA, a-tA
+				tA2 := d * wA
+				c1, d1 := c+tA2, c-tA2
+				tB1 := c1 * wB1
+				blk[k], blk[size+k] = a1+tB1, a1-tB1
+				tB2 := d1 * wB2
+				blk[k+half], blk[size+k+half] = b1+tB2, b1-tB2
+			}
+		}
+	}
+	// Odd stage count leaves one final radix-2 stage spanning the array.
+	if size <= n {
+		half := size >> 1
+		lo := x[:half:half]
+		hi := x[half:size:size]
+		a, b := lo[0], hi[0]
+		lo[0], hi[0] = a+b, a-b
+		for k := 1; k < half; k++ {
+			w := tw[k]
+			a := lo[k]
+			b := hi[k] * w
+			lo[k] = a + b
+			hi[k] = a - b
 		}
 	}
 	if inverse {
@@ -134,55 +202,15 @@ func fftInPlaceAny(x []complex128, inverse bool) {
 		return
 	}
 	if IsPow2(n) {
-		p, _ := NewPlan(n)
+		p, _ := PlanFor(n)
 		_ = p.transform(x, inverse)
 		return
 	}
-	bluestein(x, inverse)
-}
-
-// bluestein computes the DFT of arbitrary length via the chirp-z transform,
-// which reduces the problem to a power-of-two circular convolution.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
+	bp, _ := BluesteinPlanFor(n)
 	if inverse {
-		sign = 1.0
-	}
-	// chirp[k] = exp(sign * i*pi*k^2/n)
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k*k may overflow for huge n; use modular arithmetic on 2n since
-		// the exponent is periodic in 2n.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		theta := sign * math.Pi * float64(kk) / float64(n)
-		chirp[k] = cmplx.Exp(complex(0, theta))
-	}
-	m := NextPow2(2*n - 1)
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	p, _ := NewPlan(m)
-	_ = p.transform(a, false)
-	_ = p.transform(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	_ = p.transform(a, true)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * chirp[k]
-	}
-	if inverse {
-		invN := complex(1/float64(n), 0)
-		for k := range x {
-			x[k] *= invN
-		}
+		_ = bp.Inverse(x)
+	} else {
+		_ = bp.Transform(x)
 	}
 }
 
@@ -225,32 +253,30 @@ func Intensity(x []complex128) []float64 {
 }
 
 // Convolve returns the full linear convolution of a and b
-// (length len(a)+len(b)-1) computed via FFT.
+// (length len(a)+len(b)-1) computed via a real-input FFT: both operands are
+// real, so each transform runs at half length, and all plans and scratch
+// come from the process-wide caches and pools.
 func Convolve(a, b []float64) []float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
 	outLen := len(a) + len(b) - 1
+	if outLen == 1 {
+		return []float64{a[0] * b[0]}
+	}
 	m := NextPow2(outLen)
-	fa := make([]complex128, m)
-	fb := make([]complex128, m)
-	for i, v := range a {
-		fa[i] = complex(v, 0)
+	rp, _ := RealPlanFor(m)
+	sa := getComplex(rp.hm + 1)
+	sb := getComplex(rp.hm + 1)
+	rp.rfft(a, sa)
+	rp.rfft(b, sb)
+	for i := range sa {
+		sa[i] *= sb[i]
 	}
-	for i, v := range b {
-		fb[i] = complex(v, 0)
-	}
-	p, _ := NewPlan(m)
-	_ = p.Transform(fa)
-	_ = p.Transform(fb)
-	for i := range fa {
-		fa[i] *= fb[i]
-	}
-	_ = p.Inverse(fa)
 	out := make([]float64, outLen)
-	for i := range out {
-		out[i] = real(fa[i])
-	}
+	rp.irfft(sa, out)
+	putComplex(sa)
+	putComplex(sb)
 	return out
 }
 

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"photofourier/internal/fourier"
 	"photofourier/internal/quant"
@@ -49,7 +51,9 @@ type Detector interface {
 type LinearPowerDetector struct {
 	DarkNoise       float64
 	ShotNoiseFactor float64
-	rng             *rand.Rand
+
+	mu  sync.Mutex // guards rng: Detect may run from many goroutines
+	rng *rand.Rand
 }
 
 // NewLinearPowerDetector builds the default detector with the given noise
@@ -58,7 +62,11 @@ func NewLinearPowerDetector(dark, shot float64, seed int64) *LinearPowerDetector
 	return &LinearPowerDetector{DarkNoise: dark, ShotNoiseFactor: shot, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Detect adds detector noise to a non-negative partial sum.
+// Detect adds detector noise to a non-negative partial sum. The noiseless
+// configuration is a lock-free pass-through; noisy sampling serializes on an
+// internal mutex so concurrent Detect calls are safe (results for a fixed
+// seed are reproducible when the call order is deterministic, i.e. on the
+// serial readout paths the engines use).
 func (d *LinearPowerDetector) Detect(v float64) float64 {
 	if d.DarkNoise == 0 && d.ShotNoiseFactor == 0 {
 		return v
@@ -67,7 +75,10 @@ func (d *LinearPowerDetector) Detect(v float64) float64 {
 	if d.ShotNoiseFactor > 0 && v > 0 {
 		sigma = math.Hypot(sigma, d.ShotNoiseFactor*math.Sqrt(v))
 	}
-	return v + d.rng.NormFloat64()*sigma
+	d.mu.Lock()
+	eps := d.rng.NormFloat64()
+	d.mu.Unlock()
+	return v + eps*sigma
 }
 
 // PostReadout is the identity for linear power encoding.
@@ -88,7 +99,9 @@ func (d *LinearPowerDetector) PerChannel() bool { return false }
 // it exists to quantify that design choice (ablation bench).
 type SquareLawDetector struct {
 	DarkNoise float64
-	rng       *rand.Rand
+
+	mu  sync.Mutex // guards rng: Detect may run from many goroutines
+	rng *rand.Rand
 }
 
 // NewSquareLawDetector builds the ablation detector variant.
@@ -96,11 +109,16 @@ func NewSquareLawDetector(dark float64, seed int64) *SquareLawDetector {
 	return &SquareLawDetector{DarkNoise: dark, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Detect squares the amplitude and adds dark noise.
+// Detect squares the amplitude and adds dark noise. Noise sampling is
+// mutex-guarded so concurrent Detect calls are safe; the noiseless
+// configuration stays lock-free.
 func (d *SquareLawDetector) Detect(v float64) float64 {
 	out := v * v
 	if d.DarkNoise > 0 {
-		out += d.rng.NormFloat64() * d.DarkNoise
+		d.mu.Lock()
+		eps := d.rng.NormFloat64()
+		d.mu.Unlock()
+		out += eps * d.DarkNoise
 	}
 	if out < 0 {
 		out = 0
@@ -131,7 +149,7 @@ type PFCU struct {
 	PipelineDepth   int // 2 after the sample-and-hold optimization (Sec. IV-A)
 
 	detector Detector
-	shots    int64 // number of correlations performed, for perf accounting
+	shots    atomic.Int64 // number of correlations performed, for perf accounting
 }
 
 // Option configures a PFCU at construction.
@@ -173,7 +191,7 @@ func NewPFCU(ni int, opts ...Option) (*PFCU, error) {
 func (p *PFCU) MaxConv() int { return p.InputWaveguides }
 
 // Shots returns the number of correlations executed so far.
-func (p *PFCU) Shots() int64 { return p.shots }
+func (p *PFCU) Shots() int64 { return p.shots.Load() }
 
 // Correlate performs one JTC shot subject to the hardware constraints: the
 // signal must fit the input waveguides, the kernel tile must fit the weight
@@ -183,34 +201,112 @@ func (p *PFCU) Shots() int64 { return p.shots }
 // The result follows the tiling.Correlator convention and passes through
 // the detector's Detect stage sample by sample.
 func (p *PFCU) Correlate(signal, kernelTile []float64) ([]float64, error) {
-	if len(signal) > p.InputWaveguides {
-		return nil, fmt.Errorf("jtc: signal of %d exceeds %d input waveguides", len(signal), p.InputWaveguides)
+	if err := p.checkKernelTile(kernelTile); err != nil {
+		return nil, err
 	}
+	if err := p.checkSignal(signal); err != nil {
+		return nil, err
+	}
+	p.shots.Add(1)
+	out := Correlate1D(signal, kernelTile)
+	for i, v := range out {
+		out[i] = p.detector.Detect(v)
+	}
+	return out, nil
+}
+
+func (p *PFCU) checkKernelTile(kernelTile []float64) error {
 	if len(kernelTile) > p.InputWaveguides {
-		return nil, fmt.Errorf("jtc: kernel tile of %d exceeds %d weight waveguides", len(kernelTile), p.InputWaveguides)
+		return fmt.Errorf("jtc: kernel tile of %d exceeds %d weight waveguides", len(kernelTile), p.InputWaveguides)
 	}
-	if len(signal) == 0 || len(kernelTile) == 0 {
-		return nil, fmt.Errorf("jtc: empty operands (%d, %d)", len(signal), len(kernelTile))
+	if len(kernelTile) == 0 {
+		return fmt.Errorf("jtc: empty kernel tile")
 	}
 	nz := 0
 	for i, v := range kernelTile {
 		if v < 0 {
-			return nil, fmt.Errorf("jtc: kernelTile[%d] = %g negative; use pseudo-negative filters", i, v)
+			return fmt.Errorf("jtc: kernelTile[%d] = %g negative; use pseudo-negative filters", i, v)
 		}
 		if v != 0 {
 			nz++
 		}
 	}
 	if nz > p.WeightDACs {
-		return nil, fmt.Errorf("jtc: kernel tile has %d non-zeros but only %d weight DACs are active; partition the kernel", nz, p.WeightDACs)
+		return fmt.Errorf("jtc: kernel tile has %d non-zeros but only %d weight DACs are active; partition the kernel", nz, p.WeightDACs)
+	}
+	return nil
+}
+
+func (p *PFCU) checkSignal(signal []float64) error {
+	if len(signal) > p.InputWaveguides {
+		return fmt.Errorf("jtc: signal of %d exceeds %d input waveguides", len(signal), p.InputWaveguides)
+	}
+	if len(signal) == 0 {
+		return fmt.Errorf("jtc: empty signal")
 	}
 	for i, v := range signal {
 		if v < 0 {
-			return nil, fmt.Errorf("jtc: signal[%d] = %g negative; optical amplitudes are non-negative", i, v)
+			return fmt.Errorf("jtc: signal[%d] = %g negative; optical amplitudes are non-negative", i, v)
 		}
 	}
-	p.shots++
-	out := Correlate1D(signal, kernelTile)
+	return nil
+}
+
+// KernelSpectrum is a kernel tile loaded once into a PFCU's weight DACs with
+// its Fourier spectrum precomputed, modeling the hardware reality that
+// weights stay latched across thousands of shots while only the input
+// changes. It is read-only after construction and safe for concurrent use.
+type KernelSpectrum struct {
+	owner *PFCU // the PFCU whose constraints the tile was validated against
+	tile  []float64
+	corr  *fourier.ConvPlan
+}
+
+// Tile returns a copy of the loaded kernel tile.
+func (ks *KernelSpectrum) Tile() []float64 {
+	out := make([]float64, len(ks.tile))
+	copy(out, ks.tile)
+	return out
+}
+
+// PlanKernel validates a kernel tile against the hardware constraints and
+// precomputes its spectrum for reuse across shots via CorrelatePlanned.
+func (p *PFCU) PlanKernel(kernelTile []float64) (*KernelSpectrum, error) {
+	if err := p.checkKernelTile(kernelTile); err != nil {
+		return nil, err
+	}
+	tile := make([]float64, len(kernelTile))
+	copy(tile, kernelTile)
+	corr, err := fourier.NewCorrPlan(tile, p.InputWaveguides)
+	if err != nil {
+		return nil, err
+	}
+	return &KernelSpectrum{owner: p, tile: tile, corr: corr}, nil
+}
+
+// CorrelatePlanned performs one JTC shot against a preloaded kernel
+// spectrum: only the signal is transformed, halving the per-shot FFT work.
+// The result follows the same contract as Correlate and is bit-identical to
+// it when the signal fills the aperture (len(signal) == InputWaveguides, the
+// case every tiled shot hits); shorter signals run at the plan's larger FFT
+// length and may differ from Correlate in the last floating-point bits.
+func (p *PFCU) CorrelatePlanned(signal []float64, ks *KernelSpectrum) ([]float64, error) {
+	if ks == nil {
+		return nil, fmt.Errorf("jtc: nil kernel spectrum")
+	}
+	if ks.owner != p {
+		// A spectrum validated against another PFCU's waveguide/DAC budget
+		// must not bypass this device's constraints.
+		return nil, fmt.Errorf("jtc: kernel spectrum was planned on a different PFCU")
+	}
+	if err := p.checkSignal(signal); err != nil {
+		return nil, err
+	}
+	p.shots.Add(1)
+	out, err := ks.corr.Convolve(signal)
+	if err != nil {
+		return nil, err
+	}
 	for i, v := range out {
 		out[i] = p.detector.Detect(v)
 	}

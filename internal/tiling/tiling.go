@@ -20,6 +20,7 @@ package tiling
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"photofourier/internal/fourier"
 	"photofourier/internal/tensor"
@@ -58,6 +59,9 @@ func (m Mode) String() string {
 // (kernel start aligned with signal index m) lives at index m+len(kernel)-1.
 // fourier.CrossCorrelate satisfies this contract; internal/jtc provides a
 // physical JTC-backed implementation.
+//
+// The signal slice is a pooled buffer the plan rewrites between shots: a
+// Correlator must read it during the call and not retain it afterwards.
 type Correlator func(signal, kernel []float64) []float64
 
 // Plan describes how one (H, W, K, NConv) convolution maps onto 1D shots.
@@ -182,113 +186,288 @@ func TileKernel(kernel [][]float64, rowLen int) ([]float64, error) {
 	return out, nil
 }
 
+// kernelCorr is one 1D correlation stage bound to a fixed kernel tile: fn
+// takes the tiled signal for a shot and returns the full correlation. The
+// signal buffer is reused between shots, so fn must not retain it.
+type kernelCorr struct {
+	lk int // tiled kernel length (sets the zero-lag offset in the result)
+	fn func(g []float64) ([]float64, error)
+}
+
+// forEachKernelTile validates the kernel and enumerates, in pass order, the
+// 1D kernel tiles this plan's mode correlates against: one full tiled kernel
+// for row tiling, one tile per accumulation pass for partial row tiling, one
+// kernel row for row partitioning. Both the generic-correlator and the
+// planned-spectrum paths are built from this single enumeration.
+func (p *Plan) forEachKernelTile(kernel [][]float64, fn func(tile []float64) error) error {
+	if err := p.checkKernel(kernel); err != nil {
+		return err
+	}
+	switch p.Mode {
+	case RowTiling:
+		k1d, err := TileKernel(kernel, p.RowLen)
+		if err != nil {
+			return err
+		}
+		return fn(k1d)
+	case PartialRowTiling:
+		passes := ceilDiv(p.K, p.RowsPerShot)
+		for pass := 0; pass < passes; pass++ {
+			j0 := pass * p.RowsPerShot
+			nRows := min(p.RowsPerShot, p.K-j0)
+			if err := fn(p.tileKernelRows(kernel, j0, nRows)); err != nil {
+				return err
+			}
+		}
+		return nil
+	default: // RowPartitioning
+		for j := 0; j < p.K; j++ {
+			krow := make([]float64, p.K)
+			copy(krow, kernel[j])
+			if err := fn(krow); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// shotCorrs builds the per-pass correlation stages for this plan's mode from
+// a generic Correlator backend.
+func (p *Plan) shotCorrs(kernel [][]float64, corr Correlator) ([]kernelCorr, error) {
+	var out []kernelCorr
+	err := p.forEachKernelTile(kernel, func(tile []float64) error {
+		out = append(out, kernelCorr{lk: len(tile), fn: func(g []float64) ([]float64, error) {
+			return corr(g, tile), nil
+		}})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// KernelPlan holds the precomputed 1D kernel tiles of one (plan, kernel)
+// pair together with their frequency-domain spectra, so a CNN layer
+// transforms each kernel tile once and reuses the spectrum across all shots
+// (and all batch samples). A KernelPlan is read-only after construction and
+// safe for concurrent use.
+type KernelPlan struct {
+	plan  *Plan
+	lks   []int
+	corrs []*fourier.ConvPlan // one per pass (partial) / kernel row (partitioned); single entry for row tiling
+}
+
+// PlanKernel validates the kernel against the plan geometry and precomputes
+// the kernel-tile spectra for the ideal FFT correlator backend.
+func (p *Plan) PlanKernel(kernel [][]float64) (*KernelPlan, error) {
+	kp := &KernelPlan{plan: p}
+	err := p.forEachKernelTile(kernel, func(tile []float64) error {
+		cp, err := fourier.NewCorrPlan(tile, p.NConv)
+		if err != nil {
+			return err
+		}
+		kp.lks = append(kp.lks, len(tile))
+		kp.corrs = append(kp.corrs, cp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return kp, nil
+}
+
+func (p *Plan) checkKernel(kernel [][]float64) error {
+	if len(kernel) != p.K {
+		return fmt.Errorf("tiling: kernel has %d rows, plan expects %d", len(kernel), p.K)
+	}
+	for _, row := range kernel {
+		if len(row) != p.K {
+			return fmt.Errorf("tiling: kernel row has %d cols, plan expects %d", len(row), p.K)
+		}
+	}
+	return nil
+}
+
+func (p *Plan) checkInput(input [][]float64) error {
+	if len(input) != p.H {
+		return fmt.Errorf("tiling: input has %d rows, plan expects %d", len(input), p.H)
+	}
+	for _, row := range input {
+		if len(row) != p.W {
+			return fmt.Errorf("tiling: input row has %d cols, plan expects %d", len(row), p.W)
+		}
+	}
+	return nil
+}
+
 // Conv2D computes the 2D convolution of input with kernel through 1D shots,
 // using corr as the 1D correlation backend (nil means the ideal FFT
-// correlator). The output has the plan's OutH x OutW size.
+// correlator with a per-call precomputed kernel spectrum). The output has
+// the plan's OutH x OutW size.
 //
 // Valid mode and ColumnPad Same mode reproduce 2D convolution exactly;
 // plain Same mode exhibits the paper's edge effect within K-1 columns of
 // row boundaries.
 func (p *Plan) Conv2D(input, kernel [][]float64, corr Correlator) ([][]float64, error) {
-	if len(input) != p.H {
-		return nil, fmt.Errorf("tiling: input has %d rows, plan expects %d", len(input), p.H)
-	}
-	for _, row := range input {
-		if len(row) != p.W {
-			return nil, fmt.Errorf("tiling: input row has %d cols, plan expects %d", len(row), p.W)
-		}
-	}
-	if len(kernel) != p.K {
-		return nil, fmt.Errorf("tiling: kernel has %d rows, plan expects %d", len(kernel), p.K)
-	}
 	if corr == nil {
-		corr = fourier.CrossCorrelate
-	}
-	out := make([][]float64, p.OutH)
-	for i := range out {
-		out[i] = make([]float64, p.OutW)
-	}
-	switch p.Mode {
-	case RowTiling:
-		if err := p.convRowTiled(input, kernel, corr, out); err != nil {
+		kp, err := p.PlanKernel(kernel)
+		if err != nil {
 			return nil, err
 		}
-	case PartialRowTiling:
-		if err := p.convPartial(input, kernel, corr, out); err != nil {
-			return nil, err
-		}
-	default:
-		if err := p.convPartitioned(input, kernel, corr, out); err != nil {
-			return nil, err
-		}
+		return p.Conv2DPlanned(input, kp)
 	}
-	return out, nil
+	if err := p.checkInput(input); err != nil {
+		return nil, err
+	}
+	kcs, err := p.shotCorrs(kernel, corr)
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]float64, p.OutH*p.OutW)
+	if err := p.convAccum(input, kcs, acc); err != nil {
+		return nil, err
+	}
+	return p.reshape(acc), nil
 }
 
-func (p *Plan) convRowTiled(input, kernel [][]float64, corr Correlator, out [][]float64) error {
-	k1d, err := TileKernel(kernel, p.RowLen)
-	if err != nil {
+// Conv2DPlanned computes the 2D convolution against a precomputed
+// KernelPlan, reusing the kernel spectra across every shot.
+func (p *Plan) Conv2DPlanned(input [][]float64, kp *KernelPlan) ([][]float64, error) {
+	acc := make([]float64, p.OutH*p.OutW)
+	if err := p.Conv2DPlannedAccum(input, kp, acc); err != nil {
+		return nil, err
+	}
+	return p.reshape(acc), nil
+}
+
+// Conv2DPlannedAccum adds the 2D convolution of input against a precomputed
+// KernelPlan into acc, a row-major OutH x OutW buffer. Accumulating in place
+// lets channel sums build up without intermediate planes; all scratch comes
+// from a package pool, so the hot loop performs no per-shot allocation.
+func (p *Plan) Conv2DPlannedAccum(input [][]float64, kp *KernelPlan, acc []float64) error {
+	if kp == nil || kp.plan != p {
+		return fmt.Errorf("tiling: kernel plan does not belong to this plan")
+	}
+	if err := p.checkInput(input); err != nil {
 		return err
 	}
-	lk := len(k1d)
+	if len(acc) != p.OutH*p.OutW {
+		return fmt.Errorf("tiling: accumulator length %d, plan output is %dx%d", len(acc), p.OutH, p.OutW)
+	}
+	maxLk := 0
+	for _, lk := range kp.lks {
+		if lk > maxLk {
+			maxLk = lk
+		}
+	}
+	dst := getFloats(p.NConv + maxLk - 1)
+	defer putFloats(dst)
+	kcs := make([]kernelCorr, len(kp.corrs))
+	for i := range kp.corrs {
+		cp := kp.corrs[i]
+		kcs[i] = kernelCorr{lk: kp.lks[i], fn: func(g []float64) ([]float64, error) {
+			return cp.ConvolveInto(dst, g)
+		}}
+	}
+	return p.convAccum(input, kcs, acc)
+}
+
+func (p *Plan) reshape(acc []float64) [][]float64 {
+	out := make([][]float64, p.OutH)
+	for i := range out {
+		// Cap each row so appending to one cannot overwrite the next.
+		out[i] = acc[i*p.OutW : (i+1)*p.OutW : (i+1)*p.OutW]
+	}
+	return out
+}
+
+// convAccum dispatches to the mode-specific shot loop, adding results into
+// the row-major accumulator.
+func (p *Plan) convAccum(input [][]float64, kcs []kernelCorr, acc []float64) error {
+	switch p.Mode {
+	case RowTiling:
+		return p.convRowTiledAcc(input, kcs[0], acc)
+	case PartialRowTiling:
+		return p.convPartialAcc(input, kcs, acc)
+	default:
+		return p.convPartitionedAcc(input, kcs, acc)
+	}
+}
+
+func (p *Plan) convRowTiledAcc(input [][]float64, kc kernelCorr, acc []float64) error {
+	lk := kc.lk
 	colOff := p.padL
 	if p.ColumnPad && p.Pad == tensor.Same {
 		// Padded rows already carry the left zeros; output col c aligns
 		// with shift c directly.
 		colOff = 0
 	}
+	g := getFloats(p.NConv)
+	defer putFloats(g)
 	for shot := 0; shot*p.Nor < p.OutH; shot++ {
 		rOut0 := shot * p.Nor
 		firstRow := rOut0 - p.padT
-		g := p.tileRowsN(input, firstRow, p.RowsPerShot)
-		full := corr(g, k1d)
+		p.tileRowsInto(g, input, firstRow, p.RowsPerShot)
+		full, err := kc.fn(g)
+		if err != nil {
+			return err
+		}
 		for t := 0; t < p.Nor && rOut0+t < p.OutH; t++ {
+			row := acc[(rOut0+t)*p.OutW : (rOut0+t+1)*p.OutW]
 			for c := 0; c < p.OutW; c++ {
 				m := t*p.RowLen + c - colOff
 				idx := m + lk - 1
 				if idx < 0 || idx >= len(full) {
 					continue
 				}
-				out[rOut0+t][c] = full[idx]
+				row[c] += full[idx]
 			}
 		}
 	}
 	return nil
 }
 
-func (p *Plan) convPartial(input, kernel [][]float64, corr Correlator, out [][]float64) error {
-	passes := ceilDiv(p.K, p.RowsPerShot)
+func (p *Plan) convPartialAcc(input [][]float64, kcs []kernelCorr, acc []float64) error {
 	colOff := p.padL
 	if p.ColumnPad && p.Pad == tensor.Same {
 		colOff = 0
 	}
+	g := getFloats(p.NConv)
+	defer putFloats(g)
 	for r := 0; r < p.OutH; r++ {
-		for pass := 0; pass < passes; pass++ {
+		row := acc[r*p.OutW : (r+1)*p.OutW]
+		for pass, kc := range kcs {
 			j0 := pass * p.RowsPerShot
 			nRows := min(p.RowsPerShot, p.K-j0)
 			// Tile the nRows input rows feeding kernel rows j0..j0+nRows-1.
-			g := p.tileRowsN(input, r-p.padT+j0, nRows)
-			k1d := p.tileKernelRows(kernel, j0, nRows)
-			full := corr(g, k1d)
-			lk := len(k1d)
+			p.tileRowsInto(g, input, r-p.padT+j0, nRows)
+			full, err := kc.fn(g)
+			if err != nil {
+				return err
+			}
+			lk := kc.lk
 			for c := 0; c < p.OutW; c++ {
 				idx := c - colOff + lk - 1
 				if idx < 0 || idx >= len(full) {
 					continue
 				}
-				out[r][c] += full[idx]
+				row[c] += full[idx]
 			}
 		}
 	}
 	return nil
 }
 
-// tileRowsN builds the 1D input signal for one shot: nRows consecutive input
-// rows starting at firstRow (virtual rows outside [0, H) contribute zeros,
-// realizing Same-mode vertical padding), each laid out in a RowLen slot,
-// zero-filled to NConv.
-func (p *Plan) tileRowsN(input [][]float64, firstRow, nRows int) []float64 {
-	g := make([]float64, p.NConv)
+// tileRowsInto builds the 1D input signal for one shot into g (length
+// NConv): nRows consecutive input rows starting at firstRow (virtual rows
+// outside [0, H) contribute zeros, realizing Same-mode vertical padding),
+// each laid out in a RowLen slot, zero-filled to NConv.
+func (p *Plan) tileRowsInto(g []float64, input [][]float64, firstRow, nRows int) {
+	for i := range g {
+		g[i] = 0
+	}
 	for t := 0; t < nRows; t++ {
 		r := firstRow + t
 		if r < 0 || r >= p.H {
@@ -301,7 +480,6 @@ func (p *Plan) tileRowsN(input [][]float64, firstRow, nRows int) []float64 {
 			copy(dst, input[r])
 		}
 	}
-	return g
 }
 
 func (p *Plan) tileKernelRows(kernel [][]float64, j0, nRows int) []float64 {
@@ -312,7 +490,7 @@ func (p *Plan) tileKernelRows(kernel [][]float64, j0, nRows int) []float64 {
 	return out
 }
 
-func (p *Plan) convPartitioned(input, kernel [][]float64, corr Correlator, out [][]float64) error {
+func (p *Plan) convPartitionedAcc(input [][]float64, kcs []kernelCorr, acc []float64) error {
 	// Each (output row, kernel row) pair is a 1D row correlation executed in
 	// segments of NConv samples. Segments overlap by K-1 (halo) so the
 	// assembled result equals an exact row correlation with zero boundaries:
@@ -321,32 +499,55 @@ func (p *Plan) convPartitioned(input, kernel [][]float64, corr Correlator, out [
 	if step < 1 {
 		return fmt.Errorf("tiling: NConv %d cannot fit kernel %d with halo", p.NConv, p.K)
 	}
-	seg := make([]float64, p.NConv)
+	seg := getFloats(p.NConv)
+	defer putFloats(seg)
 	for r := 0; r < p.OutH; r++ {
+		row := acc[r*p.OutW : (r+1)*p.OutW]
 		for j := 0; j < p.K; j++ {
 			ri := r - p.padT + j
 			if ri < 0 || ri >= p.H {
 				continue
 			}
-			row := input[ri]
-			krow := kernel[j]
+			in := input[ri]
+			kc := kcs[j]
 			for c0 := 0; c0 < p.OutW; c0 += step {
 				for i := range seg {
 					ix := c0 - p.padL + i
 					if ix < 0 || ix >= p.W {
 						seg[i] = 0
 					} else {
-						seg[i] = row[ix]
+						seg[i] = in[ix]
 					}
 				}
-				full := corr(seg, krow)
+				full, err := kc.fn(seg)
+				if err != nil {
+					return err
+				}
 				for c := c0; c < min(c0+step, p.OutW); c++ {
-					out[r][c] += full[(c-c0)+p.K-1]
+					row[c] += full[(c-c0)+p.K-1]
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// floatPool recycles shot signal and correlation scratch, mirroring the
+// complex pool in internal/fourier.
+var floatPool sync.Pool
+
+func getFloats(n int) []float64 {
+	if v := floatPool.Get(); v != nil {
+		s := *(v.(*[]float64))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putFloats(s []float64) {
+	floatPool.Put(&s)
 }
 
 // MaxRelativeEdgeError bounds how far a Same-mode row-tiled result may
