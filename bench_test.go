@@ -191,6 +191,88 @@ func BenchmarkAcceleratorConvParallel(b *testing.B) {
 	}
 }
 
+// plannedConvWorkloads are the repeated-batch workloads of the planned-vs-
+// unplanned engine comparison (BENCH_2.json): a trained layer is set up
+// once and then serves many batches. "direct" is the default fast path with
+// mixed-sign activations (all four pseudo-negative cross terms live);
+// "tiled" is the full-fidelity row-tiled path where the plan latches every
+// kernel-tile spectrum.
+func plannedConvWorkloads() []struct {
+	name   string
+	in, w  *tensor.Tensor
+	config func(*core.Engine)
+} {
+	direct := tensor.New(2, 16, 16, 16)
+	dw := tensor.New(16, 16, 3, 3)
+	for i := range direct.Data {
+		direct.Data[i] = float64(i%97)/97 - 0.35
+	}
+	for i := range dw.Data {
+		dw.Data[i] = float64(i%53)/53 - 0.4
+	}
+	tiled := tensor.New(1, 8, 12, 12)
+	tw := tensor.New(16, 8, 3, 3)
+	for i := range tiled.Data {
+		tiled.Data[i] = float64(i%89)/89 - 0.3
+	}
+	for i := range tw.Data {
+		tw.Data[i] = float64(i%37)/37 - 0.4
+	}
+	return []struct {
+		name   string
+		in, w  *tensor.Tensor
+		config func(*core.Engine)
+	}{
+		{"direct", direct, dw, func(e *core.Engine) {}},
+		{"tiled", tiled, tw, func(e *core.Engine) { e.UseTiledPath = true; e.NConv = 256 }},
+	}
+}
+
+// BenchmarkEngineUnplannedConv is the baseline: every call re-quantizes
+// both operands, runs four independent cross-term sweeps, and (tiled)
+// re-plans every kernel spectrum.
+func BenchmarkEngineUnplannedConv(b *testing.B) {
+	for _, wl := range plannedConvWorkloads() {
+		b.Run(wl.name, func(b *testing.B) {
+			e := core.NewEngine()
+			wl.config(e)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Conv2D(wl.in, wl.w, nil, 1, tensor.Same); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnginePlannedConv is the compiled path: weights quantized and
+// sign-split once, kernel spectra latched, fused signed grouped sweep,
+// pooled psum buffers. Output is bit-identical to the unplanned baseline.
+func BenchmarkEnginePlannedConv(b *testing.B) {
+	for _, wl := range plannedConvWorkloads() {
+		b.Run(wl.name, func(b *testing.B) {
+			e := core.NewEngine()
+			wl.config(e)
+			plan, err := e.PlanConv(wl.w, nil, 1, tensor.Same)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.Conv2D(wl.in); err != nil { // warm geometry cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Conv2D(wl.in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkArchitectureModel measures the evaluator itself across the full
 // benchmark suite.
 func BenchmarkArchitectureModel(b *testing.B) {

@@ -1,0 +1,39 @@
+// Package buf provides the shared sized-slice pool the compute hot paths
+// (fourier, tiling, core) recycle their scratch through, replacing the
+// per-package hand-rolled sync.Pool helpers with one implementation.
+package buf
+
+import "sync"
+
+// Pool recycles []T scratch buffers. The zero value is ready to use; a
+// Pool must not be copied after first use.
+type Pool[T any] struct{ p sync.Pool }
+
+// Get returns a slice of length n, reusing a pooled allocation when its
+// capacity suffices. Contents are unspecified; use GetZeroed for cleared
+// scratch.
+func (pl *Pool[T]) Get(n int) []T {
+	if v := pl.p.Get(); v != nil {
+		s := *(v.(*[]T))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]T, n)
+}
+
+// GetZeroed returns a slice of length n with every element set to the zero
+// value.
+func (pl *Pool[T]) GetZeroed(n int) []T {
+	s := pl.Get(n)
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// Put recycles s for a future Get.
+func (pl *Pool[T]) Put(s []T) {
+	pl.p.Put(&s)
+}

@@ -16,8 +16,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"photofourier/internal/jtc"
 	"photofourier/internal/quant"
@@ -87,6 +87,13 @@ func (e *RowTiledEngine) plan(h, w, k int, pad tensor.PadMode) (*tiling.Plan, er
 // its input channels in a fixed order into a disjoint output region, so the
 // result is bit-identical at any worker count.
 func (e *RowTiledEngine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (*tensor.Tensor, error) {
+	return e.conv2D(input, weight, bias, stride, pad, resolveWorkers(e.Parallelism))
+}
+
+// conv2D is Conv2D with an explicit worker count, so callers embedding a
+// shared RowTiledEngine (Engine's tiled path) can choose parallelism per
+// call without mutating the shared instance.
+func (e *RowTiledEngine) conv2D(input, weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode, workers int) (*tensor.Tensor, error) {
 	n, cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
 	cout, k := weight.Shape[0], weight.Shape[2]
 	if weight.Shape[1] != cin {
@@ -114,7 +121,6 @@ func (e *RowTiledEngine) Conv2D(input, weight *tensor.Tensor, bias []float64, st
 		}
 	}
 	full := tensor.New(n, cout, p.OutH, p.OutW)
-	workers := resolveWorkers(e.Parallelism)
 	err = parallelFor(n*cout, workers, func(item int) error {
 		b, oc := item/cout, item%cout
 		inPlane := make([][]float64, h)
@@ -166,8 +172,15 @@ type Engine struct {
 	// the second Fig. 7 mechanism (shot noise, by contrast, integrates
 	// identically at every depth and is modeled in the Detector).
 	ReadoutNoise float64
-	noiseRNG     *rand.Rand
-	noiseOnce    sync.Once
+
+	// ReadoutSeed seeds the readout-noise substreams (0 selects the
+	// default). Every (Conv2D call, cross term, accumulation group) readout
+	// draws from its own deterministic RNG substream derived from this
+	// seed, so group readouts can run on the worker pool while staying
+	// bit-identical to a serial run — and the planned and unplanned paths
+	// consume identical noise for a fixed call sequence.
+	ReadoutSeed int64
+	calls       atomic.Uint64 // Conv2D invocations, decorrelates per-call noise
 
 	// Parallelism bounds the worker pool the convolution sweeps spread
 	// (batch x output-channel) work items over. <= 0 selects
@@ -183,6 +196,13 @@ type Engine struct {
 	// the Table I experiment.
 	UseTiledPath bool
 	NConv        int // aperture for the tiled path
+
+	// rt is the long-lived row-tiled inner engine of the unplanned tiled
+	// path, built lazily and reused across Conv2D calls so the tiling-plan
+	// cache survives between layers (kernel spectra still re-plan per call
+	// on this path; LayerPlan caches those too).
+	rtMu sync.Mutex
+	rt   *RowTiledEngine
 }
 
 // NewEngine builds the paper's default operating point: 16-deep temporal
@@ -196,21 +216,50 @@ func NewEngine() *Engine {
 		Detector:           jtc.NewLinearPowerDetector(0, 0, 0),
 		ADCCalibPercentile: 1,
 		NConv:              256,
-		noiseRNG:           rand.New(rand.NewSource(12345)),
+		ReadoutSeed:        defaultReadoutSeed,
 	}
 }
 
-// readoutRNG returns the readout-noise RNG, constructing the default-seeded
-// one exactly once for Engines built as struct literals (NewEngine seeds it
-// at construction). Lazy init used to live inside the readout loop, which
-// was a latent data race once convolutions ran on a worker pool.
-func (e *Engine) readoutRNG() *rand.Rand {
-	e.noiseOnce.Do(func() {
-		if e.noiseRNG == nil {
-			e.noiseRNG = rand.New(rand.NewSource(12345))
-		}
-	})
-	return e.noiseRNG
+const defaultReadoutSeed = 12345
+
+// mix64 is the splitmix64 finalizer: a fast bijective hash used to derive
+// independent RNG substreams from (seed, call, term, group) coordinates.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// readoutStream returns the deterministic readout-noise RNG for one
+// (Conv2D call, cross term, group) readout. Substreams are independent of
+// readout execution order, so parallel group readout is bit-identical to
+// serial, and the planned path reproduces the unplanned path exactly.
+func (e *Engine) readoutStream(call uint64, term, group int) *rand.Rand {
+	seed := e.ReadoutSeed
+	if seed == 0 {
+		seed = defaultReadoutSeed
+	}
+	h := mix64(uint64(seed))
+	h = mix64(h ^ call)
+	h = mix64(h ^ uint64(term)<<32 ^ uint64(group))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// tiledEngine returns the engine's long-lived row-tiled inner engine,
+// rebuilding it only when the aperture changes. The engine's Parallelism is
+// passed per call (conv2D), never written into the shared inner engine, so
+// concurrent Conv2D calls on one Engine stay race-free.
+func (e *Engine) tiledEngine() *RowTiledEngine {
+	e.rtMu.Lock()
+	defer e.rtMu.Unlock()
+	if e.rt == nil || e.rt.NConv != e.NConv {
+		e.rt = NewRowTiledEngine(e.NConv)
+	}
+	return e.rt
 }
 
 // Name implements nn.ConvEngine.
@@ -243,7 +292,8 @@ func (e *Engine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int
 	oh, ow := convOutHW(h, w, k, pad)
 	out := tensor.New(n, cout, oh, ow)
 	groups := groupRanges(cin, e.NTA)
-	for _, sgn := range []struct {
+	callIdx := e.calls.Add(1)
+	for term, sgn := range [...]struct {
 		x, w  *tensor.Tensor
 		scale float64
 	}{
@@ -266,9 +316,17 @@ func (e *Engine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int
 		if err != nil {
 			return nil, err
 		}
-		scale := e.hardwareScale(psums, cin)
-		for _, psum := range psums {
-			if err := e.readout(psum, scale); err != nil {
+		data := make([][]float64, len(psums))
+		for gi, p := range psums {
+			data[gi] = p.Data
+		}
+		scale := e.hardwareScale(data, cin)
+		for gi, psum := range psums {
+			var rng *rand.Rand
+			if e.ReadoutNoise > 0 && e.ADCBits > 0 {
+				rng = e.readoutStream(callIdx, term, gi)
+			}
+			if err := e.readout(psum.Data, scale, rng); err != nil {
 				return nil, err
 			}
 			for i, v := range psum.Data {
@@ -337,11 +395,11 @@ func (e *Engine) groupPsums(x, wt *tensor.Tensor, groups [][2]int, pad tensor.Pa
 // groupPsumsTiled is the full-fidelity path: every plane convolution runs
 // through exact 1D row-tiled shots.
 func (e *Engine) groupPsumsTiled(x, wt *tensor.Tensor, groups [][2]int, pad tensor.PadMode) ([]*tensor.Tensor, error) {
-	rt := NewRowTiledEngine(e.NConv)
-	// The inner engine parallelizes each group's (batch x output-channel)
-	// sweep; groups stay serial so Detect consumes detector noise in the
-	// same order as a fully serial run.
-	rt.Parallelism = e.Parallelism
+	// The long-lived inner engine parallelizes each group's (batch x
+	// output-channel) sweep; groups stay serial so Detect consumes detector
+	// noise in the same order as a fully serial run.
+	rt := e.tiledEngine()
+	workers := resolveWorkers(e.Parallelism)
 	out := make([]*tensor.Tensor, len(groups))
 	for gi, g := range groups {
 		xs, err := sliceChannels(x, g[0], g[1])
@@ -352,7 +410,7 @@ func (e *Engine) groupPsumsTiled(x, wt *tensor.Tensor, groups [][2]int, pad tens
 		if err != nil {
 			return nil, err
 		}
-		psum, err := rt.Conv2D(xs, ws, nil, 1, pad)
+		psum, err := rt.conv2D(xs, ws, nil, 1, pad, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -452,7 +510,7 @@ const hardwareAccumulationDepth = 16
 // the design depth read out fractional charges against this same scale —
 // the root of the Fig. 7 accuracy loss at shallow accumulation. Consecutive
 // operating groups are merged to design depth to measure that charge.
-func (e *Engine) hardwareScale(psums []*tensor.Tensor, cin int) float64 {
+func (e *Engine) hardwareScale(psums [][]float64, cin int) float64 {
 	if len(psums) == 0 {
 		return 1
 	}
@@ -468,7 +526,8 @@ func (e *Engine) hardwareScale(psums []*tensor.Tensor, cin int) float64 {
 		per = 1
 	}
 	scale := 0.0
-	acc := make([]float64, len(psums[0].Data))
+	acc := getFloatsZeroed(len(psums[0]))
+	defer putFloats(acc)
 	count := 0
 	flush := func() {
 		s := calibScale(acc, e.ADCCalibPercentile)
@@ -481,7 +540,7 @@ func (e *Engine) hardwareScale(psums []*tensor.Tensor, cin int) float64 {
 		count = 0
 	}
 	for gi, p := range psums {
-		for i, v := range p.Data {
+		for i, v := range p {
 			acc[i] += v
 		}
 		count++
@@ -498,7 +557,9 @@ func (e *Engine) hardwareScale(psums []*tensor.Tensor, cin int) float64 {
 // readout applies ADC quantization (at the fixed per-layer full scale) and
 // detector post-processing to a group partial sum in place. The inline
 // quantizer is the unsigned quant.Linear rounding rule, hoisted for speed.
-func (e *Engine) readout(psum *tensor.Tensor, scale float64) error {
+// rng supplies the readout-noise substream for this group (nil when
+// ReadoutNoise is zero or the ADC is full precision).
+func (e *Engine) readout(psum []float64, scale float64, rng *rand.Rand) error {
 	if e.ADCBits > 0 {
 		if e.ADCBits > 32 {
 			return fmt.Errorf("core: ADC bits %d out of range", e.ADCBits)
@@ -508,11 +569,10 @@ func (e *Engine) readout(psum *tensor.Tensor, scale float64) error {
 		}
 		step := scale / float64((uint64(1)<<e.ADCBits)-1)
 		sigma := e.ReadoutNoise * scale
-		var rng *rand.Rand
-		if sigma > 0 {
-			rng = e.readoutRNG()
+		if sigma > 0 && rng == nil {
+			return fmt.Errorf("core: readout noise configured without an RNG substream")
 		}
-		for i, v := range psum.Data {
+		for i, v := range psum {
 			if sigma > 0 {
 				v += rng.NormFloat64() * sigma
 			}
@@ -521,17 +581,85 @@ func (e *Engine) readout(psum *tensor.Tensor, scale float64) error {
 			} else if v > scale {
 				v = scale
 			}
-			psum.Data[i] = math.Round(v/step) * step
+			psum[i] = math.Round(v/step) * step
 		}
 	}
-	for i, v := range psum.Data {
-		psum.Data[i] = e.Detector.PostReadout(v)
+	det := e.Detector
+	if _, postIdentity := detectorFastPaths(det); postIdentity {
+		return nil
+	}
+	for i, v := range psum {
+		psum[i] = det.PostReadout(v)
 	}
 	return nil
 }
 
+// detectorFastPaths reports which detector stages are the identity, letting
+// hot paths skip per-element interface calls (value-identical either way).
+// Only the linear-power detector qualifies: its PostReadout is always the
+// identity, and its Detect too when noise-free.
+func detectorFastPaths(d jtc.Detector) (detectIdentity, postIdentity bool) {
+	lp, ok := d.(*jtc.LinearPowerDetector)
+	if !ok {
+		return false, false
+	}
+	return lp.NoiseFree(), true
+}
+
+// detectorNoiseFree reports whether Detect draws no randomness, making its
+// application order irrelevant (and therefore parallelizable).
+func detectorNoiseFree(d jtc.Detector) bool {
+	nf, ok := d.(interface{ NoiseFree() bool })
+	return ok && nf.NoiseFree()
+}
+
 type signedParts struct {
 	pos, neg *tensor.Tensor // nil when the corresponding part is all zero
+}
+
+// signScan reports which signs occur in data.
+func signScan(data []float64) (hasPos, hasNeg bool) {
+	for _, v := range data {
+		if v > 0 {
+			hasPos = true
+		} else if v < 0 {
+			hasNeg = true
+		}
+		if hasPos && hasNeg {
+			return
+		}
+	}
+	return
+}
+
+// partPresence is the pseudo-negative presence rule shared by every
+// sign-split path: the positive part exists when positives occur or the
+// operand is all zero (shape propagation); the negative part exists only
+// when negatives occur.
+func partPresence(hasPos, hasNeg bool) (posPresent, negPresent bool) {
+	return hasPos || !hasNeg, hasNeg
+}
+
+// fillPosPart / fillNegPart write the non-negative sign parts of data into
+// dst (every element is written, so dst needs no pre-clearing).
+func fillPosPart(dst, data []float64) {
+	for i, v := range data {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+func fillNegPart(dst, data []float64) {
+	for i, v := range data {
+		if v < 0 {
+			dst[i] = -v
+		} else {
+			dst[i] = 0
+		}
+	}
 }
 
 // quantizeParts quantizes t to the given bit width and splits it into
@@ -549,39 +677,17 @@ func quantizeParts(t *tensor.Tensor, bits int) (signedParts, error) {
 		}
 		data = q.QuantizeSlice(data)
 	}
-	var hasNeg, hasPos bool
-	for _, v := range data {
-		if v < 0 {
-			hasNeg = true
-		} else if v > 0 {
-			hasPos = true
-		}
-		if hasNeg && hasPos {
-			break
-		}
-	}
+	posPresent, negPresent := partPresence(signScan(data))
 	out := signedParts{}
-	if hasPos {
+	if posPresent {
 		p := tensor.New(t.Shape...)
-		for i, v := range data {
-			if v > 0 {
-				p.Data[i] = v
-			}
-		}
+		fillPosPart(p.Data, data)
 		out.pos = p
 	}
-	if hasNeg {
+	if negPresent {
 		nn := tensor.New(t.Shape...)
-		for i, v := range data {
-			if v < 0 {
-				nn.Data[i] = -v
-			}
-		}
+		fillNegPart(nn.Data, data)
 		out.neg = nn
-	}
-	if !hasPos && !hasNeg {
-		// All-zero operand still needs one part for shape propagation.
-		out.pos = tensor.New(t.Shape...)
 	}
 	return out, nil
 }
@@ -634,7 +740,9 @@ func convOutHW(h, w, k int, pad tensor.PadMode) (int, int) {
 // calibScale derives the ADC full scale from a charge distribution: the
 // maximum magnitude by default (percentile >= 1 or unset), or an outlier-
 // tolerant percentile when explicitly configured. Max-based calibration is
-// O(n) and matches how a deployed range would be provisioned.
+// O(n); the percentile path runs an in-place quickselect on a pooled
+// buffer — expected O(n) and allocation-free, where it used to copy and
+// fully sort the distribution on every readout-scale calibration.
 func calibScale(data []float64, percentile float64) float64 {
 	if percentile <= 0 || percentile >= 1 {
 		m := 0.0
@@ -651,20 +759,21 @@ func calibScale(data []float64, percentile float64) float64 {
 		}
 		return m
 	}
-	abs := make([]float64, len(data))
+	abs := getFloats(len(data))
+	defer putFloats(abs)
 	for i, v := range data {
 		if v < 0 {
 			v = -v
 		}
 		abs[i] = v
 	}
-	sort.Float64s(abs)
 	idx := int(percentile*float64(len(abs))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if abs[idx] <= 0 {
+	v := quickselect(abs, idx)
+	if v <= 0 {
 		return 1
 	}
-	return abs[idx]
+	return v
 }

@@ -1,0 +1,529 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"photofourier/internal/nn"
+	"photofourier/internal/quant"
+	"photofourier/internal/tensor"
+	"photofourier/internal/tiling"
+)
+
+// planConfig snapshots the engine knobs the plan's cached artifacts were
+// compiled against. Runtime knobs (NTA, ADCBits, Detector, ReadoutNoise,
+// Parallelism) are read live at every call; only the fields below bake into
+// the cached weights and kernel spectra.
+type planConfig struct {
+	dacBits int
+	tiled   bool
+	nconv   int
+}
+
+// LayerPlan is the compiled inference path for one convolution layer on the
+// quantized accelerator: weights are quantized and sign-split ONCE at plan
+// time, their pseudo-negative parts cached, and — on the tiled path — every
+// (output-channel, input-channel) kernel tile transformed to the frequency
+// domain once and latched, so repeated forward passes (batches, accuracy
+// sweeps, Fig. 7 NTA sweeps over the same trained net) pay zero weight-setup
+// cost. That is the software mirror of the hardware story: weights stay in
+// the DACs while only activations stream.
+//
+// Conv2D output is bit-identical to the owning Engine's unplanned Conv2D on
+// the same operands, at every worker count, for a fixed seed and matching
+// call sequence. A LayerPlan is safe for concurrent Conv2D calls (runs with
+// a noisy detector stay race-free but interleave the detector's shared
+// noise stream nondeterministically, as with any shared noisy engine).
+type LayerPlan struct {
+	engine *Engine
+	cfg    planConfig
+
+	// Note: the plan does not retain the source weight tensor; staleness
+	// on weight mutation is the holder's job (nn.Conv invalidates on
+	// Backward). bias is retained by reference and read live at each
+	// call, like the unplanned path.
+	bias   []float64
+	stride int
+	pad    tensor.PadMode
+
+	cout, cin, k int
+
+	// wq is the signed quantized weight tensor driving the fused sweep;
+	// wpos/wneg are its cached pseudo-negative parts (nil when absent),
+	// driving term presence and the tiled path.
+	wq         []float64
+	wpos, wneg *tensor.Tensor
+
+	mu   sync.Mutex
+	geos map[geoKey]*layerGeo
+}
+
+type geoKey struct{ h, w int }
+
+// layerGeo caches the tiled-path artifacts for one input geometry: the
+// tiling plan plus the per-(oc, ic) kernel-tile spectra of each weight sign.
+type layerGeo struct {
+	tp         *tiling.Plan
+	kpos, kneg []*tiling.KernelPlan
+}
+
+// PlanConv implements nn.LayerPlanner: it compiles the layer's weights into
+// a reusable LayerPlan. The returned plan holds bias by reference (bias
+// values are applied at readout time, exactly like the unplanned path).
+func (e *Engine) PlanConv(weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (nn.LayerPlan, error) {
+	if weight.Rank() != 4 {
+		return nil, fmt.Errorf("core: PlanConv wants [Cout][Cin][K][K] weights, got %v", weight.Shape)
+	}
+	if weight.Shape[2] != weight.Shape[3] {
+		return nil, fmt.Errorf("core: PlanConv wants square kernels, got %v", weight.Shape)
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("core: stride %d must be >= 1", stride)
+	}
+	wq, err := quantizeParts(weight, e.DACBits)
+	if err != nil {
+		return nil, err
+	}
+	lp := &LayerPlan{
+		engine: e,
+		cfg:    planConfig{dacBits: e.DACBits, tiled: e.UseTiledPath, nconv: e.NConv},
+		bias:   bias,
+		stride: stride,
+		pad:    pad,
+		cout:   weight.Shape[0],
+		cin:    weight.Shape[1],
+		k:      weight.Shape[2],
+		wpos:   wq.pos,
+		wneg:   wq.neg,
+		geos:   map[geoKey]*layerGeo{},
+	}
+	// Recombine the cached parts into the signed quantized tensor the fused
+	// sweep consumes (parts are disjoint, so this is exact).
+	lp.wq = make([]float64, weight.Size())
+	if wq.pos != nil {
+		for i, v := range wq.pos.Data {
+			if v != 0 {
+				lp.wq[i] = v
+			}
+		}
+	}
+	if wq.neg != nil {
+		for i, v := range wq.neg.Data {
+			if v != 0 {
+				lp.wq[i] = -v
+			}
+		}
+	}
+	return lp, nil
+}
+
+// Stale implements nn.LayerPlan: it reports whether the engine knobs baked
+// into the cached weights/spectra have changed since compilation.
+func (lp *LayerPlan) Stale() bool {
+	e := lp.engine
+	return e.DACBits != lp.cfg.dacBits ||
+		e.UseTiledPath != lp.cfg.tiled ||
+		(lp.cfg.tiled && e.NConv != lp.cfg.nconv)
+}
+
+// Conv2D implements nn.LayerPlan: one planned forward pass over an NCHW
+// batch, bit-identical to Engine.Conv2D(input, weight, bias, stride, pad).
+func (lp *LayerPlan) Conv2D(input *tensor.Tensor) (*tensor.Tensor, error) {
+	e := lp.engine
+	if lp.Stale() {
+		return nil, fmt.Errorf("core: layer plan is stale (engine DAC/tiling config changed since PlanConv)")
+	}
+	if e.NTA < 1 {
+		return nil, fmt.Errorf("core: NTA %d must be >= 1", e.NTA)
+	}
+	if input.Rank() != 4 {
+		return nil, fmt.Errorf("core: planned Conv2D wants NCHW input, got %v", input.Shape)
+	}
+	n, cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
+	if cin != lp.cin {
+		return nil, fmt.Errorf("core: channel mismatch %d vs %d", lp.cin, cin)
+	}
+	oh, ow := convOutHW(h, w, lp.k, lp.pad)
+	if oh < 1 || ow < 1 {
+		return nil, fmt.Errorf("core: planned conv empty output for %v k=%d", input.Shape, lp.k)
+	}
+	out := tensor.New(n, lp.cout, oh, ow)
+	callIdx := e.calls.Add(1)
+	var err error
+	if lp.cfg.tiled {
+		err = lp.runTiled(input, out, callIdx)
+	} else {
+		err = lp.runDirect(input, out, callIdx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if lp.bias != nil {
+		strideC := oh * ow
+		for b := 0; b < n; b++ {
+			for oc := 0; oc < lp.cout; oc++ {
+				base := (b*lp.cout + oc) * strideC
+				for i := 0; i < strideC; i++ {
+					out.Data[base+i] += lp.bias[oc]
+				}
+			}
+		}
+	}
+	if lp.stride > 1 {
+		return tensor.Decimate2D(out, lp.stride)
+	}
+	return out, nil
+}
+
+// runDirect is the planned fast path: one fused signed grouped sweep over
+// the signed quantized operands, then per-term detect / calibrate / readout
+// / accumulate through pooled buffers.
+func (lp *LayerPlan) runDirect(x, out *tensor.Tensor, callIdx uint64) error {
+	e := lp.engine
+	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := out.Shape[2], out.Shape[3]
+	size := n * lp.cout * oh * ow
+	parts, release, err := quantizePartsPooled(x, lp.cfg.dacBits)
+	if err != nil {
+		return err
+	}
+	defer release()
+	var xpos, xneg []float64
+	if parts.pos != nil {
+		xpos = parts.pos.Data
+	}
+	if parts.neg != nil {
+		xneg = parts.neg.Data
+	}
+	var present [numTerms]bool
+	present[termPosPos] = xpos != nil && lp.wpos != nil
+	present[termPosNeg] = xpos != nil && lp.wneg != nil
+	present[termNegPos] = xneg != nil && lp.wpos != nil
+	present[termNegNeg] = xneg != nil && lp.wneg != nil
+
+	groups := groupRanges(cin, e.NTA)
+	detGroups := groups
+	perChannel := e.Detector.PerChannel()
+	if perChannel {
+		// One sweep group per channel so Detect sees each channel.
+		detGroups = groupRanges(cin, 1)
+	}
+	workers := resolveWorkers(e.Parallelism)
+	ps := newPsumSet(present, len(detGroups), size)
+	defer ps.release()
+	if err := fusedSignedGroupedConv2D(xpos, xneg, n, cin, h, w, lp.wq, lp.cout, lp.k, detGroups, lp.pad, workers, ps); err != nil {
+		return err
+	}
+	for term := 0; term < numTerms; term++ {
+		bufs := ps.terms[term]
+		if bufs == nil {
+			continue
+		}
+		if err := e.detectBuffers(bufs, workers); err != nil {
+			return err
+		}
+		merged := bufs
+		var pooled [][]float64
+		if perChannel {
+			pooled = mergeGroups(bufs, groups)
+			merged = pooled
+		}
+		err := e.readoutAccumulate(callIdx, term, merged, out.Data, cin, workers)
+		for _, b := range pooled {
+			putFloats(b)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTiled is the planned full-fidelity path: every plane convolution runs
+// through exact 1D row-tiled shots against the plan's latched kernel
+// spectra, with each shot's input signal transformed once and reused across
+// every output channel of a work item's chunk.
+func (lp *LayerPlan) runTiled(x, out *tensor.Tensor, callIdx uint64) error {
+	e := lp.engine
+	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := out.Shape[2], out.Shape[3]
+	size := n * lp.cout * oh * ow
+	parts, release, err := quantizePartsPooled(x, lp.cfg.dacBits)
+	if err != nil {
+		return err
+	}
+	defer release()
+	geo, err := lp.geometry(h, w)
+	if err != nil {
+		return err
+	}
+	groups := groupRanges(cin, e.NTA)
+	workers := resolveWorkers(e.Parallelism)
+	specs := [numTerms]struct {
+		x   *tensor.Tensor
+		kps []*tiling.KernelPlan
+	}{
+		{parts.pos, geo.kpos},
+		{parts.pos, geo.kneg},
+		{parts.neg, geo.kpos},
+		{parts.neg, geo.kneg},
+	}
+	for term, ts := range specs {
+		if ts.x == nil || ts.kps == nil {
+			continue
+		}
+		psums := make([][]float64, len(groups))
+		for gi := range psums {
+			psums[gi] = getFloatsZeroed(size)
+		}
+		err := func() error {
+			for gi, g := range groups {
+				if err := lp.tiledGroupConv(ts.x, ts.kps, g, geo.tp, psums[gi], n, oh, ow, workers); err != nil {
+					return err
+				}
+			}
+			// The tiled path detects per accumulation group (matching the
+			// unplanned groupPsumsTiled semantics; see DESIGN.md).
+			if err := e.detectBuffers(psums, workers); err != nil {
+				return err
+			}
+			return e.readoutAccumulate(callIdx, term, psums, out.Data, cin, workers)
+		}()
+		for _, b := range psums {
+			putFloats(b)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tiledGroupConv accumulates one group's partial sums for every (batch,
+// output channel) through the many-kernel planned conv. Output channels are
+// chunked so a work item transforms each shot signal once for its whole
+// chunk; chunking does not change any accumulator's addition order, so the
+// result is bit-identical at any worker count.
+func (lp *LayerPlan) tiledGroupConv(xp *tensor.Tensor, kps []*tiling.KernelPlan, g [2]int, tp *tiling.Plan, psum []float64, n, oh, ow, workers int) error {
+	cout, cin := lp.cout, lp.cin
+	h, w := xp.Shape[2], xp.Shape[3]
+	chunks := workers
+	if chunks > cout {
+		chunks = cout
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	per := (cout + chunks - 1) / chunks
+	return parallelFor(n*chunks, workers, func(item int) error {
+		b, ci := item/chunks, item%chunks
+		oc0 := ci * per
+		oc1 := oc0 + per
+		if oc1 > cout {
+			oc1 = cout
+		}
+		if oc0 >= oc1 {
+			return nil
+		}
+		rows := make([][]float64, h)
+		kbuf := make([]*tiling.KernelPlan, oc1-oc0)
+		accs := make([][]float64, oc1-oc0)
+		for j := range accs {
+			oc := oc0 + j
+			accs[j] = psum[((b*cout)+oc)*oh*ow : ((b*cout)+oc+1)*oh*ow]
+		}
+		for ic := g[0]; ic < g[1]; ic++ {
+			base := (b*cin + ic) * h * w
+			for r := 0; r < h; r++ {
+				rows[r] = xp.Data[base+r*w : base+(r+1)*w]
+			}
+			for j := range kbuf {
+				kbuf[j] = kps[(oc0+j)*cin+ic]
+			}
+			if err := tp.Conv2DPlannedAccumMany(rows, kbuf, accs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// geometry returns the cached tiled-path artifacts for one input geometry,
+// building them on first use: the kernel tiles of both weight signs are
+// transformed exactly once per (plan, geometry) and reused by every
+// subsequent call.
+func (lp *LayerPlan) geometry(h, w int) (*layerGeo, error) {
+	key := geoKey{h, w}
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	if g, ok := lp.geos[key]; ok {
+		return g, nil
+	}
+	tp, err := tiling.NewPlan(h, w, lp.k, lp.cfg.nconv, lp.pad, false)
+	if err != nil {
+		return nil, err
+	}
+	geo := &layerGeo{tp: tp}
+	plan := func(wt *tensor.Tensor) ([]*tiling.KernelPlan, error) {
+		if wt == nil {
+			return nil, nil
+		}
+		kps := make([]*tiling.KernelPlan, lp.cout*lp.cin)
+		kern := make([][]float64, lp.k)
+		for oc := 0; oc < lp.cout; oc++ {
+			for ic := 0; ic < lp.cin; ic++ {
+				kbase := ((oc * lp.cin) + ic) * lp.k * lp.k
+				for r := 0; r < lp.k; r++ {
+					kern[r] = wt.Data[kbase+r*lp.k : kbase+(r+1)*lp.k]
+				}
+				kp, err := tp.PlanKernel(kern)
+				if err != nil {
+					return nil, err
+				}
+				kps[oc*lp.cin+ic] = kp
+			}
+		}
+		return kps, nil
+	}
+	if geo.kpos, err = plan(lp.wpos); err != nil {
+		return nil, err
+	}
+	if geo.kneg, err = plan(lp.wneg); err != nil {
+		return nil, err
+	}
+	lp.geos[key] = geo
+	return geo, nil
+}
+
+// detectBuffers applies the detector's Detect stage to every group buffer.
+// Noise-free detectors run on the worker pool (order-independent); noisy
+// ones stay serial in canonical group order so the shared noise stream is
+// consumed exactly as the unplanned path consumes it. The noise-free
+// linear-power detector skips the stage entirely (identity).
+func (e *Engine) detectBuffers(bufs [][]float64, workers int) error {
+	det := e.Detector
+	if identity, _ := detectorFastPaths(det); identity {
+		return nil
+	}
+	if detectorNoiseFree(det) {
+		return parallelFor(len(bufs), workers, func(gi int) error {
+			b := bufs[gi]
+			for i, v := range b {
+				b[i] = det.Detect(v)
+			}
+			return nil
+		})
+	}
+	for _, b := range bufs {
+		for i, v := range b {
+			b[i] = det.Detect(v)
+		}
+	}
+	return nil
+}
+
+// mergeGroups sums per-channel detected charges into operating groups
+// (pooled buffers), in the same order the unplanned path merges them.
+func mergeGroups(per [][]float64, groups [][2]int) [][]float64 {
+	out := make([][]float64, len(groups))
+	for gi, g := range groups {
+		acc := getFloats(len(per[g[0]]))
+		copy(acc, per[g[0]])
+		for c := g[0] + 1; c < g[1]; c++ {
+			src := per[c]
+			for i, v := range src {
+				acc[i] += v
+			}
+		}
+		out[gi] = acc
+	}
+	return out
+}
+
+// readoutAccumulate calibrates the ADC full scale for one cross term, reads
+// every group out on the worker pool — each group drawing from its own
+// (call, term, group) noise substream, so parallel readout is bit-identical
+// to serial — and accumulates the signed results into the layer output in
+// canonical group order.
+func (e *Engine) readoutAccumulate(callIdx uint64, term int, psums [][]float64, out []float64, cin, workers int) error {
+	scale := e.hardwareScale(psums, cin)
+	noise := e.ReadoutNoise > 0 && e.ADCBits > 0
+	if err := parallelFor(len(psums), workers, func(gi int) error {
+		var rng *rand.Rand
+		if noise {
+			rng = e.readoutStream(callIdx, term, gi)
+		}
+		return e.readout(psums[gi], scale, rng)
+	}); err != nil {
+		return err
+	}
+	sgn := termSign[term]
+	for _, p := range psums {
+		for i, v := range p {
+			out[i] += sgn * v
+		}
+	}
+	return nil
+}
+
+// quantizeToPooled quantizes a tensor to DAC precision into a pooled buffer
+// (aliasing the raw data when bits == 0, so callers must treat the result
+// as read-only).
+func quantizeToPooled(t *tensor.Tensor, bits int) (data []float64, release func(), err error) {
+	src := t.Data
+	if bits == 0 {
+		return src, func() {}, nil
+	}
+	maxAbs := t.MaxAbs()
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	q, err := quant.NewLinear(bits, maxAbs)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := getFloats(len(src))
+	for i, v := range src {
+		buf[i] = q.Quantize(v)
+	}
+	return buf, func() { putFloats(buf) }, nil
+}
+
+// pooledParts is quantizeParts backed by pooled buffers: the sign-split
+// activation tensors of one planned call. It shares the quantizer, sign
+// scan, presence rule, and part-fill code with quantizeParts, so the two
+// paths cannot drift.
+type pooledParts struct {
+	pos, neg *tensor.Tensor
+	bufs     [][]float64
+}
+
+func quantizePartsPooled(t *tensor.Tensor, bits int) (*pooledParts, func(), error) {
+	data, relq, err := quantizeToPooled(t, bits)
+	if err != nil {
+		return nil, nil, err
+	}
+	posPresent, negPresent := partPresence(signScan(data))
+	pp := &pooledParts{}
+	shape := append([]int(nil), t.Shape...)
+	if posPresent {
+		buf := getFloats(len(data))
+		fillPosPart(buf, data)
+		pp.pos = &tensor.Tensor{Shape: shape, Data: buf}
+		pp.bufs = append(pp.bufs, buf)
+	}
+	if negPresent {
+		buf := getFloats(len(data))
+		fillNegPart(buf, data)
+		pp.neg = &tensor.Tensor{Shape: shape, Data: buf}
+		pp.bufs = append(pp.bufs, buf)
+	}
+	release := func() {
+		relq()
+		for _, b := range pp.bufs {
+			putFloats(b)
+		}
+	}
+	return pp, release, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import "photofourier/internal/buf"
+
+// quickselect returns the value that sorting a ascending would place at
+// index k, partially reordering a in place (Hoare partition with
+// median-of-three pivots, expected O(n)). It selects an exact element of a,
+// so the result is bit-identical to sort-then-index.
+func quickselect(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		// Median-of-three: order (lo, mid, hi) so the pivot is the median,
+		// which keeps sorted and reverse-sorted inputs at O(n).
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
+		}
+	}
+	return a[lo]
+}
+
+// floatPool recycles calibration and partial-sum scratch across Conv2D
+// calls.
+var floatPool buf.Pool[float64]
+
+func getFloats(n int) []float64       { return floatPool.Get(n) }
+func getFloatsZeroed(n int) []float64 { return floatPool.GetZeroed(n) }
+func putFloats(s []float64)           { floatPool.Put(s) }

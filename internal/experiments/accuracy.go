@@ -18,6 +18,12 @@ func init() {
 	register("fig7", fig7)
 }
 
+// The training-backed studies evaluate one trained network under many
+// engine substrates (SetConvEngine swaps). Each Conv layer compiles a
+// core.LayerPlan on its first inference forward pass per engine and reuses
+// it across the whole evaluation sweep, so weight quantization and kernel
+// spectra are paid once per (engine, layer) rather than once per batch.
+
 // studyModel is a lazily trained accuracy-study network plus its held-out
 // evaluation set. Training is deterministic, so caching is sound.
 type studyModel struct {

@@ -11,6 +11,8 @@ import (
 	"math"
 	"math/cmplx"
 	"sync"
+
+	"photofourier/internal/buf"
 )
 
 // planCache memoizes radix-2 plans process-wide, keyed by transform length.
@@ -312,21 +314,11 @@ func (rp *RealPlan) irfft(spec []complex128, out []float64) {
 // pool; a drawn slice too small for the request is simply dropped and a fresh
 // one allocated, which keeps the steady state (one dominant length per
 // workload) allocation-free.
-var complexPool = sync.Pool{}
+var complexPool buf.Pool[complex128]
 
 // getComplex returns a scratch slice of length n. Recycled slices are NOT
 // zeroed — the convolution hot path overwrites every entry, so callers that
 // rely on zero padding must clear the relevant range themselves.
-func getComplex(n int) []complex128 {
-	if v := complexPool.Get(); v != nil {
-		s := *(v.(*[]complex128))
-		if cap(s) >= n {
-			return s[:n]
-		}
-	}
-	return make([]complex128, n)
-}
+func getComplex(n int) []complex128 { return complexPool.Get(n) }
 
-func putComplex(s []complex128) {
-	complexPool.Put(&s)
-}
+func putComplex(s []complex128) { complexPool.Put(s) }

@@ -109,3 +109,75 @@ func (cp *ConvPlan) ConvolveInto(dst, signal []float64) ([]float64, error) {
 	putComplex(sa)
 	return dst, nil
 }
+
+// SpectrumLen returns the length of the half-spectrum buffer TransformSignal
+// fills (one bin for the degenerate length-1 plan).
+func (cp *ConvPlan) SpectrumLen() int {
+	if cp.m == 1 {
+		return 1
+	}
+	return cp.rp.hm + 1
+}
+
+// SharesTransform reports whether the two plans run at the same FFT
+// geometry, i.e. a signal spectrum computed through one can be convolved
+// against the other's kernel spectrum. Plans built for the same
+// (kernel length, max signal length) pair always share.
+func (cp *ConvPlan) SharesTransform(o *ConvPlan) bool {
+	return o != nil && cp.m == o.m
+}
+
+// TransformSignal computes the forward half-spectrum of the zero-padded
+// signal into spec (length SpectrumLen). The same spectrum can then be
+// convolved against any number of kernel spectra through
+// ConvolveSpectrumInto — the joint-transform analogue of loading one input
+// frame and correlating it against every latched filter. The result is
+// bit-identical to the transform ConvolveInto performs internally.
+func (cp *ConvPlan) TransformSignal(spec []complex128, signal []float64) error {
+	if len(signal) == 0 {
+		return fmt.Errorf("fourier: conv plan signal is empty")
+	}
+	if len(signal) > cp.maxSig {
+		return fmt.Errorf("fourier: signal length %d exceeds conv plan max %d", len(signal), cp.maxSig)
+	}
+	if len(spec) != cp.SpectrumLen() {
+		return fmt.Errorf("fourier: spectrum buffer length %d, plan needs %d", len(spec), cp.SpectrumLen())
+	}
+	if cp.m == 1 {
+		spec[0] = complex(signal[0], 0)
+		return nil
+	}
+	cp.rp.rfft(signal, spec)
+	return nil
+}
+
+// ConvolveSpectrumInto completes a convolution from a signal spectrum
+// produced by TransformSignal on a plan sharing this plan's transform
+// geometry: it multiplies by the kernel spectrum and inverse-transforms into
+// dst, leaving spec untouched so it can be reused against further kernels.
+// sigLen is the original signal length (sets the output length). The result
+// is bit-identical to ConvolveInto on the same signal.
+func (cp *ConvPlan) ConvolveSpectrumInto(dst []float64, spec []complex128, sigLen int) ([]float64, error) {
+	if sigLen < 1 || sigLen > cp.maxSig {
+		return nil, fmt.Errorf("fourier: signal length %d out of plan range [1,%d]", sigLen, cp.maxSig)
+	}
+	if len(spec) != cp.SpectrumLen() {
+		return nil, fmt.Errorf("fourier: spectrum length %d, plan transform has %d bins", len(spec), cp.SpectrumLen())
+	}
+	outLen := cp.OutLen(sigLen)
+	if len(dst) < outLen {
+		return nil, fmt.Errorf("fourier: conv plan dst length %d < output length %d", len(dst), outLen)
+	}
+	dst = dst[:outLen]
+	if cp.m == 1 {
+		dst[0] = real(spec[0]) * cp.k0
+		return dst, nil
+	}
+	sa := getComplex(cp.rp.hm + 1)
+	for i := range sa {
+		sa[i] = spec[i] * cp.kspec[i]
+	}
+	cp.rp.irfft(sa, dst)
+	putComplex(sa)
+	return dst, nil
+}

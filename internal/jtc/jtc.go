@@ -84,6 +84,11 @@ func (d *LinearPowerDetector) Detect(v float64) float64 {
 // PostReadout is the identity for linear power encoding.
 func (d *LinearPowerDetector) PostReadout(v float64) float64 { return v }
 
+// NoiseFree reports whether Detect draws no randomness (a pass-through).
+// Engines use it to skip or parallelize the detect stage without changing
+// results.
+func (d *LinearPowerDetector) NoiseFree() bool { return d.DarkNoise == 0 && d.ShotNoiseFactor == 0 }
+
 // Name implements Detector.
 func (d *LinearPowerDetector) Name() string { return "linear-power" }
 
@@ -125,6 +130,10 @@ func (d *SquareLawDetector) Detect(v float64) float64 {
 	}
 	return out
 }
+
+// NoiseFree reports whether Detect draws no randomness (deterministic
+// squaring), making its application order irrelevant.
+func (d *SquareLawDetector) NoiseFree() bool { return d.DarkNoise == 0 }
 
 // PostReadout recovers the amplitude magnitude.
 func (d *SquareLawDetector) PostReadout(v float64) float64 {

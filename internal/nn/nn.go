@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"photofourier/internal/tensor"
 )
@@ -23,6 +24,29 @@ type ConvEngine interface {
 	Conv2D(input, weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (*tensor.Tensor, error)
 	// Name identifies the engine in experiment reports.
 	Name() string
+}
+
+// LayerPlan is a compiled, reusable inference path for one convolution
+// layer: the engine quantizes/transforms the layer's weights once at plan
+// time, and every Conv2D call afterwards pays only activation-dependent
+// work — mirroring hardware that latches weights while activations stream.
+// Plans are safe for concurrent Conv2D calls and produce output
+// bit-identical to the engine's unplanned Conv2D on the same operands.
+type LayerPlan interface {
+	// Conv2D runs the planned layer on an NCHW input batch.
+	Conv2D(input *tensor.Tensor) (*tensor.Tensor, error)
+	// Stale reports whether the engine configuration the plan compiled
+	// against has changed, so the holder must re-plan before reusing it.
+	Stale() bool
+}
+
+// LayerPlanner is an optional ConvEngine extension for engines that can
+// compile a layer's weights into a reusable LayerPlan. Conv.Forward
+// detects it and caches one plan per layer, re-planning when the engine,
+// its configuration, or the layer weights change.
+type LayerPlanner interface {
+	ConvEngine
+	PlanConv(weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (LayerPlan, error)
 }
 
 // ReferenceEngine computes exact float convolutions.
@@ -59,7 +83,9 @@ type Module interface {
 }
 
 // Conv is a 2D convolution layer. Training always uses the exact im2col
-// path; inference (train=false) routes through Engine when set.
+// path; inference (train=false) routes through Engine when set — through a
+// cached LayerPlan when the engine supports planning, so repeated forward
+// passes (batches, accuracy sweeps) pay the weight setup once.
 type Conv struct {
 	Weight *Param
 	Bias   *Param
@@ -67,8 +93,42 @@ type Conv struct {
 	Pad    tensor.PadMode
 	Engine ConvEngine // nil means reference
 
+	// plan is the compiled inference path for the current (engine,
+	// weights) pair; planEngine records which engine built it so swapping
+	// engines (e.g. a Fig. 7 NTA sweep) re-plans automatically. Backward
+	// invalidates the plan because a training step is about to mutate the
+	// weights it compiled. planMu keeps the cache safe for concurrent
+	// inference on a shared model (plans themselves are concurrency-safe).
+	planMu     sync.Mutex
+	plan       LayerPlan
+	planEngine ConvEngine
+
 	lastCols  []*tensor.Tensor // per-sample im2col buffers
 	lastShape []int
+}
+
+// InvalidatePlan drops the cached inference plan; the next inference
+// forward pass re-plans. Call it after mutating Weight or Bias outside the
+// training loop (Backward invalidates automatically).
+func (c *Conv) InvalidatePlan() {
+	c.planMu.Lock()
+	c.plan, c.planEngine = nil, nil
+	c.planMu.Unlock()
+}
+
+// layerPlan returns the cached plan for the current (engine, weights)
+// pair, compiling one if missing or stale.
+func (c *Conv) layerPlan(planner LayerPlanner) (LayerPlan, error) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	if c.plan == nil || c.planEngine != c.Engine || c.plan.Stale() {
+		plan, err := planner.PlanConv(c.Weight.W, c.Bias.W.Data, c.Stride, c.Pad)
+		if err != nil {
+			return nil, err
+		}
+		c.plan, c.planEngine = plan, c.Engine
+	}
+	return c.plan, nil
 }
 
 // NewConv builds a KxK convolution with He-normal initialization.
@@ -93,6 +153,13 @@ func (c *Conv) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: Conv wants NCHW input, got %v", x.Shape)
 	}
 	if !train && c.Engine != nil {
+		if planner, ok := c.Engine.(LayerPlanner); ok {
+			plan, err := c.layerPlan(planner)
+			if err != nil {
+				return nil, err
+			}
+			return plan.Conv2D(x)
+		}
 		return c.Engine.Conv2D(x, c.Weight.W, c.Bias.W.Data, c.Stride, c.Pad)
 	}
 	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
@@ -139,6 +206,9 @@ func (c *Conv) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if c.lastCols == nil {
 		return nil, fmt.Errorf("nn: Conv.Backward before Forward(train=true)")
 	}
+	// A backward pass precedes an optimizer step that mutates the weights
+	// any cached inference plan compiled from.
+	c.InvalidatePlan()
 	n, cin, h, w := c.lastShape[0], c.lastShape[1], c.lastShape[2], c.lastShape[3]
 	cout, k := c.Weight.W.Shape[0], c.Weight.W.Shape[2]
 	oh, ow := grad.Shape[2], grad.Shape[3]

@@ -1,0 +1,156 @@
+package nn_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"photofourier/internal/core"
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+	"photofourier/internal/tiling"
+)
+
+// TestConvForwardCachesLayerPlan verifies the inference path compiles one
+// plan per (engine, weights) pair and reuses it: on the tiled engine the
+// kernel-tile transform counter must not grow after the first forward pass.
+func TestConvForwardCachesLayerPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := nn.NewConv(3, 4, 3, 1, tensor.Same, rng)
+	e := core.NewEngine()
+	e.UseTiledPath = true
+	e.NConv = 64
+	e.NTA = 2
+	c.Engine = e
+	x := tensor.New(1, 3, 8, 8)
+	x.RandN(rng, 1)
+	first, err := c.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tiling.KernelTileTransforms()
+	for i := 0; i < 3; i++ {
+		out, err := c.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range out.Data {
+			if out.Data[j] != first.Data[j] {
+				t.Fatalf("repeated planned forward diverged at %d", j)
+			}
+		}
+	}
+	if d := tiling.KernelTileTransforms() - before; d != 0 {
+		t.Errorf("repeated forwards re-transformed %d kernel tiles; plan not cached", d)
+	}
+}
+
+// TestConvForwardReplansOnEngineSwap covers the Fig. 7 sweep pattern:
+// swapping engines on a layer must rebuild the plan, and results must match
+// a fresh engine's unplanned output.
+func TestConvForwardReplansOnEngineSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := nn.NewConv(2, 3, 3, 1, tensor.Same, rng)
+	x := tensor.New(1, 2, 8, 8)
+	x.RandN(rng, 1)
+	for _, nta := range []int{1, 4, 16} {
+		e := core.NewEngine()
+		e.NTA = nta
+		c.Engine = e
+		got, err := c.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := core.NewEngine()
+		ref.NTA = nta
+		want, err := ref.Conv2D(x, c.Weight.W, c.Bias.W.Data, c.Stride, c.Pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("nta=%d: planned layer output diverged at %d", nta, i)
+			}
+		}
+	}
+}
+
+// TestConvConcurrentInference runs inference on one shared layer from many
+// goroutines (the serving pattern); under -race this guards the plan cache
+// against unsynchronized writes.
+func TestConvConcurrentInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := nn.NewConv(2, 3, 3, 1, tensor.Same, rng)
+	c.Engine = core.NewEngine()
+	x := tensor.New(1, 2, 8, 8)
+	x.RandN(rng, 1)
+	ref, err := c.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				out, err := c.Forward(x, false)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range out.Data {
+					if out.Data[i] != ref.Data[i] {
+						t.Errorf("concurrent inference diverged at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConvTrainingInvalidatesPlan verifies a backward pass (which precedes a
+// weight update) drops the cached plan so stale weights are never served.
+func TestConvTrainingInvalidatesPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := nn.NewConv(2, 2, 3, 1, tensor.Same, rng)
+	c.Engine = core.NewEngine()
+	x := tensor.New(1, 2, 6, 6)
+	x.RandN(rng, 1)
+	if _, err := c.Forward(x, false); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Backward(out); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate weights as an optimizer step would.
+	for i := range c.Weight.W.Data {
+		c.Weight.W.Data[i] *= 1.5
+	}
+	got, err := c.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewEngine()
+	want, err := ref.Conv2D(x, c.Weight.W, c.Bias.W.Data, c.Stride, c.Pad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("post-training forward served stale plan at %d", i)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package tiling
+
+import (
+	"fmt"
+
+	"photofourier/internal/buf"
+	"photofourier/internal/tensor"
+)
+
+// Conv2DPlannedAccumMany adds, for each planned kernel kps[j], the 2D
+// convolution of input into accs[j] (row-major OutH x OutW buffers). It is
+// the joint-transform form of Conv2DPlannedAccum: every shot's tiled input
+// signal is transformed to the frequency domain ONCE and its spectrum reused
+// against every kernel's cached spectrum — exactly how the hardware streams
+// one activation frame past many latched filters. A CNN layer running all
+// output channels of one input plane through this call pays one forward
+// transform per shot instead of one per (shot, output channel).
+//
+// Each accs[j] receives additions in the same order Conv2DPlannedAccum
+// would produce, so the result is bit-identical to j independent planned
+// convolutions.
+func (p *Plan) Conv2DPlannedAccumMany(input [][]float64, kps []*KernelPlan, accs [][]float64) error {
+	if len(kps) != len(accs) {
+		return fmt.Errorf("tiling: %d kernel plans for %d accumulators", len(kps), len(accs))
+	}
+	if len(kps) == 0 {
+		return nil
+	}
+	if err := p.checkInput(input); err != nil {
+		return err
+	}
+	ref := kps[0]
+	for j, kp := range kps {
+		if kp == nil || kp.plan != p {
+			return fmt.Errorf("tiling: kernel plan %d does not belong to this plan", j)
+		}
+		if len(accs[j]) != p.OutH*p.OutW {
+			return fmt.Errorf("tiling: accumulator %d length %d, plan output is %dx%d", j, len(accs[j]), p.OutH, p.OutW)
+		}
+		// Same plan geometry guarantees identical tile lengths pass by
+		// pass; verify the transforms really share so a spectrum computed
+		// through kps[0] is valid for every kernel.
+		for pass := range kp.corrs {
+			if !ref.corrs[pass].SharesTransform(kp.corrs[pass]) {
+				return fmt.Errorf("tiling: kernel plan %d pass %d has mismatched transform geometry", j, pass)
+			}
+		}
+	}
+	maxLk, maxSpec := 0, 0
+	for pass, lk := range ref.lks {
+		if lk > maxLk {
+			maxLk = lk
+		}
+		if sl := ref.corrs[pass].SpectrumLen(); sl > maxSpec {
+			maxSpec = sl
+		}
+	}
+	g := getFloats(p.NConv)
+	defer putFloats(g)
+	dst := getFloats(p.NConv + maxLk - 1)
+	defer putFloats(dst)
+	spec := getComplexes(maxSpec)
+	defer putComplexes(spec)
+	switch p.Mode {
+	case RowTiling:
+		return p.convRowTiledAccMany(input, kps, accs, g, dst, spec)
+	case PartialRowTiling:
+		return p.convPartialAccMany(input, kps, accs, g, dst, spec)
+	default:
+		return p.convPartitionedAccMany(input, kps, accs, g, dst, spec)
+	}
+}
+
+func (p *Plan) convRowTiledAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, g, dst []float64, spec []complex128) error {
+	ref := kps[0].corrs[0]
+	lk := kps[0].lks[0]
+	colOff := p.padL
+	if p.ColumnPad && p.Pad == tensor.Same {
+		colOff = 0
+	}
+	sp := spec[:ref.SpectrumLen()]
+	for shot := 0; shot*p.Nor < p.OutH; shot++ {
+		rOut0 := shot * p.Nor
+		p.tileRowsInto(g, input, rOut0-p.padT, p.RowsPerShot)
+		if err := ref.TransformSignal(sp, g); err != nil {
+			return err
+		}
+		for j, kp := range kps {
+			full, err := kp.corrs[0].ConvolveSpectrumInto(dst, sp, len(g))
+			if err != nil {
+				return err
+			}
+			p.scatterRowTiledShot(accs[j], full, lk, rOut0, colOff)
+		}
+	}
+	return nil
+}
+
+func (p *Plan) convPartialAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, g, dst []float64, spec []complex128) error {
+	colOff := p.padL
+	if p.ColumnPad && p.Pad == tensor.Same {
+		colOff = 0
+	}
+	for r := 0; r < p.OutH; r++ {
+		for pass := range kps[0].corrs {
+			j0 := pass * p.RowsPerShot
+			nRows := min(p.RowsPerShot, p.K-j0)
+			p.tileRowsInto(g, input, r-p.padT+j0, nRows)
+			ref := kps[0].corrs[pass]
+			sp := spec[:ref.SpectrumLen()]
+			if err := ref.TransformSignal(sp, g); err != nil {
+				return err
+			}
+			lk := kps[0].lks[pass]
+			for j, kp := range kps {
+				full, err := kp.corrs[pass].ConvolveSpectrumInto(dst, sp, len(g))
+				if err != nil {
+					return err
+				}
+				row := accs[j][r*p.OutW : (r+1)*p.OutW]
+				for c := 0; c < p.OutW; c++ {
+					idx := c - colOff + lk - 1
+					if idx < 0 || idx >= len(full) {
+						continue
+					}
+					row[c] += full[idx]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Plan) convPartitionedAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, seg, dst []float64, spec []complex128) error {
+	step := p.NConv - p.K + 1
+	if step < 1 {
+		return fmt.Errorf("tiling: NConv %d cannot fit kernel %d with halo", p.NConv, p.K)
+	}
+	for r := 0; r < p.OutH; r++ {
+		for j := 0; j < p.K; j++ {
+			ri := r - p.padT + j
+			if ri < 0 || ri >= p.H {
+				continue
+			}
+			in := input[ri]
+			ref := kps[0].corrs[j]
+			sp := spec[:ref.SpectrumLen()]
+			for c0 := 0; c0 < p.OutW; c0 += step {
+				for i := range seg {
+					ix := c0 - p.padL + i
+					if ix < 0 || ix >= p.W {
+						seg[i] = 0
+					} else {
+						seg[i] = in[ix]
+					}
+				}
+				if err := ref.TransformSignal(sp, seg); err != nil {
+					return err
+				}
+				for ki, kp := range kps {
+					full, err := kp.corrs[j].ConvolveSpectrumInto(dst, sp, len(seg))
+					if err != nil {
+						return err
+					}
+					row := accs[ki][r*p.OutW : (r+1)*p.OutW]
+					for c := c0; c < min(c0+step, p.OutW); c++ {
+						row[c] += full[(c-c0)+p.K-1]
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// complexPool recycles shot spectrum buffers for the many-kernel path.
+var complexPool buf.Pool[complex128]
+
+func getComplexes(n int) []complex128 { return complexPool.Get(n) }
+func putComplexes(s []complex128)     { complexPool.Put(s) }

@@ -20,8 +20,9 @@ package tiling
 import (
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 
+	"photofourier/internal/buf"
 	"photofourier/internal/fourier"
 	"photofourier/internal/tensor"
 )
@@ -259,6 +260,15 @@ type KernelPlan struct {
 	corrs []*fourier.ConvPlan // one per pass (partial) / kernel row (partitioned); single entry for row tiling
 }
 
+// kernelTileTransforms counts every kernel-tile spectrum built by
+// PlanKernel, process-wide. Perf tests use it to assert that a compiled
+// layer transforms its kernel tiles once per plan, not once per call.
+var kernelTileTransforms atomic.Int64
+
+// KernelTileTransforms returns the number of kernel-tile spectra built so
+// far (a monotonic process-wide counter; compare deltas).
+func KernelTileTransforms() int64 { return kernelTileTransforms.Load() }
+
 // PlanKernel validates the kernel against the plan geometry and precomputes
 // the kernel-tile spectra for the ideal FFT correlator backend.
 func (p *Plan) PlanKernel(kernel [][]float64) (*KernelPlan, error) {
@@ -268,6 +278,7 @@ func (p *Plan) PlanKernel(kernel [][]float64) (*KernelPlan, error) {
 		if err != nil {
 			return err
 		}
+		kernelTileTransforms.Add(1)
 		kp.lks = append(kp.lks, len(tile))
 		kp.corrs = append(kp.corrs, cp)
 		return nil
@@ -414,19 +425,25 @@ func (p *Plan) convRowTiledAcc(input [][]float64, kc kernelCorr, acc []float64) 
 		if err != nil {
 			return err
 		}
-		for t := 0; t < p.Nor && rOut0+t < p.OutH; t++ {
-			row := acc[(rOut0+t)*p.OutW : (rOut0+t+1)*p.OutW]
-			for c := 0; c < p.OutW; c++ {
-				m := t*p.RowLen + c - colOff
-				idx := m + lk - 1
-				if idx < 0 || idx >= len(full) {
-					continue
-				}
-				row[c] += full[idx]
-			}
-		}
+		p.scatterRowTiledShot(acc, full, lk, rOut0, colOff)
 	}
 	return nil
+}
+
+// scatterRowTiledShot adds the valid output samples of one row-tiled shot's
+// full correlation into the row-major accumulator.
+func (p *Plan) scatterRowTiledShot(acc, full []float64, lk, rOut0, colOff int) {
+	for t := 0; t < p.Nor && rOut0+t < p.OutH; t++ {
+		row := acc[(rOut0+t)*p.OutW : (rOut0+t+1)*p.OutW]
+		for c := 0; c < p.OutW; c++ {
+			m := t*p.RowLen + c - colOff
+			idx := m + lk - 1
+			if idx < 0 || idx >= len(full) {
+				continue
+			}
+			row[c] += full[idx]
+		}
+	}
 }
 
 func (p *Plan) convPartialAcc(input [][]float64, kcs []kernelCorr, acc []float64) error {
@@ -532,23 +549,11 @@ func (p *Plan) convPartitionedAcc(input [][]float64, kcs []kernelCorr, acc []flo
 	return nil
 }
 
-// floatPool recycles shot signal and correlation scratch, mirroring the
-// complex pool in internal/fourier.
-var floatPool sync.Pool
+// floatPool recycles shot signal and correlation scratch.
+var floatPool buf.Pool[float64]
 
-func getFloats(n int) []float64 {
-	if v := floatPool.Get(); v != nil {
-		s := *(v.(*[]float64))
-		if cap(s) >= n {
-			return s[:n]
-		}
-	}
-	return make([]float64, n)
-}
-
-func putFloats(s []float64) {
-	floatPool.Put(&s)
-}
+func getFloats(n int) []float64 { return floatPool.Get(n) }
+func putFloats(s []float64)     { floatPool.Put(s) }
 
 // MaxRelativeEdgeError bounds how far a Same-mode row-tiled result may
 // deviate from the exact 2D convolution: the edge effect touches only

@@ -59,6 +59,12 @@ type (
 	RowTiledEngine = core.RowTiledEngine
 	// AcceleratorEngine is the full quantized accelerator (Fig. 7).
 	AcceleratorEngine = core.Engine
+	// LayerPlan is a compiled, reusable inference path for one convolution
+	// layer (see AcceleratorEngine.PlanConv and DESIGN.md): weights are
+	// quantized, sign-split, and spectrally latched once, and every call
+	// pays only activation-dependent work, bit-identical to the unplanned
+	// engine.
+	LayerPlan = nn.LayerPlan
 )
 
 // NewRowTiledEngine builds a row-tiled engine with the given 1D aperture

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# bench.sh — run the engine benchmarks and emit BENCH_2.json: ns/op and
+# allocs/op for the planned vs. unplanned Engine.Conv2D repeated-batch
+# workloads, plus the derived speedup/alloc ratios. This file starts the
+# perf trajectory; future PRs append BENCH_<n>.json snapshots.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=5s scripts/bench.sh     # longer sampling
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_2.json}"
+benchtime="${BENCHTIME:-2s}"
+
+raw=$(go test -run '^$' -bench 'EngineUnplannedConv|EnginePlannedConv' \
+	-benchmem -benchtime "$benchtime" .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkEngine(Unplanned|Planned)Conv\// {
+	split($1, parts, "/")
+	kind = (parts[1] ~ /Unplanned/) ? "unplanned" : "planned"
+	wl = parts[2]
+	sub(/-[0-9]+$/, "", wl)
+	ns[wl "," kind] = $3
+	bytes[wl "," kind] = $5
+	allocs[wl "," kind] = $7
+	if (!(wl in seen)) { order[++n] = wl; seen[wl] = 1 }
+}
+END {
+	printf "{\n"
+	printf "  \"id\": \"BENCH_2\",\n"
+	printf "  \"benchmark\": \"Engine.Conv2D repeated-batch: planned (LayerPlan) vs unplanned\",\n"
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"workloads\": {\n"
+	for (i = 1; i <= n; i++) {
+		wl = order[i]
+		printf "    \"%s\": {\n", wl
+		printf "      \"unplanned\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", \
+			ns[wl ",unplanned"], bytes[wl ",unplanned"], allocs[wl ",unplanned"]
+		printf "      \"planned\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", \
+			ns[wl ",planned"], bytes[wl ",planned"], allocs[wl ",planned"]
+		printf "      \"speedup\": %.2f,\n", ns[wl ",unplanned"] / ns[wl ",planned"]
+		printf "      \"alloc_reduction\": %.2f\n", allocs[wl ",unplanned"] / allocs[wl ",planned"]
+		printf "    }%s\n", (i < n) ? "," : ""
+	}
+	printf "  }\n"
+	printf "}\n"
+}' >"$out"
+
+echo "wrote $out"
