@@ -1,0 +1,154 @@
+package photofourier
+
+import (
+	"math/rand"
+	"testing"
+
+	"photofourier/internal/core"
+	"photofourier/internal/nn"
+	"photofourier/internal/serve"
+	"photofourier/internal/tensor"
+)
+
+// End-to-end inference throughput: one trained-shape CNN served many
+// single-sample requests on the quantized accelerator engine (BENCH_3.json).
+//
+//   - uncompiled-per-sample: Network.Forward with the engine's planning
+//     capability hidden (core.UnplannedEngine) — module-graph walking plus
+//     per-call weight quantization and four independent cross-term sweeps,
+//     the pre-compilation baseline;
+//   - compiled-per-sample: NetworkPlan.Forward, one sample per call;
+//   - compiled-batch8: NetworkPlan.Forward on 8-sample batches (ns/op is
+//     per batch; divide by 8 for per-sample);
+//   - session-batch8: concurrent clients through an InferenceSession with
+//     MaxBatch 8 (RunParallel, so ns/op is wall-clock per sample).
+func BenchmarkNetInference(b *testing.B) {
+	net := nn.SmallCNN([2]int{8, 16}, 10, 7)
+	rng := rand.New(rand.NewSource(21))
+	x1 := tensor.New(1, 3, 32, 32)
+	x1.RandN(rng, 1)
+	x8 := tensor.New(8, 3, 32, 32)
+	x8.RandN(rng, 1)
+	sample := &tensor.Tensor{Shape: []int{3, 32, 32}, Data: x1.Data}
+
+	b.Run("uncompiled-per-sample", func(b *testing.B) {
+		net.SetConvEngine(core.UnplannedEngine{E: core.NewEngine()})
+		defer net.SetConvEngine(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.Forward(x1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	compile := func(b *testing.B) *nn.NetworkPlan {
+		b.Helper()
+		plan, err := net.Compile(core.NewEngine())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return plan
+	}
+
+	b.Run("compiled-per-sample", func(b *testing.B) {
+		plan := compile(b)
+		if _, err := plan.Forward(x1); err != nil { // warm geometry + pools
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Forward(x1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("compiled-batch8", func(b *testing.B) {
+		plan := compile(b)
+		if _, err := plan.Forward(x8); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Forward(x8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("session-batch8", func(b *testing.B) {
+		plan := compile(b)
+		s := serve.New(plan, serve.Options{MaxBatch: 8})
+		defer s.Close()
+		b.SetParallelism(16) // concurrent clients feeding the micro-batcher
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := s.Infer(sample); err != nil {
+					b.Error(err) // Fatal must not run on a PB worker goroutine
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkNetEvaluate measures the accuracy-sweep workload end to end —
+// what the table1/fig7 harness actually runs per evaluation batch:
+//
+//   - per-sample-double-forward: the sweep pattern this PR replaced — one
+//     sample per batch, top-1 and top-5 each rerunning Network.Forward
+//     (the Predict+TopKCorrect duplication), module graph walked per
+//     call. Conv-level lazy LayerPlans stay active, as they were before
+//     network compilation existed, so this isolates the network-level
+//     win (it is NOT the same baseline as NetInference's
+//     uncompiled-per-sample, which also strips layer planning);
+//   - compiled-batch8: NetworkPlan.EvaluateLogits on 8-sample batches —
+//     one forward pass, every metric derived from the same logits (ns/op
+//     is per batch; divide by 8 for per-sample).
+func BenchmarkNetEvaluate(b *testing.B) {
+	net := nn.SmallCNN([2]int{8, 16}, 10, 7)
+	rng := rand.New(rand.NewSource(22))
+	x1 := tensor.New(1, 3, 32, 32)
+	x1.RandN(rng, 1)
+	x8 := tensor.New(8, 3, 32, 32)
+	x8.RandN(rng, 1)
+	labels8 := []int{3, 1, 4, 1, 5, 9, 2, 6}
+
+	b.Run("per-sample-double-forward", func(b *testing.B) {
+		net.SetConvEngine(core.NewEngine())
+		defer net.SetConvEngine(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.TopKCorrect(x1, labels8[:1], 1); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.TopKCorrect(x1, labels8[:1], 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("compiled-batch8", func(b *testing.B) {
+		plan, err := net.Compile(core.NewEngine())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.EvaluateLogits(x8, labels8, 5); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.EvaluateLogits(x8, labels8, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

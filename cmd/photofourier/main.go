@@ -6,6 +6,7 @@
 //	photofourier -experiment fig7      # one experiment
 //	photofourier -list                 # list experiment ids
 //	photofourier -quick                # smaller datasets / fewer epochs
+//	photofourier -serve-bench          # compiled/batched inference throughput
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"photofourier/internal/experiments"
 )
@@ -21,10 +23,22 @@ func main() {
 	exp := flag.String("experiment", "all", "experiment id or 'all'")
 	quick := flag.Bool("quick", false, "reduced-cost mode (smaller datasets, fewer epochs)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	bench := flag.Bool("serve-bench", false, "measure end-to-end inference throughput (uncompiled vs compiled vs batched session) and exit")
+	benchSamples := flag.Int("serve-samples", 256, "samples per serve-bench mode")
+	benchBatch := flag.Int("serve-batch", 8, "serve-bench session micro-batch size")
+	benchClients := flag.Int("serve-clients", 8, "serve-bench concurrent clients")
+	benchDelay := flag.Duration("serve-delay", 500*time.Microsecond, "serve-bench session micro-batch deadline")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *bench {
+		if err := serveBench(*benchSamples, *benchBatch, *benchClients, *benchDelay); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	opt := experiments.Options{Quick: *quick}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"photofourier/internal/core"
+	"photofourier/internal/nn"
+	"photofourier/internal/serve"
+	"photofourier/internal/tensor"
+)
+
+// serveBench measures end-to-end inference throughput of the quantized
+// accelerator across the three serving modes this repo supports:
+//
+//   - uncompiled per-sample: Network.Forward with the engine's planning
+//     capability hidden (the pre-compilation baseline — module-graph
+//     walking plus per-call weight quantization and four-sweep terms);
+//   - compiled per-sample: one NetworkPlan.Forward call per sample;
+//   - compiled batched: concurrent clients through an InferenceSession,
+//     which micro-batches them onto the shared plan.
+//
+// This is the CLI twin of the BenchmarkNetInference suite recorded in
+// BENCH_3.json.
+func serveBench(samples, batch, clients int, delay time.Duration) error {
+	net := nn.SmallCNN([2]int{8, 16}, 10, 7)
+	rng := rand.New(rand.NewSource(21))
+	xs := make([]*tensor.Tensor, samples)
+	for i := range xs {
+		xs[i] = tensor.New(3, 32, 32)
+		xs[i].RandN(rng, 1)
+	}
+	fmt.Printf("serving %s (%d params) on %d samples, micro-batch %d, %d clients\n",
+		net.Name, net.NumParams(), samples, batch, clients)
+
+	throughput := func(label string, run func() error) (float64, error) {
+		start := time.Now()
+		if err := run(); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		sps := float64(samples) / elapsed.Seconds()
+		fmt.Printf("%-24s %8.1f samples/sec  (%v total)\n", label, sps, elapsed.Round(time.Millisecond))
+		return sps, nil
+	}
+
+	net.SetConvEngine(core.UnplannedEngine{E: core.NewEngine()})
+	base, err := throughput("uncompiled per-sample", func() error {
+		for _, x := range xs {
+			b, err := x.Reshape(1, 3, 32, 32)
+			if err != nil {
+				return err
+			}
+			if _, err := net.Forward(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	net.SetConvEngine(nil)
+
+	plan, err := net.Compile(core.NewEngine())
+	if err != nil {
+		return err
+	}
+	compiled, err := throughput("compiled per-sample", func() error {
+		for _, x := range xs {
+			b, err := x.Reshape(1, 3, 32, 32)
+			if err != nil {
+				return err
+			}
+			if _, err := plan.Forward(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	session := serve.New(plan, serve.Options{MaxBatch: batch, MaxDelay: delay})
+	defer session.Close()
+	batched, err := throughput("batched session", func() error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		per := (samples + clients - 1) / clients
+		for c := 0; c < clients; c++ {
+			lo, hi := c*per, min((c+1)*per, samples)
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if _, err := session.Infer(xs[i]); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled speedup %.2fx, batched-session speedup %.2fx (%d micro-batches, mean width %.1f)\n",
+		compiled/base, batched/base, session.Batches(),
+		float64(session.Samples())/float64(max(session.Batches(), 1)))
+	return nil
+}

@@ -57,9 +57,15 @@ func run(samples, epochs int, lr float64, model string) error {
 	}
 	fmt.Printf("epoch losses: %.4v\n", res.EpochLosses)
 
+	// Each substrate is evaluated through one compiled NetworkPlan: the
+	// module graph is walked once and every conv layer's weights are
+	// quantized/latched before the first evaluation batch.
 	report := func(label string, engine nn.ConvEngine) error {
-		net.SetConvEngine(engine)
-		top1, top5, err := train.Accuracy(net, testSet, 5)
+		plan, err := net.Compile(engine)
+		if err != nil {
+			return err
+		}
+		top1, top5, err := train.Accuracy(plan, testSet, 5)
 		if err != nil {
 			return err
 		}

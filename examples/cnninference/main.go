@@ -1,16 +1,21 @@
 // Cnninference: train a small CNN on the synthetic dataset, then run the
 // same trained network on three substrates — exact 2D convolution, the
 // row-tiled 1D path (Table I), and the full quantized accelerator (Fig. 7)
-// — to see how little accuracy the photonic execution costs.
+// — to see how little accuracy the photonic execution costs. Each substrate
+// is evaluated through a compiled NetworkPlan, and the accelerator plan is
+// then served through a micro-batching InferenceSession, the pattern a
+// deployed correlator would use (latch weights once, stream activations).
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"photofourier"
 	"photofourier/internal/dataset"
 	"photofourier/internal/nn"
+	"photofourier/internal/serve"
 	"photofourier/internal/train"
 )
 
@@ -30,19 +35,53 @@ func main() {
 	}
 
 	engines := []struct {
-		label  string
-		engine photofourier.ConvEngine
+		label       string
+		engine      photofourier.ConvEngine
+		accelerator bool
 	}{
-		{"exact 2D reference", nil},
-		{"row-tiled 1D JTC", photofourier.NewRowTiledEngine(256)},
-		{"accelerator (8-bit, NTA=16)", photofourier.NewAcceleratorEngine()},
+		{"exact 2D reference", nil, false},
+		{"row-tiled 1D JTC", photofourier.NewRowTiledEngine(256), false},
+		{"accelerator (8-bit, NTA=16)", photofourier.NewAcceleratorEngine(), true},
 	}
+	var accelPlan *photofourier.NetworkPlan
 	for _, e := range engines {
-		net.SetConvEngine(e.engine)
-		top1, top5, err := train.Accuracy(net, testSet, 5)
+		plan, err := net.Compile(e.engine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		top1, top5, err := train.Accuracy(plan, testSet, 5)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-28s top-1 %.1f%%  top-5 %.1f%%\n", e.label, 100*top1, 100*top5)
+		if e.accelerator {
+			accelPlan = plan
+		}
 	}
+
+	// Serve a few samples concurrently through the accelerator plan.
+	session := photofourier.NewInferenceSession(accelPlan, serve.Options{MaxBatch: 8})
+	defer session.Close()
+	var wg sync.WaitGroup
+	hits := make([]bool, 16)
+	for i := range hits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pred, err := session.Infer(testSet.X[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			hits[i] = pred.Class == testSet.Y[i]
+		}(i)
+	}
+	wg.Wait()
+	correct := 0
+	for _, h := range hits {
+		if h {
+			correct++
+		}
+	}
+	fmt.Printf("served %d samples in %d micro-batches (%d/%d correct)\n",
+		session.Samples(), session.Batches(), correct, len(hits))
 }

@@ -37,3 +37,44 @@ func (pl *Pool[T]) GetZeroed(n int) []T {
 func (pl *Pool[T]) Put(s []T) {
 	pl.p.Put(&s)
 }
+
+// SizedPool recycles []T buffers across heterogeneous sizes: each distinct
+// capacity gets its own bucket, so a workload cycling through several fixed
+// geometries (e.g. the per-layer activation shapes of a compiled network)
+// reuses an exact-fit buffer for each instead of thrashing one mixed pool.
+// The zero value is ready to use; a SizedPool is safe for concurrent use and
+// must not be copied after first use.
+type SizedPool[T any] struct {
+	mu      sync.Mutex
+	buckets map[int]*Pool[T]
+}
+
+func (sp *SizedPool[T]) bucket(n int) *Pool[T] {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.buckets == nil {
+		sp.buckets = make(map[int]*Pool[T])
+	}
+	b := sp.buckets[n]
+	if b == nil {
+		b = &Pool[T]{}
+		sp.buckets[n] = b
+	}
+	return b
+}
+
+// Get returns a slice of length n from the bucket of capacity-n buffers.
+// Contents are unspecified.
+func (sp *SizedPool[T]) Get(n int) []T {
+	return sp.bucket(n).Get(n)
+}
+
+// Put recycles s into the bucket matching its capacity. Zero-capacity slices
+// are dropped.
+func (sp *SizedPool[T]) Put(s []T) {
+	c := cap(s)
+	if c == 0 {
+		return
+	}
+	sp.bucket(c).Put(s[:c])
+}

@@ -1,0 +1,67 @@
+package buf
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolReusesCapacity(t *testing.T) {
+	var p Pool[float64]
+	s := p.Get(16)
+	if len(s) != 16 {
+		t.Fatalf("Get(16) len = %d", len(s))
+	}
+	s[0] = 42
+	p.Put(s)
+	r := p.Get(8)
+	if len(r) != 8 {
+		t.Fatalf("Get(8) len = %d", len(r))
+	}
+	z := p.GetZeroed(4)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroed left %v at %d", v, i)
+		}
+	}
+}
+
+func TestSizedPoolExactFit(t *testing.T) {
+	var sp SizedPool[float64]
+	a := sp.Get(32)
+	b := sp.Get(48)
+	if len(a) != 32 || len(b) != 48 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	sp.Put(a)
+	sp.Put(b)
+	// Each size bucket hands back a buffer of exactly the requested length.
+	if got := sp.Get(32); len(got) != 32 || cap(got) < 32 {
+		t.Fatalf("Get(32) len=%d cap=%d", len(got), cap(got))
+	}
+	if got := sp.Get(48); len(got) != 48 {
+		t.Fatalf("Get(48) len=%d", len(got))
+	}
+	sp.Put(nil) // zero-capacity slices are dropped, not stored
+}
+
+func TestSizedPoolConcurrent(t *testing.T) {
+	var sp SizedPool[float64]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 8 + 8*(g%4)
+				s := sp.Get(n)
+				if len(s) != n {
+					t.Errorf("len %d want %d", len(s), n)
+					return
+				}
+				s[0] = float64(g)
+				sp.Put(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -613,6 +613,20 @@ func detectorNoiseFree(d jtc.Detector) bool {
 	return ok && nf.NoiseFree()
 }
 
+// UnplannedEngine wraps an Engine while hiding its planning capability
+// (nn.LayerPlanner), forcing every convolution through the per-call
+// unplanned path — the baseline side of the compiled-vs-uncompiled
+// inference benchmarks (BENCH_3.json).
+type UnplannedEngine struct{ E *Engine }
+
+// Conv2D implements nn.ConvEngine.
+func (u UnplannedEngine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (*tensor.Tensor, error) {
+	return u.E.Conv2D(input, weight, bias, stride, pad)
+}
+
+// Name implements nn.ConvEngine.
+func (u UnplannedEngine) Name() string { return u.E.Name() + " (unplanned)" }
+
 type signedParts struct {
 	pos, neg *tensor.Tensor // nil when the corresponding part is all zero
 }

@@ -467,60 +467,66 @@ func (e *Engine) readoutAccumulate(callIdx uint64, term int, psums [][]float64, 
 	return nil
 }
 
-// quantizeToPooled quantizes a tensor to DAC precision into a pooled buffer
-// (aliasing the raw data when bits == 0, so callers must treat the result
-// as read-only).
-func quantizeToPooled(t *tensor.Tensor, bits int) (data []float64, release func(), err error) {
-	src := t.Data
-	if bits == 0 {
-		return src, func() {}, nil
-	}
-	maxAbs := t.MaxAbs()
-	if maxAbs == 0 {
-		maxAbs = 1
-	}
-	q, err := quant.NewLinear(bits, maxAbs)
-	if err != nil {
-		return nil, nil, err
-	}
-	buf := getFloats(len(src))
-	for i, v := range src {
-		buf[i] = q.Quantize(v)
-	}
-	return buf, func() { putFloats(buf) }, nil
-}
-
 // pooledParts is quantizeParts backed by pooled buffers: the sign-split
-// activation tensors of one planned call. It shares the quantizer, sign
-// scan, presence rule, and part-fill code with quantizeParts, so the two
-// paths cannot drift.
+// activation tensors of one planned call.
 type pooledParts struct {
 	pos, neg *tensor.Tensor
 	bufs     [][]float64
 }
 
+// quantizePartsPooled quantizes t to DAC precision and splits it into
+// non-negative sign parts in a single fused pass over the data (where the
+// unpooled quantizeParts path quantizes, sign-scans, and fills each part in
+// separate passes). The per-element rule is identical — quant.Linear
+// rounding, then v>0 to the positive part and -v for v<0 to the negative
+// part, with the shared partPresence presence rule — so the two paths
+// produce the same parts and cannot drift.
 func quantizePartsPooled(t *tensor.Tensor, bits int) (*pooledParts, func(), error) {
-	data, relq, err := quantizeToPooled(t, bits)
-	if err != nil {
-		return nil, nil, err
+	src := t.Data
+	var q *quant.Linear
+	if bits > 0 {
+		maxAbs := t.MaxAbs()
+		if maxAbs == 0 {
+			maxAbs = 1
+		}
+		var err error
+		q, err = quant.NewLinear(bits, maxAbs)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	posPresent, negPresent := partPresence(signScan(data))
+	posBuf, negBuf := getFloats(len(src)), getFloats(len(src))
+	hasPos, hasNeg := false, false
+	for i, v := range src {
+		if q != nil {
+			v = q.Quantize(v)
+		}
+		var p, ng float64
+		if v > 0 {
+			p = v
+			hasPos = true
+		} else if v < 0 {
+			ng = -v
+			hasNeg = true
+		}
+		posBuf[i], negBuf[i] = p, ng
+	}
+	posPresent, negPresent := partPresence(hasPos, hasNeg)
 	pp := &pooledParts{}
 	shape := append([]int(nil), t.Shape...)
 	if posPresent {
-		buf := getFloats(len(data))
-		fillPosPart(buf, data)
-		pp.pos = &tensor.Tensor{Shape: shape, Data: buf}
-		pp.bufs = append(pp.bufs, buf)
+		pp.pos = &tensor.Tensor{Shape: shape, Data: posBuf}
+		pp.bufs = append(pp.bufs, posBuf)
+	} else {
+		putFloats(posBuf)
 	}
 	if negPresent {
-		buf := getFloats(len(data))
-		fillNegPart(buf, data)
-		pp.neg = &tensor.Tensor{Shape: shape, Data: buf}
-		pp.bufs = append(pp.bufs, buf)
+		pp.neg = &tensor.Tensor{Shape: shape, Data: negBuf}
+		pp.bufs = append(pp.bufs, negBuf)
+	} else {
+		putFloats(negBuf)
 	}
 	release := func() {
-		relq()
 		for _, b := range pp.bufs {
 			putFloats(b)
 		}

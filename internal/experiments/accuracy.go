@@ -19,10 +19,13 @@ func init() {
 }
 
 // The training-backed studies evaluate one trained network under many
-// engine substrates (SetConvEngine swaps). Each Conv layer compiles a
-// core.LayerPlan on its first inference forward pass per engine and reuses
-// it across the whole evaluation sweep, so weight quantization and kernel
-// spectra are paid once per (engine, layer) rather than once per batch.
+// engine substrates. Each substrate gets ONE compiled nn.NetworkPlan
+// (Network.Compile walks the module graph once and compiles every conv
+// layer's core.LayerPlan eagerly), and train.Accuracy derives top-1 and
+// top-k from the same logits — so an evaluation sweep pays weight
+// quantization and kernel spectra once per (engine, layer) and exactly one
+// forward pass per batch, where it used to re-walk the module graph and
+// rerun inference per metric.
 
 // studyModel is a lazily trained accuracy-study network plus its held-out
 // evaluation set. Training is deterministic, so caching is sound.
@@ -149,17 +152,22 @@ func table1(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.net.SetConvEngine(nil)
-		t1ref, t5ref, err := train.Accuracy(m.net, m.test, 5)
+		refPlan, err := m.net.Compile(nil)
 		if err != nil {
 			return nil, err
 		}
-		m.net.SetConvEngine(core.NewRowTiledEngine(256))
-		t1rt, t5rt, err := train.Accuracy(m.net, m.test, 5)
+		t1ref, t5ref, err := train.Accuracy(refPlan, m.test, 5)
 		if err != nil {
 			return nil, err
 		}
-		m.net.SetConvEngine(nil)
+		rtPlan, err := m.net.Compile(core.NewRowTiledEngine(256))
+		if err != nil {
+			return nil, err
+		}
+		t1rt, t5rt, err := train.Accuracy(rtPlan, m.test, 5)
+		if err != nil {
+			return nil, err
+		}
 		res.Rows = append(res.Rows,
 			[]string{spec.key, "top-1", pct(t1ref), pct(t1rt), pct(t1rt - t1ref)},
 			[]string{spec.key, "top-5", pct(t5ref), pct(t5rt), pct(t5rt - t5ref)},
@@ -216,7 +224,6 @@ func fig7(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer m.net.SetConvEngine(nil)
 
 	res := &Result{
 		ID:     "fig7",
@@ -226,8 +233,11 @@ func fig7(opt Options) (*Result, error) {
 	// Full-precision psum reference (the paper's "fp psum" line).
 	fp := core.NewEngine()
 	fp.ADCBits = 0
-	m.net.SetConvEngine(fp)
-	fpAcc, _, err := train.Accuracy(m.net, m.test, 5)
+	fpPlan, err := m.net.Compile(fp)
+	if err != nil {
+		return nil, err
+	}
+	fpAcc, _, err := train.Accuracy(fpPlan, m.test, 5)
 	if err != nil {
 		return nil, err
 	}
@@ -244,8 +254,11 @@ func fig7(opt Options) (*Result, error) {
 		// Dark-current sensing noise per readout (the paper's photodetector
 		// model): shallow depths read out more often and accumulate more.
 		e.ReadoutNoise = 0.005
-		m.net.SetConvEngine(e)
-		acc, _, err := train.Accuracy(m.net, m.test, 5)
+		plan, err := m.net.Compile(e)
+		if err != nil {
+			return nil, err
+		}
+		acc, _, err := train.Accuracy(plan, m.test, 5)
 		if err != nil {
 			return nil, err
 		}

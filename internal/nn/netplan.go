@@ -1,0 +1,711 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"photofourier/internal/buf"
+	"photofourier/internal/tensor"
+)
+
+// Container is a module that composes other modules. Walk uses it to
+// traverse the module graph generically, replacing per-type traversal
+// switches.
+type Container interface {
+	// Children returns the directly contained modules in execution order.
+	Children() []Module
+}
+
+// Plannable is a module whose inference path routes through a pluggable
+// ConvEngine. SetConvEngine and the network compiler discover such modules
+// through Walk instead of hardcoding layer types.
+type Plannable interface {
+	Module
+	// SetEngine routes the module's inference through e (nil = reference).
+	SetEngine(e ConvEngine)
+}
+
+// Walk visits m and every module reachable through Container children in
+// pre-order execution order.
+func Walk(m Module, visit func(Module)) {
+	if m == nil {
+		return
+	}
+	visit(m)
+	if c, ok := m.(Container); ok {
+		for _, child := range c.Children() {
+			Walk(child, visit)
+		}
+	}
+}
+
+// NetworkPlan is a whole network compiled for repeated inference under one
+// engine: the module graph is walked once at compile time into a flattened
+// step list, every convolution's LayerPlan is compiled eagerly (weights
+// quantized, sign-split, and spectrally latched before the first sample
+// arrives), and execution streams activations through pooled per-geometry
+// buffers with per-sample parallelism on the non-engine steps — so serving
+// many batches pays no module-graph walking, no lazy plan compilation, and
+// no per-layer activation allocation.
+//
+// Forward output is bit-identical to Network.Forward on the same network
+// with SetConvEngine(engine), at every Parallelism setting (for noisy
+// engine configurations, identical engine call sequences are also
+// required, as with any shared noisy engine).
+//
+// A NetworkPlan is an immutable snapshot: later SetConvEngine calls or
+// weight edits on the source network do not change it. A training step on
+// the source network (Conv.Backward, or an explicit InvalidatePlan) marks
+// the plan Stale, and Forward refuses to run until the holder recompiles.
+// Plans are safe for concurrent Forward calls.
+type NetworkPlan struct {
+	// Name echoes the source network's name for reports.
+	Name string
+
+	// Parallelism bounds the worker pool the plan's sample-parallel steps
+	// use (reference convolutions, activations, pooling, dense rows).
+	// <= 0 selects runtime.NumCPU(); 1 runs serially. Engine-backed steps
+	// keep their engine's own Parallelism knob. Parallel output is
+	// bit-identical to serial at any setting.
+	Parallelism int
+
+	engine ConvEngine
+	steps  []planStep
+
+	// convs snapshots each convolution layer's invalidation generation at
+	// compile time; layerPlans lists the eagerly compiled per-layer plans
+	// (engine-config staleness).
+	convs      []convSnapshot
+	layerPlans []LayerPlan
+
+	pool buf.SizedPool[float64]
+
+	geoMu sync.Mutex
+	geos  map[geoKey][]StepShape
+}
+
+type convSnapshot struct {
+	c   *Conv
+	gen uint64
+}
+
+type geoKey struct{ c, h, w int }
+
+// Compile walks the module graph once and compiles the network for
+// inference under the given engine (nil = exact reference path). Engines
+// implementing LayerPlanner have every convolution layer's LayerPlan
+// compiled eagerly, so the first Forward already runs the fully latched
+// path.
+func (n *Network) Compile(engine ConvEngine) (*NetworkPlan, error) {
+	p := &NetworkPlan{Name: n.Name, engine: engine}
+	steps, err := p.compile(n.Root)
+	if err != nil {
+		return nil, fmt.Errorf("nn: compile %s: %w", n.Name, err)
+	}
+	p.steps = steps
+	return p, nil
+}
+
+// Engine returns the engine the plan compiled against (nil = reference).
+func (p *NetworkPlan) Engine() ConvEngine { return p.engine }
+
+// Stale reports whether the plan's compiled artifacts no longer match the
+// source network or engine: a training step invalidated a convolution
+// layer, or the engine configuration baked into a LayerPlan changed.
+func (p *NetworkPlan) Stale() bool {
+	for _, cs := range p.convs {
+		if cs.c.planGen.Load() != cs.gen {
+			return true
+		}
+	}
+	for _, lp := range p.layerPlans {
+		if lp.Stale() {
+			return true
+		}
+	}
+	return false
+}
+
+// Forward runs one compiled inference pass over an NCHW batch and returns
+// the logits. The returned tensor is owned by the caller; intermediate
+// activations come from and return to the plan's per-geometry buffer pool.
+func (p *NetworkPlan) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if p.Stale() {
+		return nil, fmt.Errorf("nn: network plan is stale (training or an engine config change invalidated it); recompile with Network.Compile")
+	}
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("nn: compiled forward wants NCHW input, got %v", x.Shape)
+	}
+	if x.Shape[0] < 1 {
+		return nil, fmt.Errorf("nn: compiled forward wants a non-empty batch, got %v", x.Shape)
+	}
+	if _, err := p.StepShapes(x.Shape[1], x.Shape[2], x.Shape[3]); err != nil {
+		return nil, err
+	}
+	out, _, err := p.runSteps(p.steps, x, false)
+	return out, err
+}
+
+// EvaluateLogits runs one compiled forward pass and derives predictions,
+// top-1/top-k correctness, and loss from the same logits.
+func (p *NetworkPlan) EvaluateLogits(x *tensor.Tensor, labels []int, k int) (*EvalStats, error) {
+	logits, err := p.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return StatsFromLogits(logits, labels, k)
+}
+
+// StepShape records one compiled step's per-sample output geometry.
+type StepShape struct {
+	Step string
+	// Out is the per-sample output shape (e.g. [C H W], or [C] after
+	// pooling/dense steps); nil when the step's geometry cannot be
+	// inferred statically (opaque fallback modules).
+	Out []int
+}
+
+// StepShapes returns the flattened step list with each step's per-sample
+// output geometry for a (c, h, w) input sample, computing and caching the
+// chain on first use per geometry.
+func (p *NetworkPlan) StepShapes(c, h, w int) ([]StepShape, error) {
+	key := geoKey{c, h, w}
+	p.geoMu.Lock()
+	defer p.geoMu.Unlock()
+	if g, ok := p.geos[key]; ok {
+		return g, nil
+	}
+	shapes := make([]StepShape, 0, len(p.steps))
+	in := []int{c, h, w}
+	for _, s := range p.steps {
+		out, err := s.outShape(in)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s step on %v: %w", s.name(), in, err)
+		}
+		shapes = append(shapes, StepShape{Step: s.name(), Out: out})
+		in = out
+	}
+	if p.geos == nil {
+		p.geos = make(map[geoKey][]StepShape)
+	}
+	p.geos[key] = shapes
+	return shapes, nil
+}
+
+// runSteps executes a step chain. own reports whether the plan owns x (may
+// mutate it in place and recycle its buffer once consumed); the returned
+// ownership flag means the same for the final tensor. Buffers of owned
+// intermediates return to the pool as soon as the next step has consumed
+// them.
+func (p *NetworkPlan) runSteps(steps []planStep, x *tensor.Tensor, own bool) (*tensor.Tensor, bool, error) {
+	cur, curOwn := x, own
+	for _, s := range steps {
+		out, err := s.run(p, cur, curOwn)
+		if err != nil {
+			return nil, false, err
+		}
+		if out != cur {
+			// Opaque fallback steps may return views aliasing their input,
+			// so their inputs are never recycled and their outputs never
+			// treated as plan-owned (mutable/poolable). Compiled steps only
+			// alias their input when running in place on an owned buffer.
+			if curOwn && s.ownsOutput() {
+				p.pool.Put(cur.Data)
+			}
+			curOwn = s.ownsOutput()
+		}
+		cur = out
+	}
+	return cur, curOwn, nil
+}
+
+// newTensor returns a pooled tensor with unspecified contents; every step
+// writes each output element, so no zeroing is needed.
+func (p *NetworkPlan) newTensor(shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &tensor.Tensor{Shape: append([]int(nil), shape...), Data: p.pool.Get(n)}
+}
+
+func (p *NetworkPlan) workers() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// forSamples runs fn(b) for every sample index on the plan's worker pool.
+// Callers keep items independent (disjoint output regions), so parallel
+// output is bit-identical to serial.
+func (p *NetworkPlan) forSamples(n int, fn func(b int) error) error {
+	workers := p.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// compile lowers one module into plan steps, flattening Sequential chains.
+func (p *NetworkPlan) compile(m Module) ([]planStep, error) {
+	switch v := m.(type) {
+	case *Sequential:
+		var out []planStep
+		for _, child := range v.Modules {
+			steps, err := p.compile(child)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, steps...)
+		}
+		return out, nil
+	case *Residual:
+		body, err := p.compile(v.Body)
+		if err != nil {
+			return nil, err
+		}
+		var shortcut []planStep
+		if v.Shortcut != nil {
+			if shortcut, err = p.compile(v.Shortcut); err != nil {
+				return nil, err
+			}
+		}
+		return []planStep{&residualStep{body: body, shortcut: shortcut, hasShortcut: v.Shortcut != nil}}, nil
+	case *Conv:
+		p.convs = append(p.convs, convSnapshot{c: v, gen: v.planGen.Load()})
+		if p.engine == nil {
+			return []planStep{&convRefStep{c: v}}, nil
+		}
+		if planner, ok := p.engine.(LayerPlanner); ok {
+			lp, err := planner.PlanConv(v.Weight.W, v.Bias.W.Data, v.Stride, v.Pad)
+			if err != nil {
+				return nil, err
+			}
+			p.layerPlans = append(p.layerPlans, lp)
+			return []planStep{&convPlanStep{c: v, plan: lp}}, nil
+		}
+		return []planStep{&convEngineStep{c: v, engine: p.engine}}, nil
+	case *ReLULayer:
+		return []planStep{reluStep{}}, nil
+	case *MaxPool:
+		return []planStep{&maxPoolStep{k: v.K, stride: v.Stride}}, nil
+	case *GlobalAvgPool:
+		return []planStep{gapStep{}}, nil
+	case *DenseLayer:
+		return []planStep{&denseStep{d: v}}, nil
+	default:
+		// Unknown module: fall back to its own (inference) Forward.
+		return []planStep{&forwardStep{m: v}}, nil
+	}
+}
+
+// planStep is one compiled inference operation over a whole batch.
+type planStep interface {
+	name() string
+	// outShape maps a per-sample input shape to the step's per-sample
+	// output shape (nil in → nil out for dynamically-shaped chains).
+	outShape(in []int) ([]int, error)
+	// run executes the step. own reports whether the plan owns x; a step
+	// may return x itself only when own is true and it ran in place.
+	run(p *NetworkPlan, x *tensor.Tensor, own bool) (*tensor.Tensor, error)
+	// ownsOutput reports whether a distinct returned tensor is exclusively
+	// the plan's (disjoint from the input, safe to mutate in place and
+	// recycle). False only for opaque fallback steps, whose modules may
+	// return input-aliasing views.
+	ownsOutput() bool
+}
+
+// ownedOutput is the embedded default for compiled steps, whose distinct
+// outputs are always disjoint plan-owned buffers.
+type ownedOutput struct{}
+
+func (ownedOutput) ownsOutput() bool { return true }
+
+// convRefOut returns the reference convolution's output size per spatial
+// dimension (Same pads k-1 total, matching tensor.Im2Col/Conv2D).
+func convRefOut(in, k, stride int, pad tensor.PadMode) int {
+	total := 0
+	if pad == tensor.Same {
+		total = k - 1
+	}
+	return tensor.ConvOut(in, k, stride, total)
+}
+
+// convRefStep mirrors Conv.Forward's exact reference path (per-sample
+// im2col + matmul + bias), parallel across samples into a pooled output —
+// bit-identical to the module because each sample's arithmetic is
+// unchanged and samples are independent.
+type convRefStep struct {
+	ownedOutput
+	c *Conv
+}
+
+func (s *convRefStep) name() string { return "conv(reference)" }
+
+func (s *convRefStep) outShape(in []int) ([]int, error) {
+	if in == nil {
+		return nil, nil
+	}
+	if len(in) != 3 {
+		return nil, fmt.Errorf("conv wants a CHW sample, got %v", in)
+	}
+	c := s.c
+	cout, k := c.Weight.W.Shape[0], c.Weight.W.Shape[2]
+	if in[0] != c.Weight.W.Shape[1] {
+		return nil, fmt.Errorf("channel mismatch %d vs %d", in[0], c.Weight.W.Shape[1])
+	}
+	oh := convRefOut(in[1], k, c.Stride, c.Pad)
+	ow := convRefOut(in[2], k, c.Stride, c.Pad)
+	if oh < 1 || ow < 1 {
+		return nil, fmt.Errorf("empty conv output for %v k=%d", in, k)
+	}
+	return []int{cout, oh, ow}, nil
+}
+
+func (s *convRefStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	c := s.c
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("nn: compiled conv wants NCHW input, got %v", x.Shape)
+	}
+	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	cout, k := c.Weight.W.Shape[0], c.Weight.W.Shape[2]
+	oh := convRefOut(h, k, c.Stride, c.Pad)
+	ow := convRefOut(w, k, c.Stride, c.Pad)
+	wmat, err := c.Weight.W.Reshape(cout, cin*k*k)
+	if err != nil {
+		return nil, err
+	}
+	out := p.newTensor(n, cout, oh, ow)
+	err = p.forSamples(n, func(b int) error {
+		img := &tensor.Tensor{Shape: []int{cin, h, w}, Data: x.Data[b*cin*h*w : (b+1)*cin*h*w]}
+		col, _, _, err := tensor.Im2Col(img, k, k, c.Stride, c.Pad)
+		if err != nil {
+			return err
+		}
+		prod, err := tensor.MatMul(wmat, col)
+		if err != nil {
+			return err
+		}
+		dst := out.Data[b*cout*oh*ow : (b+1)*cout*oh*ow]
+		for oc := 0; oc < cout; oc++ {
+			bias := c.Bias.W.Data[oc]
+			src := prod.Data[oc*oh*ow : (oc+1)*oh*ow]
+			for i, v := range src {
+				dst[oc*oh*ow+i] = v + bias
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// convPlanStep runs a convolution through its eagerly compiled LayerPlan —
+// the same call Conv.Forward makes through its lazy plan cache, minus the
+// cache lookup.
+type convPlanStep struct {
+	ownedOutput
+	c    *Conv
+	plan LayerPlan
+}
+
+func (s *convPlanStep) name() string { return "conv(planned)" }
+
+func (s *convPlanStep) outShape(in []int) ([]int, error) { return (&convRefStep{c: s.c}).outShape(in) }
+
+func (s *convPlanStep) run(_ *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	return s.plan.Conv2D(x)
+}
+
+// convEngineStep runs a convolution through a non-planning engine, exactly
+// as Conv.Forward does for engines without PlanConv.
+type convEngineStep struct {
+	ownedOutput
+	c      *Conv
+	engine ConvEngine
+}
+
+func (s *convEngineStep) name() string { return "conv(" + s.engine.Name() + ")" }
+
+func (s *convEngineStep) outShape(in []int) ([]int, error) {
+	return (&convRefStep{c: s.c}).outShape(in)
+}
+
+func (s *convEngineStep) run(_ *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	c := s.c
+	return s.engine.Conv2D(x, c.Weight.W, c.Bias.W.Data, c.Stride, c.Pad)
+}
+
+// reluStep clamps negatives — in place when the plan owns the buffer,
+// otherwise streaming into a pooled copy.
+type reluStep struct{ ownedOutput }
+
+func (reluStep) name() string { return "relu" }
+
+func (reluStep) outShape(in []int) ([]int, error) { return in, nil }
+
+func (reluStep) run(p *NetworkPlan, x *tensor.Tensor, own bool) (*tensor.Tensor, error) {
+	out := x
+	if !own {
+		out = p.newTensor(x.Shape...)
+	}
+	n := x.Shape[0]
+	per := len(x.Data) / n
+	return out, p.forSamples(n, func(b int) error {
+		src := x.Data[b*per : (b+1)*per]
+		dst := out.Data[b*per : (b+1)*per]
+		for i, v := range src {
+			if v < 0 {
+				v = 0
+			}
+			dst[i] = v
+		}
+		return nil
+	})
+}
+
+// maxPoolStep mirrors MaxPool.Forward's inference loops per sample.
+type maxPoolStep struct {
+	ownedOutput
+	k, stride int
+}
+
+func (s *maxPoolStep) name() string { return "maxpool" }
+
+func (s *maxPoolStep) outShape(in []int) ([]int, error) {
+	if in == nil {
+		return nil, nil
+	}
+	if len(in) != 3 {
+		return nil, fmt.Errorf("maxpool wants a CHW sample, got %v", in)
+	}
+	oh := (in[1]-s.k)/s.stride + 1
+	ow := (in[2]-s.k)/s.stride + 1
+	if oh < 1 || ow < 1 {
+		return nil, fmt.Errorf("empty maxpool output for %v k=%d", in, s.k)
+	}
+	return []int{in[0], oh, ow}, nil
+}
+
+func (s *maxPoolStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("nn: compiled maxpool wants NCHW, got %v", x.Shape)
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-s.k)/s.stride + 1
+	ow := (w-s.k)/s.stride + 1
+	if oh < 1 || ow < 1 {
+		return nil, fmt.Errorf("nn: compiled maxpool empty output for %v", x.Shape)
+	}
+	out := p.newTensor(n, c, oh, ow)
+	return out, p.forSamples(n, func(b int) error {
+		for ch := 0; ch < c; ch++ {
+			inBase := (b*c + ch) * h * w
+			outBase := (b*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					for ky := 0; ky < s.k; ky++ {
+						row := inBase + (oy*s.stride+ky)*w + ox*s.stride
+						for kx := 0; kx < s.k; kx++ {
+							if v := x.Data[row+kx]; v > best {
+								best = v
+							}
+						}
+					}
+					out.Data[outBase+oy*ow+ox] = best
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// gapStep mirrors tensor.GlobalAvgPool2D per sample.
+type gapStep struct{ ownedOutput }
+
+func (gapStep) name() string { return "globalavgpool" }
+
+func (gapStep) outShape(in []int) ([]int, error) {
+	if in == nil {
+		return nil, nil
+	}
+	if len(in) != 3 {
+		return nil, fmt.Errorf("globalavgpool wants a CHW sample, got %v", in)
+	}
+	return []int{in[0]}, nil
+}
+
+func (gapStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("nn: compiled globalavgpool wants NCHW, got %v", x.Shape)
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := p.newTensor(n, c)
+	area := float64(h * w)
+	return out, p.forSamples(n, func(b int) error {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			var sum float64
+			for i := 0; i < h*w; i++ {
+				sum += x.Data[base+i]
+			}
+			out.Data[b*c+ch] = sum / area
+		}
+		return nil
+	})
+}
+
+// denseStep mirrors DenseLayer.Forward (flatten + tensor.Dense arithmetic)
+// per sample row.
+type denseStep struct {
+	ownedOutput
+	d *DenseLayer
+}
+
+func (s *denseStep) name() string { return "dense" }
+
+func (s *denseStep) outShape(in []int) ([]int, error) {
+	if in == nil {
+		return nil, nil
+	}
+	size := 1
+	for _, d := range in {
+		size *= d
+	}
+	outDim, inDim := s.d.Weight.W.Shape[0], s.d.Weight.W.Shape[1]
+	if size != inDim {
+		return nil, fmt.Errorf("dense wants %d inputs, got %v", inDim, in)
+	}
+	return []int{outDim}, nil
+}
+
+func (s *denseStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n := x.Shape[0]
+	in := x.Size() / n
+	outDim, inW := s.d.Weight.W.Shape[0], s.d.Weight.W.Shape[1]
+	if in != inW {
+		return nil, fmt.Errorf("nn: compiled dense input dim %d != weight dim %d", in, inW)
+	}
+	weight, bias := s.d.Weight.W, s.d.Bias.W.Data
+	out := p.newTensor(n, outDim)
+	return out, p.forSamples(n, func(b int) error {
+		xrow := x.Data[b*in : (b+1)*in]
+		for o := 0; o < outDim; o++ {
+			wrow := weight.Data[o*in : (o+1)*in]
+			sum := bias[o]
+			for i, v := range xrow {
+				sum += v * wrow[i]
+			}
+			out.Data[b*outDim+o] = sum
+		}
+		return nil
+	})
+}
+
+// residualStep runs the compiled body and shortcut chains against the same
+// input and sums them in place into the body output — the compiled form of
+// Residual.Forward.
+type residualStep struct {
+	ownedOutput
+	body        []planStep
+	shortcut    []planStep
+	hasShortcut bool
+}
+
+func (s *residualStep) name() string { return "residual" }
+
+func (s *residualStep) outShape(in []int) ([]int, error) {
+	cur := in
+	var err error
+	for _, st := range s.body {
+		if cur, err = st.outShape(cur); err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func (s *residualStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	// Both chains read x, so neither may own it here; the outer runner
+	// releases x after this step returns.
+	main, mainOwn, err := p.runSteps(s.body, x, false)
+	if err != nil {
+		return nil, err
+	}
+	side, sideOwn := x, false
+	if s.hasShortcut {
+		if side, sideOwn, err = p.runSteps(s.shortcut, x, false); err != nil {
+			return nil, err
+		}
+	}
+	if !mainOwn {
+		clone := p.newTensor(main.Shape...)
+		copy(clone.Data, main.Data)
+		main = clone
+	}
+	if err := main.AddInPlace(side); err != nil {
+		return nil, fmt.Errorf("nn: residual shapes %v vs %v: %w", main.Shape, side.Shape, err)
+	}
+	if sideOwn {
+		p.pool.Put(side.Data)
+	}
+	return main, nil
+}
+
+// forwardStep is the fallback for module types the compiler does not know:
+// it delegates to the module's own inference Forward.
+type forwardStep struct{ m Module }
+
+func (s *forwardStep) name() string { return fmt.Sprintf("module(%T)", s.m) }
+
+func (s *forwardStep) outShape([]int) ([]int, error) { return nil, nil }
+
+func (s *forwardStep) run(_ *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	return s.m.Forward(x, false)
+}
+
+func (s *forwardStep) ownsOutput() bool { return false }

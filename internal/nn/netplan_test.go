@@ -1,0 +1,359 @@
+package nn_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"photofourier/internal/core"
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+// stockNets builds the three accuracy-study networks on a small input
+// geometry so the full golden matrix stays fast.
+func stockNets() []*nn.Network {
+	return []*nn.Network{
+		nn.ResNetS([3]int{4, 8, 8}, 10, 99),
+		nn.SmallCNN([2]int{4, 8}, 10, 99),
+		nn.AlexNetS(10, 99),
+	}
+}
+
+func goldenInput(seed int64) *tensor.Tensor {
+	x := tensor.New(2, 3, 16, 16)
+	x.RandN(rand.New(rand.NewSource(seed)), 1)
+	return x
+}
+
+// engineFactory builds a fresh engine per (run, worker-count) so noisy
+// configurations see identical call sequences on the network and plan
+// sides. workers configures the engine's internal Parallelism.
+type engineFactory struct {
+	name string
+	// deterministic: repeated forwards produce identical output (noisy
+	// readout draws fresh substreams per engine call, so only the
+	// call-sequence-aligned first forwards match).
+	deterministic bool
+	build         func(workers int) nn.ConvEngine
+}
+
+func goldenEngines() []engineFactory {
+	return []engineFactory{
+		{"reference", true, func(int) nn.ConvEngine { return nil }},
+		{"row-tiled", true, func(w int) nn.ConvEngine {
+			e := core.NewRowTiledEngine(64)
+			e.Parallelism = w
+			return e
+		}},
+		{"quantized", true, func(w int) nn.ConvEngine {
+			e := core.NewEngine()
+			e.Parallelism = w
+			return e
+		}},
+		{"quantized-noisy", false, func(w int) nn.ConvEngine {
+			e := core.NewEngine()
+			e.NTA = 2
+			e.ReadoutNoise = 0.01
+			e.Parallelism = w
+			return e
+		}},
+	}
+}
+
+func workerCounts() []int {
+	ws := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+// TestNetworkPlanMatchesForwardGolden pins the compiled-inference contract:
+// NetworkPlan.Forward is bit-identical to Network.Forward under
+// SetConvEngine for every stock net x engine x worker count, including a
+// noisy readout configuration (fresh engine instances per side keep the
+// noise substream call sequences aligned).
+func TestNetworkPlanMatchesForwardGolden(t *testing.T) {
+	x := goldenInput(11)
+	for _, net := range stockNets() {
+		for _, ef := range goldenEngines() {
+			for _, workers := range workerCounts() {
+				name := fmt.Sprintf("%s/%s/workers=%d", net.Name, ef.name, workers)
+				netEngine := ef.build(workers)
+				net.SetConvEngine(netEngine)
+				want, err := net.Forward(x)
+				if err != nil {
+					t.Fatalf("%s: network forward: %v", name, err)
+				}
+				net.SetConvEngine(nil)
+
+				plan, err := net.Compile(ef.build(workers))
+				if err != nil {
+					t.Fatalf("%s: compile: %v", name, err)
+				}
+				plan.Parallelism = workers
+				got, err := plan.Forward(x)
+				if err != nil {
+					t.Fatalf("%s: plan forward: %v", name, err)
+				}
+				if len(got.Data) != len(want.Data) {
+					t.Fatalf("%s: shape %v vs %v", name, got.Shape, want.Shape)
+				}
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("%s: diverged at %d: %v vs %v", name, i, got.Data[i], want.Data[i])
+					}
+				}
+				// Repeated forwards through the pooled buffers stay stable.
+				if ef.deterministic {
+					again, err := plan.Forward(x)
+					if err != nil {
+						t.Fatalf("%s: repeat forward: %v", name, err)
+					}
+					for i := range want.Data {
+						if again.Data[i] != want.Data[i] {
+							t.Fatalf("%s: repeat diverged at %d", name, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNetworkPlanTiledEngine covers the full-fidelity tiled accelerator
+// path through a compiled network (kept to the small CNN for speed).
+func TestNetworkPlanTiledEngine(t *testing.T) {
+	net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+	x := goldenInput(12)
+	mk := func() *core.Engine {
+		e := core.NewEngine()
+		e.UseTiledPath = true
+		e.NConv = 64
+		e.NTA = 2
+		return e
+	}
+	net.SetConvEngine(mk())
+	want, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetConvEngine(nil)
+	plan, err := net.Compile(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("tiled compiled forward diverged at %d", i)
+		}
+	}
+}
+
+// TestNetworkPlanSharedAcrossGoroutines hammers one compiled plan from
+// many goroutines (the serving pattern); under -race this guards the
+// buffer pool and geometry caches.
+func TestNetworkPlanSharedAcrossGoroutines(t *testing.T) {
+	net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+	e := core.NewEngine()
+	plan, err := net.Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := goldenInput(13)
+	ref, err := plan.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				out, err := plan.Forward(x)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range out.Data {
+					if out.Data[i] != ref.Data[i] {
+						errs <- fmt.Errorf("concurrent compiled forward diverged at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestNetworkPlanStaleAfterTraining verifies the snapshot contract: a
+// backward pass (which precedes a weight update) marks every plan compiled
+// from the network stale, and Forward refuses to serve it.
+func TestNetworkPlanStaleAfterTraining(t *testing.T) {
+	net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+	plan, err := net.Compile(core.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := goldenInput(14)
+	if _, err := plan.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stale() {
+		t.Fatal("fresh plan reports stale")
+	}
+	if _, err := net.LossAndGrad(x, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Stale() {
+		t.Fatal("plan not stale after a training step")
+	}
+	if _, err := plan.Forward(x); err == nil {
+		t.Fatal("stale plan served a forward pass")
+	}
+	replan, err := net.Compile(core.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replan.Forward(x); err != nil {
+		t.Fatalf("recompiled plan: %v", err)
+	}
+}
+
+// TestNetworkPlanStaleOnEngineConfigChange verifies LayerPlan config
+// staleness propagates to the network plan.
+func TestNetworkPlanStaleOnEngineConfigChange(t *testing.T) {
+	net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+	e := core.NewEngine()
+	plan, err := net.Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DACBits = 4 // baked into the compiled weights
+	if !plan.Stale() {
+		t.Fatal("plan not stale after DACBits change")
+	}
+}
+
+// TestNetworkPlanStepShapes pins the recorded per-step output geometries
+// for the small CNN on a 16x16 input.
+func TestNetworkPlanStepShapes(t *testing.T) {
+	net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+	plan, err := net.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := plan.StepShapes(3, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{
+		{4, 16, 16}, // conv
+		{4, 16, 16}, // relu
+		{4, 8, 8},   // maxpool
+		{8, 8, 8},   // conv
+		{8, 8, 8},   // relu
+		{8, 4, 4},   // maxpool
+		{8},         // gap
+		{10},        // dense
+	}
+	if len(shapes) != len(want) {
+		t.Fatalf("step count %d, want %d: %+v", len(shapes), len(want), shapes)
+	}
+	for i, w := range want {
+		got := shapes[i].Out
+		if len(got) != len(w) {
+			t.Fatalf("step %d (%s): shape %v, want %v", i, shapes[i].Step, got, w)
+		}
+		for j := range w {
+			if got[j] != w[j] {
+				t.Fatalf("step %d (%s): shape %v, want %v", i, shapes[i].Step, got, w)
+			}
+		}
+	}
+}
+
+// TestWalkVisitsAllModules checks the generic visitor reaches every module
+// in a residual network (the traversal SetConvEngine now relies on).
+func TestWalkVisitsAllModules(t *testing.T) {
+	net := nn.ResNetS([3]int{4, 8, 8}, 10, 1)
+	convs, total := 0, 0
+	nn.Walk(net.Root, func(m nn.Module) {
+		total++
+		if _, ok := m.(*nn.Conv); ok {
+			convs++
+		}
+	})
+	// ResNet-s: stem + 3 stages x (2 body convs) + 2 shortcut convs = 9.
+	if convs != 9 {
+		t.Errorf("Walk saw %d convs, want 9", convs)
+	}
+	if total <= convs {
+		t.Errorf("Walk saw %d modules total", total)
+	}
+}
+
+// TestEvaluateLogits checks the logits-once helpers agree with the
+// per-metric calls they replace.
+func TestEvaluateLogits(t *testing.T) {
+	net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+	x := goldenInput(15)
+	labels := []int{3, 7}
+	stats, err := net.EvaluateLogits(x, labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := net.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top1, err := net.TopKCorrect(x, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top5, err := net.TopKCorrect(x, labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if stats.Pred[i] != pred[i] || stats.Top1[i] != top1[i] || stats.TopK[i] != top5[i] {
+			t.Fatalf("stats[%d] = {pred %d top1 %v topk %v}, want {%d %v %v}",
+				i, stats.Pred[i], stats.Top1[i], stats.TopK[i], pred[i], top1[i], top5[i])
+		}
+	}
+	if stats.Loss <= 0 {
+		t.Errorf("loss %v not positive", stats.Loss)
+	}
+	// The compiled plan derives identical stats.
+	plan, err := net.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pstats, err := plan.EvaluateLogits(x, labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if pstats.Pred[i] != stats.Pred[i] || pstats.Top1[i] != stats.Top1[i] || pstats.TopK[i] != stats.TopK[i] {
+			t.Fatalf("plan stats diverged at %d", i)
+		}
+	}
+	if pstats.Loss != stats.Loss {
+		t.Fatalf("plan loss %v vs %v", pstats.Loss, stats.Loss)
+	}
+}

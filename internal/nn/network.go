@@ -44,8 +44,17 @@ func (s *Sequential) Params() []*Param {
 	return out
 }
 
+// Children implements Container.
+func (s *Sequential) Children() []Module { return s.Modules }
+
 // Residual computes Body(x) + Shortcut(x) (identity shortcut when nil),
 // the basic block of the ResNet-s accuracy network.
+//
+// The sum accumulates in place into the tensors Body returns, so modules
+// must not retain their returned output by reference for Backward (derive
+// gradients from saved inputs or masks instead, as every in-repo module
+// does); a module that returns its input unchanged is tolerated via an
+// alias check.
 type Residual struct {
 	Body     Module
 	Shortcut Module // nil = identity
@@ -63,11 +72,16 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
 			return nil, err
 		}
 	}
-	out := main.Clone()
-	if err := out.AddInPlace(side); err != nil {
+	// main is freshly allocated by Body.Forward and owned here, so the sum
+	// accumulates into it directly instead of through an extra Clone. The
+	// alias check covers degenerate bodies that return their input.
+	if main == x {
+		main = x.Clone()
+	}
+	if err := main.AddInPlace(side); err != nil {
 		return nil, fmt.Errorf("nn: residual shapes %v vs %v: %w", main.Shape, side.Shape, err)
 	}
-	return out, nil
+	return main, nil
 }
 
 // Backward implements Module.
@@ -82,11 +96,14 @@ func (r *Residual) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 			return nil, err
 		}
 	}
-	out := dMain.Clone()
-	if err := out.AddInPlace(dSide); err != nil {
+	// dMain is freshly allocated by Body.Backward and owned here.
+	if dMain == grad {
+		dMain = grad.Clone()
+	}
+	if err := dMain.AddInPlace(dSide); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return dMain, nil
 }
 
 // Params implements Module.
@@ -96,6 +113,14 @@ func (r *Residual) Params() []*Param {
 		out = append(out, r.Shortcut.Params()...)
 	}
 	return out
+}
+
+// Children implements Container.
+func (r *Residual) Children() []Module {
+	if r.Shortcut == nil {
+		return []Module{r.Body}
+	}
+	return []Module{r.Body, r.Shortcut}
 }
 
 // Network wraps a module stack with loss and evaluation helpers.
@@ -148,25 +173,14 @@ func (n *Network) ZeroGrad() {
 
 // SetConvEngine routes every convolution's inference path through the
 // given engine (nil restores the exact reference path). Training is always
-// exact.
+// exact. Compiled NetworkPlans are snapshots and are not affected; compile
+// a new plan to run under a different engine.
 func (n *Network) SetConvEngine(e ConvEngine) {
-	var walk func(Module)
-	walk = func(m Module) {
-		switch v := m.(type) {
-		case *Conv:
-			v.Engine = e
-		case *Sequential:
-			for _, c := range v.Modules {
-				walk(c)
-			}
-		case *Residual:
-			walk(v.Body)
-			if v.Shortcut != nil {
-				walk(v.Shortcut)
-			}
+	Walk(n.Root, func(m Module) {
+		if p, ok := m.(Plannable); ok {
+			p.SetEngine(e)
 		}
-	}
-	walk(n.Root)
+	})
 }
 
 // SoftmaxCrossEntropy returns the mean cross-entropy loss over the batch
@@ -206,11 +220,11 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 	return loss / float64(n), grad, nil
 }
 
-// Predict returns the argmax class per batch row.
-func (n *Network) Predict(x *tensor.Tensor) ([]int, error) {
-	logits, err := n.Forward(x)
-	if err != nil {
-		return nil, err
+// PredictFromLogits returns the argmax class per row of a [N][C] logits
+// tensor.
+func PredictFromLogits(logits *tensor.Tensor) ([]int, error) {
+	if logits.Rank() != 2 {
+		return nil, fmt.Errorf("nn: predict wants [N][C] logits, got %v", logits.Shape)
 	}
 	nb, c := logits.Shape[0], logits.Shape[1]
 	out := make([]int, nb)
@@ -226,20 +240,27 @@ func (n *Network) Predict(x *tensor.Tensor) ([]int, error) {
 	return out, nil
 }
 
-// TopKCorrect reports, for each sample, whether the true label appears in
-// the k highest logits (top-1 and top-5 accuracy, as in Table I).
-func (n *Network) TopKCorrect(x *tensor.Tensor, labels []int, k int) ([]bool, error) {
-	logits, err := n.Forward(x)
-	if err != nil {
-		return nil, err
+// TopKCorrectFromLogits reports, for each row of a [N][C] logits tensor,
+// whether the true label appears in the k highest logits (ties count as
+// correct, matching the Table I accuracy rule).
+func TopKCorrectFromLogits(logits *tensor.Tensor, labels []int, k int) ([]bool, error) {
+	if logits.Rank() != 2 {
+		return nil, fmt.Errorf("nn: top-k wants [N][C] logits, got %v", logits.Shape)
 	}
 	nb, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != nb {
+		return nil, fmt.Errorf("nn: %d labels for batch of %d", len(labels), nb)
+	}
 	if k > c {
 		k = c
 	}
 	out := make([]bool, nb)
 	for b := 0; b < nb; b++ {
-		yv := logits.At(b, labels[b])
+		y := labels[b]
+		if y < 0 || y >= c {
+			return nil, fmt.Errorf("nn: label %d out of range [0,%d)", y, c)
+		}
+		yv := logits.At(b, y)
 		higher := 0
 		for j := 0; j < c; j++ {
 			if logits.At(b, j) > yv {
@@ -249,6 +270,84 @@ func (n *Network) TopKCorrect(x *tensor.Tensor, labels []int, k int) ([]bool, er
 		out[b] = higher < k
 	}
 	return out, nil
+}
+
+// EvalStats is everything an accuracy sweep derives from one forward pass:
+// argmax predictions, top-1/top-k membership, and the mean softmax
+// cross-entropy — all computed from the same logits, so evaluation pays one
+// inference per batch instead of one per metric.
+type EvalStats struct {
+	Logits *tensor.Tensor
+	Pred   []int  // argmax class per row
+	Top1   []bool // label within top-1 (tie-tolerant, like TopKCorrect)
+	TopK   []bool // label within top-k
+	Loss   float64
+}
+
+// StatsFromLogits derives an EvalStats from one [N][C] logits tensor.
+func StatsFromLogits(logits *tensor.Tensor, labels []int, k int) (*EvalStats, error) {
+	pred, err := PredictFromLogits(logits)
+	if err != nil {
+		return nil, err
+	}
+	top1, err := TopKCorrectFromLogits(logits, labels, 1)
+	if err != nil {
+		return nil, err
+	}
+	topk, err := TopKCorrectFromLogits(logits, labels, k)
+	if err != nil {
+		return nil, err
+	}
+	probs, err := tensor.Softmax(logits)
+	if err != nil {
+		return nil, err
+	}
+	nb := logits.Shape[0]
+	var loss float64
+	for b := 0; b < nb; b++ {
+		p := probs.At(b, labels[b])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	return &EvalStats{
+		Logits: logits,
+		Pred:   pred,
+		Top1:   top1,
+		TopK:   topk,
+		Loss:   loss / float64(nb),
+	}, nil
+}
+
+// EvaluateLogits runs one inference forward pass and derives predictions,
+// top-1/top-k correctness, and loss from the same logits — replacing the
+// Predict+TopKCorrect pattern that reran Forward per metric.
+func (n *Network) EvaluateLogits(x *tensor.Tensor, labels []int, k int) (*EvalStats, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return StatsFromLogits(logits, labels, k)
+}
+
+// Predict returns the argmax class per batch row.
+func (n *Network) Predict(x *tensor.Tensor) ([]int, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return PredictFromLogits(logits)
+}
+
+// TopKCorrect reports, for each sample, whether the true label appears in
+// the k highest logits (top-1 and top-5 accuracy, as in Table I).
+func (n *Network) TopKCorrect(x *tensor.Tensor, labels []int, k int) ([]bool, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return TopKCorrectFromLogits(logits, labels, k)
 }
 
 // ResNetS builds the scaled-down ResNet-s analogue used by the Fig. 7 /

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"photofourier/internal/tensor"
 )
@@ -103,16 +104,27 @@ type Conv struct {
 	plan       LayerPlan
 	planEngine ConvEngine
 
+	// planGen counts plan invalidations; NetworkPlan snapshots it at
+	// compile time to detect that a training step mutated the weights a
+	// whole-network plan compiled from.
+	planGen atomic.Uint64
+
 	lastCols  []*tensor.Tensor // per-sample im2col buffers
 	lastShape []int
 }
 
+// SetEngine implements Plannable: it routes the layer's inference path
+// through e (nil restores the exact reference path).
+func (c *Conv) SetEngine(e ConvEngine) { c.Engine = e }
+
 // InvalidatePlan drops the cached inference plan; the next inference
 // forward pass re-plans. Call it after mutating Weight or Bias outside the
-// training loop (Backward invalidates automatically).
+// training loop (Backward invalidates automatically). Compiled
+// NetworkPlans holding this layer report Stale afterwards.
 func (c *Conv) InvalidatePlan() {
 	c.planMu.Lock()
 	c.plan, c.planEngine = nil, nil
+	c.planGen.Add(1)
 	c.planMu.Unlock()
 }
 

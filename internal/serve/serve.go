@@ -1,0 +1,295 @@
+// Package serve provides a concurrency-safe inference front-end over a
+// compiled nn.NetworkPlan: callers submit single samples from any number of
+// goroutines, the session micro-batches them up to a configurable batch
+// size and deadline, runs each batch through the shared plan, and returns
+// per-sample logits and top-k predictions — the serving-throughput pattern
+// the hardware's weight-latching economics are built for (one latched
+// network, many streamed activations).
+//
+// Micro-batching semantics: samples that land in the same batch run as one
+// NCHW forward pass. Under the quantized accelerator engine that is exactly
+// hardware batch semantics — DAC quantization scales and ADC full-scale
+// calibration are computed per batch, so a sample's logits can differ at
+// the last quantization step depending on its co-batched neighbors (the
+// reference and row-tiled engines are per-sample exact and batch-invariant).
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+// Options configures a Session.
+type Options struct {
+	// MaxBatch is the largest micro-batch assembled per forward pass
+	// (default 8).
+	MaxBatch int
+	// MaxDelay bounds how long an admitted sample waits for co-batching
+	// once the queue is otherwise empty. 0 (the default) never stalls:
+	// whatever is queued when the runner is free forms the next batch.
+	MaxDelay time.Duration
+	// TopK is how many ranked classes each Prediction carries (default 5,
+	// clamped to the class count).
+	TopK int
+	// Queue is the pending-request buffer size (default 4*MaxBatch).
+	Queue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch < 1 {
+		o.MaxBatch = 8
+	}
+	if o.TopK < 1 {
+		o.TopK = 5
+	}
+	if o.Queue < 1 {
+		o.Queue = 4 * o.MaxBatch
+	}
+	return o
+}
+
+// Prediction is the per-sample result of one served inference.
+type Prediction struct {
+	// Logits is the sample's class-score row (caller-owned copy).
+	Logits []float64
+	// Class is the argmax class.
+	Class int
+	// TopK lists the top-k classes, best first (ties broken by lower
+	// index, consistent with argmax).
+	TopK []int
+}
+
+type request struct {
+	x     *tensor.Tensor // rank-3 CHW sample, read-only
+	reply chan reply
+}
+
+type reply struct {
+	pred *Prediction
+	err  error
+}
+
+// Session is the micro-batching front-end. It is safe for concurrent Infer
+// calls; one background runner assembles batches and drives the shared
+// NetworkPlan.
+type Session struct {
+	plan *nn.NetworkPlan
+	opts Options
+
+	mu     sync.RWMutex
+	closed bool
+	reqs   chan request
+	done   chan struct{}
+
+	batches atomic.Uint64
+	samples atomic.Uint64
+}
+
+// New starts a session over a compiled plan.
+func New(plan *nn.NetworkPlan, opts Options) *Session {
+	s := &Session{
+		plan: plan,
+		opts: opts.withDefaults(),
+		done: make(chan struct{}),
+	}
+	s.reqs = make(chan request, s.opts.Queue)
+	go s.run()
+	return s
+}
+
+// Infer submits one CHW sample and blocks until its prediction is ready.
+// The sample is read-only to the session and may be reused by the caller
+// afterwards.
+func (s *Session) Infer(x *tensor.Tensor) (*Prediction, error) {
+	if x == nil || x.Rank() != 3 {
+		return nil, fmt.Errorf("serve: Infer wants a CHW sample, got %v", shapeOf(x))
+	}
+	req := request{x: x, reply: make(chan reply, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("serve: session closed")
+	}
+	s.reqs <- req
+	s.mu.RUnlock()
+	r := <-req.reply
+	return r.pred, r.err
+}
+
+// Close stops admitting samples, waits for every in-flight request to be
+// answered, and releases the runner.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.reqs)
+	s.mu.Unlock()
+	<-s.done
+}
+
+// Batches reports how many micro-batches the session has executed.
+func (s *Session) Batches() uint64 { return s.batches.Load() }
+
+// Samples reports how many samples the session has served.
+func (s *Session) Samples() uint64 { return s.samples.Load() }
+
+// run is the batching loop: block for one request, greedily drain
+// compatible queued requests up to MaxBatch (waiting at most MaxDelay for
+// stragglers), then execute the batch. A request whose sample geometry
+// differs from the open batch flushes it and seeds the next one.
+func (s *Session) run() {
+	defer close(s.done)
+	var pending *request
+	for {
+		var first request
+		if pending != nil {
+			first, pending = *pending, nil
+		} else {
+			req, ok := <-s.reqs
+			if !ok {
+				return
+			}
+			first = req
+		}
+		batch := []request{first}
+		deadline := time.Now().Add(s.opts.MaxDelay)
+		for len(batch) < s.opts.MaxBatch {
+			req, ok, open := s.next(deadline)
+			if !open {
+				s.execute(batch)
+				s.flushRemaining()
+				return
+			}
+			if !ok {
+				break
+			}
+			if !sameShape(req.x.Shape, first.x.Shape) {
+				pending = &req
+				break
+			}
+			batch = append(batch, req)
+		}
+		s.execute(batch)
+	}
+}
+
+// next fetches one queued request: non-blocking first, then waiting out the
+// deadline when the queue is empty. open=false means the session closed.
+func (s *Session) next(deadline time.Time) (req request, ok, open bool) {
+	select {
+	case r, chOpen := <-s.reqs:
+		return r, chOpen, chOpen
+	default:
+	}
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return request{}, false, true
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case r, chOpen := <-s.reqs:
+		return r, chOpen, chOpen
+	case <-timer.C:
+		return request{}, false, true
+	}
+}
+
+// flushRemaining answers everything still queued after Close, in
+// arrival order.
+func (s *Session) flushRemaining() {
+	var batch []request
+	for req := range s.reqs {
+		if len(batch) > 0 && (!sameShape(req.x.Shape, batch[0].x.Shape) || len(batch) == s.opts.MaxBatch) {
+			s.execute(batch)
+			batch = batch[:0]
+		}
+		batch = append(batch, req)
+	}
+	if len(batch) > 0 {
+		s.execute(batch)
+	}
+}
+
+// execute stacks one micro-batch into an NCHW tensor, runs the shared
+// plan, and delivers per-sample predictions.
+func (s *Session) execute(batch []request) {
+	n := len(batch)
+	c, h, w := batch[0].x.Shape[0], batch[0].x.Shape[1], batch[0].x.Shape[2]
+	x := tensor.New(n, c, h, w)
+	per := c * h * w
+	for i, req := range batch {
+		copy(x.Data[i*per:(i+1)*per], req.x.Data)
+	}
+	logits, err := s.plan.Forward(x)
+	if err != nil {
+		for _, req := range batch {
+			req.reply <- reply{err: err}
+		}
+		return
+	}
+	s.batches.Add(1)
+	s.samples.Add(uint64(n))
+	classes := logits.Shape[1]
+	for i, req := range batch {
+		row := make([]float64, classes)
+		copy(row, logits.Data[i*classes:(i+1)*classes])
+		req.reply <- reply{pred: &Prediction{
+			Logits: row,
+			Class:  argmax(row),
+			TopK:   topK(row, s.opts.TopK),
+		}}
+	}
+}
+
+func argmax(row []float64) int {
+	best, bestJ := row[0], 0
+	for j, v := range row {
+		if v > best {
+			best, bestJ = v, j
+		}
+	}
+	return bestJ
+}
+
+// topK returns the k best class indices, highest score first, ties broken
+// by lower index.
+func topK(row []float64, k int) []int {
+	if k > len(row) {
+		k = len(row)
+	}
+	idx := make([]int, len(row))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+	return idx[:k]
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func shapeOf(t *tensor.Tensor) []int {
+	if t == nil {
+		return nil
+	}
+	return t.Shape
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"photofourier/internal/core"
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+func testPlan(t *testing.T, engine nn.ConvEngine) *nn.NetworkPlan {
+	t.Helper()
+	net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+	plan, err := net.Compile(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func sample(seed int64) *tensor.Tensor {
+	x := tensor.New(3, 16, 16)
+	x.RandN(rand.New(rand.NewSource(seed)), 1)
+	return x
+}
+
+// TestSessionMatchesDirectForward serves samples concurrently under the
+// reference engine (per-sample exact, batch-invariant) and checks each
+// prediction equals a direct single-sample forward through the same plan.
+func TestSessionMatchesDirectForward(t *testing.T) {
+	plan := testPlan(t, nil)
+	const samples = 24
+	want := make([][]float64, samples)
+	xs := make([]*tensor.Tensor, samples)
+	for i := range xs {
+		xs[i] = sample(int64(i))
+		batch, err := xs[i].Reshape(1, 3, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits, err := plan.Forward(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append([]float64(nil), logits.Data...)
+	}
+
+	// A small coalescing delay lets the client goroutines enqueue before
+	// the first batch closes (MaxDelay 0 would serve arrival-order batches
+	// of whatever is queued, which on a quiet scheduler is often 1).
+	s := New(plan, Options{MaxBatch: 8, TopK: 3, MaxDelay: 20 * time.Millisecond})
+	defer s.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, samples)
+	for i := 0; i < samples; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pred, err := s.Infer(xs[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j, v := range pred.Logits {
+				if v != want[i][j] {
+					t.Errorf("sample %d logit %d: %v vs %v", i, j, v, want[i][j])
+					return
+				}
+			}
+			if len(pred.TopK) != 3 || pred.TopK[0] != pred.Class {
+				t.Errorf("sample %d: topk %v class %d", i, pred.TopK, pred.Class)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Samples() != samples {
+		t.Errorf("served %d samples, want %d", s.Samples(), samples)
+	}
+	// Concurrent submission through an 8-wide batcher must have coalesced:
+	// strictly fewer batches than samples.
+	if s.Batches() >= samples {
+		t.Errorf("no micro-batching: %d batches for %d samples", s.Batches(), samples)
+	}
+}
+
+// TestSessionQuantizedEngine serves through the quantized accelerator plan
+// (smoke: predictions arrive, counters advance).
+func TestSessionQuantizedEngine(t *testing.T) {
+	plan := testPlan(t, core.NewEngine())
+	s := New(plan, Options{MaxBatch: 4})
+	defer s.Close()
+	pred, err := s.Infer(sample(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Logits) != 10 || len(pred.TopK) != 5 {
+		t.Fatalf("prediction %+v", pred)
+	}
+}
+
+// TestSessionDeadline: a lone sample with a generous MaxDelay still
+// returns promptly relative to the deadline bound.
+func TestSessionDeadline(t *testing.T) {
+	plan := testPlan(t, nil)
+	s := New(plan, Options{MaxBatch: 64, MaxDelay: 50 * time.Millisecond})
+	defer s.Close()
+	start := time.Now()
+	if _, err := s.Infer(sample(7)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("lone sample took %v", d)
+	}
+	if s.Batches() != 1 || s.Samples() != 1 {
+		t.Errorf("batches %d samples %d", s.Batches(), s.Samples())
+	}
+}
+
+// TestSessionRejectsBadShapeAndClose covers input validation and the
+// closed-session path.
+func TestSessionRejectsBadShapeAndClose(t *testing.T) {
+	plan := testPlan(t, nil)
+	s := New(plan, Options{})
+	if _, err := s.Infer(tensor.New(3, 16)); err == nil {
+		t.Error("rank-2 sample accepted")
+	}
+	if _, err := s.Infer(nil); err == nil {
+		t.Error("nil sample accepted")
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Infer(sample(1)); err == nil {
+		t.Error("closed session accepted a sample")
+	}
+}
+
+// TestSessionMixedGeometries: requests with different sample shapes are
+// batched separately but all answered.
+func TestSessionMixedGeometries(t *testing.T) {
+	plan := testPlan(t, nil)
+	s := New(plan, Options{MaxBatch: 8})
+	defer s.Close()
+	small := sample(3)
+	big := tensor.New(3, 20, 20)
+	big.RandN(rand.New(rand.NewSource(4)), 1)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		x := small
+		if i%2 == 1 {
+			x = big
+		}
+		wg.Add(1)
+		go func(x *tensor.Tensor) {
+			defer wg.Done()
+			if _, err := s.Infer(x); err != nil {
+				errs <- err
+			}
+		}(x)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Samples() != 16 {
+		t.Errorf("served %d samples, want 16", s.Samples())
+	}
+}

@@ -100,9 +100,18 @@ func batch(d *dataset.Dataset, idx []int) (*tensor.Tensor, []int) {
 	return x, y
 }
 
-// Accuracy evaluates top-1 and top-k accuracy of the network on a dataset
-// using its current convolution engine. Evaluation batches keep memory flat.
-func Accuracy(net *nn.Network, data *dataset.Dataset, topK int) (top1, topk float64, err error) {
+// Inferencer runs one whole-batch inference forward pass. Both *nn.Network
+// (module-graph walking) and *nn.NetworkPlan (compiled) satisfy it, so the
+// accuracy sweeps evaluate either interchangeably.
+type Inferencer interface {
+	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// Accuracy evaluates top-1 and top-k accuracy of a model on a dataset.
+// Each evaluation batch runs ONE forward pass; top-1 and top-k both derive
+// from the same logits (nn.StatsFromLogits), where this used to rerun
+// inference per metric. Evaluation batches keep memory flat.
+func Accuracy(model Inferencer, data *dataset.Dataset, topK int) (top1, topk float64, err error) {
 	if data.Len() == 0 {
 		return 0, 0, fmt.Errorf("train: empty evaluation set")
 	}
@@ -115,19 +124,19 @@ func Accuracy(net *nn.Network, data *dataset.Dataset, topK int) (top1, topk floa
 			idx[i] = start + i
 		}
 		x, y := batch(data, idx)
-		c1, err := net.TopKCorrect(x, y, 1)
+		logits, err := model.Forward(x)
 		if err != nil {
 			return 0, 0, err
 		}
-		ck, err := net.TopKCorrect(x, y, topK)
+		stats, err := nn.StatsFromLogits(logits, y, topK)
 		if err != nil {
 			return 0, 0, err
 		}
-		for i := range c1 {
-			if c1[i] {
+		for i := range stats.Top1 {
+			if stats.Top1[i] {
 				hits1++
 			}
-			if ck[i] {
+			if stats.TopK[i] {
 				hitsK++
 			}
 		}

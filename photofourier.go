@@ -20,6 +20,7 @@ import (
 	"photofourier/internal/nets"
 	"photofourier/internal/nn"
 	"photofourier/internal/optics"
+	"photofourier/internal/serve"
 	"photofourier/internal/tensor"
 	"photofourier/internal/tiling"
 )
@@ -74,6 +75,31 @@ func NewRowTiledEngine(nconv int) *RowTiledEngine { return core.NewRowTiledEngin
 // NewAcceleratorEngine builds the accelerator engine at the paper's default
 // operating point (NTA=16, 8-bit ADC/DAC).
 func NewAcceleratorEngine() *AcceleratorEngine { return core.NewEngine() }
+
+// Whole-network compiled inference (see DESIGN.md).
+type (
+	// Network is the trainable CNN the accuracy studies run
+	// (nn.ResNetS/SmallCNN/AlexNetS build the stock subjects).
+	Network = nn.Network
+	// NetworkPlan is a whole network compiled for repeated inference under
+	// one engine: Network.Compile walks the module graph once, compiles
+	// every convolution's LayerPlan eagerly, and streams activations
+	// through pooled buffers — bit-identical to Network.Forward.
+	NetworkPlan = nn.NetworkPlan
+	// InferenceSession is the concurrency-safe serving front-end: it
+	// micro-batches single-sample requests and runs them through one
+	// shared NetworkPlan.
+	InferenceSession = serve.Session
+	// SessionOptions configures an InferenceSession (batch size, deadline,
+	// top-k width).
+	SessionOptions = serve.Options
+)
+
+// NewInferenceSession starts a micro-batching inference session over a
+// compiled network plan.
+func NewInferenceSession(plan *NetworkPlan, opts SessionOptions) *InferenceSession {
+	return serve.New(plan, opts)
+}
 
 // TilingPlan describes how one 2D convolution maps to 1D JTC shots.
 type TilingPlan = tiling.Plan

@@ -1,52 +1,118 @@
 #!/usr/bin/env sh
-# bench.sh — run the engine benchmarks and emit BENCH_2.json: ns/op and
-# allocs/op for the planned vs. unplanned Engine.Conv2D repeated-batch
-# workloads, plus the derived speedup/alloc ratios. This file starts the
-# perf trajectory; future PRs append BENCH_<n>.json snapshots.
+# bench.sh — run the engine benchmarks and emit perf-trajectory snapshots:
 #
-# Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=5s scripts/bench.sh     # longer sampling
+#   BENCH_2.json  planned vs. unplanned Engine.Conv2D (layer-level compiled
+#                 inference, PR 2)
+#   BENCH_3.json  whole-network compiled inference: NetworkPlan /
+#                 InferenceSession vs. the uncompiled per-sample path, plus
+#                 the evaluation workload (logits-once batched vs. the old
+#                 double-forward sweep) (PR 3)
+#
+# Usage: scripts/bench.sh [snapshot...]     # e.g. scripts/bench.sh 3
+#   default regenerates only the newest snapshot (3); pass "2 3" or "all"
+#   to regenerate older ones too.
+#   BENCHTIME=5s scripts/bench.sh           # longer sampling
+#   OUT2=/tmp/b2.json OUT3=/tmp/b3.json scripts/bench.sh all   # alternate outputs
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_2.json}"
 benchtime="${BENCHTIME:-2s}"
+targets="${*:-3}"
+[ "$targets" = "all" ] && targets="2 3"
 
-raw=$(go test -run '^$' -bench 'EngineUnplannedConv|EnginePlannedConv' \
-	-benchmem -benchtime "$benchtime" .)
-printf '%s\n' "$raw"
-
-printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
-/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^BenchmarkEngine(Unplanned|Planned)Conv\// {
-	split($1, parts, "/")
-	kind = (parts[1] ~ /Unplanned/) ? "unplanned" : "planned"
-	wl = parts[2]
-	sub(/-[0-9]+$/, "", wl)
-	ns[wl "," kind] = $3
-	bytes[wl "," kind] = $5
-	allocs[wl "," kind] = $7
-	if (!(wl in seen)) { order[++n] = wl; seen[wl] = 1 }
+want() {
+	for t in $targets; do
+		[ "$t" = "$1" ] && return 0
+	done
+	return 1
 }
-END {
-	printf "{\n"
-	printf "  \"id\": \"BENCH_2\",\n"
-	printf "  \"benchmark\": \"Engine.Conv2D repeated-batch: planned (LayerPlan) vs unplanned\",\n"
-	printf "  \"cpu\": \"%s\",\n", cpu
-	printf "  \"benchtime\": \"%s\",\n", benchtime
-	printf "  \"workloads\": {\n"
-	for (i = 1; i <= n; i++) {
-		wl = order[i]
-		printf "    \"%s\": {\n", wl
-		printf "      \"unplanned\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", \
-			ns[wl ",unplanned"], bytes[wl ",unplanned"], allocs[wl ",unplanned"]
-		printf "      \"planned\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", \
-			ns[wl ",planned"], bytes[wl ",planned"], allocs[wl ",planned"]
-		printf "      \"speedup\": %.2f,\n", ns[wl ",unplanned"] / ns[wl ",planned"]
-		printf "      \"alloc_reduction\": %.2f\n", allocs[wl ",unplanned"] / allocs[wl ",planned"]
-		printf "    }%s\n", (i < n) ? "," : ""
-	}
-	printf "  }\n"
-	printf "}\n"
-}' >"$out"
 
-echo "wrote $out"
+if want 2; then
+	out="${OUT2:-BENCH_2.json}"
+	raw=$(go test -run '^$' -bench 'EngineUnplannedConv|EnginePlannedConv' \
+		-benchmem -benchtime "$benchtime" .)
+	printf '%s\n' "$raw"
+
+	printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^BenchmarkEngine(Unplanned|Planned)Conv\// {
+		split($1, parts, "/")
+		kind = (parts[1] ~ /Unplanned/) ? "unplanned" : "planned"
+		wl = parts[2]
+		sub(/-[0-9]+$/, "", wl)
+		ns[wl "," kind] = $3
+		bytes[wl "," kind] = $5
+		allocs[wl "," kind] = $7
+		if (!(wl in seen)) { order[++n] = wl; seen[wl] = 1 }
+	}
+	END {
+		printf "{\n"
+		printf "  \"id\": \"BENCH_2\",\n"
+		printf "  \"benchmark\": \"Engine.Conv2D repeated-batch: planned (LayerPlan) vs unplanned\",\n"
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"workloads\": {\n"
+		for (i = 1; i <= n; i++) {
+			wl = order[i]
+			printf "    \"%s\": {\n", wl
+			printf "      \"unplanned\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", \
+				ns[wl ",unplanned"], bytes[wl ",unplanned"], allocs[wl ",unplanned"]
+			printf "      \"planned\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", \
+				ns[wl ",planned"], bytes[wl ",planned"], allocs[wl ",planned"]
+			printf "      \"speedup\": %.2f,\n", ns[wl ",unplanned"] / ns[wl ",planned"]
+			printf "      \"alloc_reduction\": %.2f\n", allocs[wl ",unplanned"] / allocs[wl ",planned"]
+			printf "    }%s\n", (i < n) ? "," : ""
+		}
+		printf "  }\n"
+		printf "}\n"
+	}' >"$out"
+	echo "wrote $out"
+fi
+
+if want 3; then
+	out="${OUT3:-BENCH_3.json}"
+	raw=$(go test -run '^$' -bench '^BenchmarkNetInference$|^BenchmarkNetEvaluate$' \
+		-benchmem -benchtime "$benchtime" .)
+	printf '%s\n' "$raw"
+
+	printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^BenchmarkNet(Inference|Evaluate)\// {
+		split($1, parts, "/")
+		grp = (parts[1] ~ /Inference/) ? "forward" : "evaluate"
+		wl = parts[2]
+		sub(/-[0-9]+$/, "", wl)
+		ns[grp "," wl] = $3
+		bytes[grp "," wl] = $5
+		allocs[grp "," wl] = $7
+	}
+	function row(grp, wl, div,   n) {
+		n = ns[grp "," wl]
+		printf "      \"ns_per_op\": %s, \"ns_per_sample\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s\n", \
+			n, n / div, bytes[grp "," wl], allocs[grp "," wl]
+	}
+	END {
+		fu = ns["forward,uncompiled-per-sample"]
+		eu = ns["evaluate,per-sample-double-forward"]
+		printf "{\n"
+		printf "  \"id\": \"BENCH_3\",\n"
+		printf "  \"benchmark\": \"whole-network compiled inference (SmallCNN 3x32x32, quantized engine): NetworkPlan + InferenceSession vs uncompiled per-sample\",\n"
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"forward\": {\n"
+		printf "    \"uncompiled_per_sample\": {\n"; row("forward", "uncompiled-per-sample", 1); printf "    },\n"
+		printf "    \"compiled_per_sample\": {\n"; row("forward", "compiled-per-sample", 1); printf "    },\n"
+		printf "    \"compiled_batch8\": {\n"; row("forward", "compiled-batch8", 8); printf "    },\n"
+		printf "    \"session_batch8\": {\n"; row("forward", "session-batch8", 1); printf "    },\n"
+		printf "    \"compiled_speedup\": %.2f,\n", fu / ns["forward,compiled-per-sample"]
+		printf "    \"batched_speedup\": %.2f,\n", fu / (ns["forward,compiled-batch8"] / 8)
+		printf "    \"session_speedup\": %.2f\n", fu / ns["forward,session-batch8"]
+		printf "  },\n"
+		printf "  \"evaluate\": {\n"
+		printf "    \"per_sample_double_forward\": {\n"; row("evaluate", "per-sample-double-forward", 1); printf "    },\n"
+		printf "    \"compiled_batch8\": {\n"; row("evaluate", "compiled-batch8", 8); printf "    },\n"
+		printf "    \"throughput_speedup\": %.2f\n", eu / (ns["evaluate,compiled-batch8"] / 8)
+		printf "  }\n"
+		printf "}\n"
+	}' >"$out"
+	echo "wrote $out"
+fi
