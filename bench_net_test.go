@@ -1,22 +1,44 @@
 package photofourier
 
 import (
+	"context"
 	"math/rand"
+	"os"
 	"testing"
 
-	"photofourier/internal/core"
+	"photofourier/internal/backend"
 	"photofourier/internal/nn"
 	"photofourier/internal/serve"
 	"photofourier/internal/tensor"
 )
 
+// benchEngineSpec selects the engine the net-level benchmarks run on. The
+// default is the paper's accelerator operating point; scripts/bench.sh
+// forwards its SPEC env so BENCH snapshots record which backend spec
+// produced them (e.g. PF_BENCH_ENGINE="accelerator-noisy?nta=8").
+func benchEngineSpec() string {
+	if spec := os.Getenv("PF_BENCH_ENGINE"); spec != "" {
+		return spec
+	}
+	return "accelerator"
+}
+
+func benchOpen(b *testing.B) *backend.Engine {
+	b.Helper()
+	e, err := backend.Open(benchEngineSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
 // End-to-end inference throughput: one trained-shape CNN served many
-// single-sample requests on the quantized accelerator engine (BENCH_3.json).
+// single-sample requests on a registry-opened engine spec (BENCH_3.json).
 //
-//   - uncompiled-per-sample: Network.Forward with the engine's planning
-//     capability hidden (core.UnplannedEngine) — module-graph walking plus
-//     per-call weight quantization and four independent cross-term sweeps,
-//     the pre-compilation baseline;
+//   - uncompiled-per-sample: Network.Forward with planning suppressed (the
+//     spec's unplanned twin at the identical operating point) —
+//     module-graph walking plus per-call weight quantization and four
+//     independent cross-term sweeps, the pre-compilation baseline;
 //   - compiled-per-sample: NetworkPlan.Forward, one sample per call;
 //   - compiled-batch8: NetworkPlan.Forward on 8-sample batches (ns/op is
 //     per batch; divide by 8 for per-sample);
@@ -32,7 +54,11 @@ func BenchmarkNetInference(b *testing.B) {
 	sample := &tensor.Tensor{Shape: []int{3, 32, 32}, Data: x1.Data}
 
 	b.Run("uncompiled-per-sample", func(b *testing.B) {
-		net.SetConvEngine(core.UnplannedEngine{E: core.NewEngine()})
+		baseline, err := backend.UnplannedTwin(benchOpen(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.SetConvEngine(baseline)
 		defer net.SetConvEngine(nil)
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -45,7 +71,7 @@ func BenchmarkNetInference(b *testing.B) {
 
 	compile := func(b *testing.B) *nn.NetworkPlan {
 		b.Helper()
-		plan, err := net.Compile(core.NewEngine())
+		plan, err := net.Compile(benchOpen(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,14 +108,18 @@ func BenchmarkNetInference(b *testing.B) {
 
 	b.Run("session-batch8", func(b *testing.B) {
 		plan := compile(b)
-		s := serve.New(plan, serve.Options{MaxBatch: 8})
+		s, err := serve.New(plan, serve.Options{MaxBatch: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
 		defer s.Close()
+		ctx := context.Background()
 		b.SetParallelism(16) // concurrent clients feeding the micro-batcher
 		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
-				if _, err := s.Infer(sample); err != nil {
+				if _, err := s.Infer(ctx, sample); err != nil {
 					b.Error(err) // Fatal must not run on a PB worker goroutine
 					return
 				}
@@ -101,7 +131,7 @@ func BenchmarkNetInference(b *testing.B) {
 // BenchmarkNetEvaluate measures the accuracy-sweep workload end to end —
 // what the table1/fig7 harness actually runs per evaluation batch:
 //
-//   - per-sample-double-forward: the sweep pattern this PR replaced — one
+//   - per-sample-double-forward: the sweep pattern PR 3 replaced — one
 //     sample per batch, top-1 and top-5 each rerunning Network.Forward
 //     (the Predict+TopKCorrect duplication), module graph walked per
 //     call. Conv-level lazy LayerPlans stay active, as they were before
@@ -121,7 +151,7 @@ func BenchmarkNetEvaluate(b *testing.B) {
 	labels8 := []int{3, 1, 4, 1, 5, 9, 2, 6}
 
 	b.Run("per-sample-double-forward", func(b *testing.B) {
-		net.SetConvEngine(core.NewEngine())
+		net.SetConvEngine(benchOpen(b))
 		defer net.SetConvEngine(nil)
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -136,7 +166,7 @@ func BenchmarkNetEvaluate(b *testing.B) {
 	})
 
 	b.Run("compiled-batch8", func(b *testing.B) {
-		plan, err := net.Compile(core.NewEngine())
+		plan, err := net.Compile(benchOpen(b))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,12 +6,23 @@ import (
 	"testing"
 
 	"photofourier/internal/arch"
+	"photofourier/internal/backend"
 	"photofourier/internal/core"
 	"photofourier/internal/experiments"
 	"photofourier/internal/jtc"
 	"photofourier/internal/nets"
 	"photofourier/internal/tensor"
 )
+
+// openSpec opens an engine spec through the backend registry for a bench.
+func openSpec(b *testing.B, spec string) *backend.Engine {
+	b.Helper()
+	e, err := backend.Open(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
 
 // One benchmark per paper table/figure: each regenerates the artifact
 // through the experiment harness (see DESIGN.md's per-experiment index).
@@ -96,8 +107,7 @@ func BenchmarkAblationColumnPad(b *testing.B) {
 			name = "column-padded"
 		}
 		b.Run(name, func(b *testing.B) {
-			e := core.NewRowTiledEngine(256)
-			e.ColumnPad = pad
+			e := openSpec(b, fmt.Sprintf("rowtiled?aperture=256,colpad=%v", pad))
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
 					b.Fatal(err)
@@ -120,8 +130,7 @@ func BenchmarkAblationTemporalDepth(b *testing.B) {
 	}
 	for _, nta := range []int{1, 16} {
 		b.Run(map[int]string{1: "depth-1", 16: "depth-16"}[nta], func(b *testing.B) {
-			e := core.NewEngine()
-			e.NTA = nta
+			e := openSpec(b, fmt.Sprintf("accelerator?nta=%d", nta))
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
 					b.Fatal(err)
@@ -156,8 +165,7 @@ func BenchmarkRowTiledConvParallel(b *testing.B) {
 	}
 	for _, p := range parallelismSweep() {
 		b.Run(fmt.Sprintf("parallelism-%d", p), func(b *testing.B) {
-			e := core.NewRowTiledEngine(256)
-			e.Parallelism = p
+			e := openSpec(b, fmt.Sprintf("rowtiled?aperture=256,workers=%d", p))
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
 					b.Fatal(err)
@@ -180,8 +188,7 @@ func BenchmarkAcceleratorConvParallel(b *testing.B) {
 	}
 	for _, p := range parallelismSweep() {
 		b.Run(fmt.Sprintf("parallelism-%d", p), func(b *testing.B) {
-			e := core.NewEngine()
-			e.Parallelism = p
+			e := openSpec(b, fmt.Sprintf("accelerator?workers=%d", p))
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Conv2D(in, w, nil, 1, tensor.Same); err != nil {
 					b.Fatal(err)
@@ -196,11 +203,12 @@ func BenchmarkAcceleratorConvParallel(b *testing.B) {
 // once and then serves many batches. "direct" is the default fast path with
 // mixed-sign activations (all four pseudo-negative cross terms live);
 // "tiled" is the full-fidelity row-tiled path where the plan latches every
-// kernel-tile spectrum.
+// kernel-tile spectrum. params is the spec-string parameter suffix appended
+// to the backend name ("accelerator" planned, "unplanned" baseline).
 func plannedConvWorkloads() []struct {
 	name   string
 	in, w  *tensor.Tensor
-	config func(*core.Engine)
+	params string
 } {
 	direct := tensor.New(2, 16, 16, 16)
 	dw := tensor.New(16, 16, 3, 3)
@@ -221,10 +229,10 @@ func plannedConvWorkloads() []struct {
 	return []struct {
 		name   string
 		in, w  *tensor.Tensor
-		config func(*core.Engine)
+		params string
 	}{
-		{"direct", direct, dw, func(e *core.Engine) {}},
-		{"tiled", tiled, tw, func(e *core.Engine) { e.UseTiledPath = true; e.NConv = 256 }},
+		{"direct", direct, dw, ""},
+		{"tiled", tiled, tw, "?tiled=true,aperture=256"},
 	}
 }
 
@@ -234,8 +242,7 @@ func plannedConvWorkloads() []struct {
 func BenchmarkEngineUnplannedConv(b *testing.B) {
 	for _, wl := range plannedConvWorkloads() {
 		b.Run(wl.name, func(b *testing.B) {
-			e := core.NewEngine()
-			wl.config(e)
+			e := openSpec(b, "unplanned"+wl.params)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -253,8 +260,7 @@ func BenchmarkEngineUnplannedConv(b *testing.B) {
 func BenchmarkEnginePlannedConv(b *testing.B) {
 	for _, wl := range plannedConvWorkloads() {
 		b.Run(wl.name, func(b *testing.B) {
-			e := core.NewEngine()
-			wl.config(e)
+			e := openSpec(b, "accelerator"+wl.params)
 			plan, err := e.PlanConv(wl.w, nil, 1, tensor.Same)
 			if err != nil {
 				b.Fatal(err)

@@ -1,16 +1,55 @@
 // Command calibrate prints the raw architecture-model numbers used to
 // calibrate the energy model against the paper's published aggregates
 // (avg power, Fig. 6/12 shares, Fig. 10 ladder, Table III optima).
+// With -backends it instead prints the functional-engine registry: every
+// registered backend name, its capability advertisement, and the spec keys
+// it accepts.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"photofourier/internal/arch"
+	"photofourier/internal/backend"
 	"photofourier/internal/nets"
 )
 
+// printBackends renders the registry discovery table — the data a sweep
+// harness branches on instead of type-switching on engine structs.
+func printBackends() error {
+	fmt.Printf("%-18s %-9s %-5s %-9s %-8s %s\n", "backend", "plannable", "noisy", "quantized", "aperture", "spec keys")
+	for _, name := range backend.Names() {
+		caps, err := backend.Describe(name)
+		if err != nil {
+			return err
+		}
+		keys, err := backend.Keys(name)
+		if err != nil {
+			return err
+		}
+		keyList := strings.Join(keys, ",")
+		if keyList == "" {
+			keyList = "(none)"
+		}
+		fmt.Printf("%-18s %-9v %-5v %-9v %-8d %s\n",
+			name, caps.Plannable, caps.Noisy, caps.Quantized, caps.DefaultAperture, keyList)
+	}
+	return nil
+}
+
 func main() {
+	backends := flag.Bool("backends", false, "print the engine backend registry (names, capabilities, spec keys) and exit")
+	flag.Parse()
+	if *backends {
+		if err := printBackends(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	bench := nets.Benchmark5()
 	for _, cfg := range []arch.Config{arch.Baseline(), arch.PhotoFourierCG(), arch.PhotoFourierNG()} {
 		fmt.Printf("=== %s ===\n", cfg.Name)

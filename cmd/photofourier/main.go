@@ -7,6 +7,8 @@
 //	photofourier -list                 # list experiment ids
 //	photofourier -quick                # smaller datasets / fewer epochs
 //	photofourier -serve-bench          # compiled/batched inference throughput
+//	photofourier -serve-bench -engine "accelerator-noisy?nta=8"
+//	                                   # ... on a specific engine spec
 package main
 
 import (
@@ -24,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-cost mode (smaller datasets, fewer epochs)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	bench := flag.Bool("serve-bench", false, "measure end-to-end inference throughput (uncompiled vs compiled vs batched session) and exit")
+	engine := flag.String("engine", "accelerator", "serve-bench engine spec (name?key=val,..., e.g. accelerator-noisy?nta=8)")
 	benchSamples := flag.Int("serve-samples", 256, "samples per serve-bench mode")
 	benchBatch := flag.Int("serve-batch", 8, "serve-bench session micro-batch size")
 	benchClients := flag.Int("serve-clients", 8, "serve-bench concurrent clients")
@@ -35,7 +38,7 @@ func main() {
 		return
 	}
 	if *bench {
-		if err := serveBench(*benchSamples, *benchBatch, *benchClients, *benchDelay); err != nil {
+		if err := serveBench(*engine, *benchSamples, *benchBatch, *benchClients, *benchDelay); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

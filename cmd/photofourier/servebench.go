@@ -1,30 +1,40 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
-	"photofourier/internal/core"
+	"photofourier/internal/backend"
 	"photofourier/internal/nn"
 	"photofourier/internal/serve"
 	"photofourier/internal/tensor"
 )
 
-// serveBench measures end-to-end inference throughput of the quantized
-// accelerator across the three serving modes this repo supports:
+// serveBench measures end-to-end inference throughput of a registry-opened
+// engine spec across the three serving modes this repo supports:
 //
-//   - uncompiled per-sample: Network.Forward with the engine's planning
-//     capability hidden (the pre-compilation baseline — module-graph
+//   - uncompiled per-sample: Network.Forward with planning suppressed (the
+//     spec's unplanned twin at the identical operating point — module-graph
 //     walking plus per-call weight quantization and four-sweep terms);
 //   - compiled per-sample: one NetworkPlan.Forward call per sample;
 //   - compiled batched: concurrent clients through an InferenceSession,
-//     which micro-batches them onto the shared plan.
+//     which micro-batches them onto one shared plan.
 //
 // This is the CLI twin of the BenchmarkNetInference suite recorded in
 // BENCH_3.json.
-func serveBench(samples, batch, clients int, delay time.Duration) error {
+func serveBench(spec string, samples, batch, clients int, delay time.Duration) error {
+	engine, err := backend.Open(spec)
+	if err != nil {
+		return err
+	}
+	baseline, err := backend.UnplannedTwin(engine)
+	if err != nil {
+		return err
+	}
+
 	net := nn.SmallCNN([2]int{8, 16}, 10, 7)
 	rng := rand.New(rand.NewSource(21))
 	xs := make([]*tensor.Tensor, samples)
@@ -32,8 +42,8 @@ func serveBench(samples, batch, clients int, delay time.Duration) error {
 		xs[i] = tensor.New(3, 32, 32)
 		xs[i].RandN(rng, 1)
 	}
-	fmt.Printf("serving %s (%d params) on %d samples, micro-batch %d, %d clients\n",
-		net.Name, net.NumParams(), samples, batch, clients)
+	fmt.Printf("serving %s (%d params) on engine %q (%s) — %d samples, micro-batch %d, %d clients\n",
+		net.Name, net.NumParams(), engine.String(), engine.Name(), samples, batch, clients)
 
 	throughput := func(label string, run func() error) (float64, error) {
 		start := time.Now()
@@ -46,7 +56,7 @@ func serveBench(samples, batch, clients int, delay time.Duration) error {
 		return sps, nil
 	}
 
-	net.SetConvEngine(core.UnplannedEngine{E: core.NewEngine()})
+	net.SetConvEngine(baseline)
 	base, err := throughput("uncompiled per-sample", func() error {
 		for _, x := range xs {
 			b, err := x.Reshape(1, 3, 32, 32)
@@ -64,7 +74,7 @@ func serveBench(samples, batch, clients int, delay time.Duration) error {
 	}
 	net.SetConvEngine(nil)
 
-	plan, err := net.Compile(core.NewEngine())
+	plan, err := net.Compile(engine)
 	if err != nil {
 		return err
 	}
@@ -84,8 +94,12 @@ func serveBench(samples, batch, clients int, delay time.Duration) error {
 		return err
 	}
 
-	session := serve.New(plan, serve.Options{MaxBatch: batch, MaxDelay: delay})
+	session, err := serve.New(plan, serve.Options{MaxBatch: batch, MaxDelay: delay})
+	if err != nil {
+		return err
+	}
 	defer session.Close()
+	ctx := context.Background()
 	batched, err := throughput("batched session", func() error {
 		var wg sync.WaitGroup
 		errCh := make(chan error, clients)
@@ -99,7 +113,7 @@ func serveBench(samples, batch, clients int, delay time.Duration) error {
 			go func(lo, hi int) {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
-					if _, err := session.Infer(xs[i]); err != nil {
+					if _, err := session.Infer(ctx, xs[i]); err != nil {
 						errCh <- err
 						return
 					}

@@ -1,14 +1,19 @@
 // Command trainsmall trains the accuracy-study networks on the synthetic
-// dataset and reports their clean / row-tiled / accelerator accuracies —
-// a standalone version of the Table I and Fig. 7 pipelines.
+// dataset and reports their accuracy on every requested execution
+// substrate — a standalone version of the Table I and Fig. 7 pipelines.
+// Substrates are engine specs (see photofourier.Open), so comparing a new
+// operating point is a flag change, not a code change:
+//
+//	trainsmall -engines "reference;rowtiled;accelerator?nta=4"
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"photofourier/internal/core"
+	"photofourier/internal/backend"
 	"photofourier/internal/dataset"
 	"photofourier/internal/nn"
 	"photofourier/internal/train"
@@ -19,14 +24,16 @@ func main() {
 	epochs := flag.Int("epochs", 3, "training epochs")
 	lr := flag.Float64("lr", 0.02, "learning rate")
 	model := flag.String("model", "resnet-s", "resnet-s | small-cnn | alexnet-s")
+	engines := flag.String("engines", "reference;rowtiled;accelerator",
+		"semicolon-separated engine specs to evaluate (name?key=val,...)")
 	flag.Parse()
-	if err := run(*samples, *epochs, *lr, *model); err != nil {
+	if err := run(*samples, *epochs, *lr, *model, *engines); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(samples, epochs int, lr float64, model string) error {
+func run(samples, epochs int, lr float64, model, engines string) error {
 	var net *nn.Network
 	switch model {
 	case "resnet-s":
@@ -60,7 +67,15 @@ func run(samples, epochs int, lr float64, model string) error {
 	// Each substrate is evaluated through one compiled NetworkPlan: the
 	// module graph is walked once and every conv layer's weights are
 	// quantized/latched before the first evaluation batch.
-	report := func(label string, engine nn.ConvEngine) error {
+	for _, spec := range strings.Split(engines, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		engine, err := backend.Open(spec)
+		if err != nil {
+			return err
+		}
 		plan, err := net.Compile(engine)
 		if err != nil {
 			return err
@@ -69,14 +84,7 @@ func run(samples, epochs int, lr float64, model string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-28s top-1 %.1f%%  top-5 %.1f%%\n", label, 100*top1, 100*top5)
-		return nil
+		fmt.Printf("%-36s top-1 %.1f%%  top-5 %.1f%%\n", engine.String(), 100*top1, 100*top5)
 	}
-	if err := report("reference 2D conv", nil); err != nil {
-		return err
-	}
-	if err := report("row-tiled 1D (Table I)", core.NewRowTiledEngine(256)); err != nil {
-		return err
-	}
-	return report("accelerator 8-bit NTA=16", core.NewEngine())
+	return nil
 }

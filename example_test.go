@@ -1,0 +1,94 @@
+package photofourier_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"photofourier"
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+// newExampleSample builds a deterministic CHW sample for the examples.
+func newExampleSample() *tensor.Tensor {
+	x := tensor.New(3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float64(i%17)/17 - 0.5
+	}
+	return x
+}
+
+// Example_openBackend builds engines from spec strings: the backend name
+// selects the substrate, ?key=val,... selects the operating point, and the
+// opened engine reports its capabilities and canonical spec.
+func Example_openBackend() {
+	engine, err := photofourier.Open("accelerator?nta=4,adc=6,seed=7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	caps := engine.Capabilities()
+	fmt.Println(engine.String())
+	fmt.Println("backend:", engine.Backend())
+	fmt.Println("plannable:", caps.Plannable, "quantized:", caps.Quantized)
+
+	// Functional options build the identical operating point.
+	same, err := photofourier.OpenWith("accelerator",
+		photofourier.WithNTA(4), photofourier.WithADCBits(6), photofourier.WithReadoutSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("option parity:", same.String() == engine.String())
+
+	// Unknown backends and malformed specs yield typed errors.
+	_, err = photofourier.Open("flux-capacitor")
+	fmt.Println("unknown backend:", errors.Is(err, photofourier.ErrUnknownBackend))
+	_, err = photofourier.Open("rowtiled?nta=4")
+	fmt.Println("bad spec:", errors.Is(err, photofourier.ErrBadSpec))
+
+	// Output:
+	// accelerator?nta=4,adc=6,seed=7
+	// backend: accelerator
+	// plannable: true quantized: true
+	// option parity: true
+	// unknown backend: true
+	// bad spec: true
+}
+
+// Example_inferContext serves a compiled network through an
+// InferenceSession whose Infer honors context cancellation — both at queue
+// admission and while an admitted sample waits for its micro-batch.
+func Example_inferContext() {
+	engine, err := photofourier.Open("rowtiled?aperture=64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := nn.SmallCNN([2]int{4, 8}, 10, 7)
+	plan, err := net.Compile(engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := photofourier.NewInferenceSession(plan, photofourier.SessionOptions{MaxBatch: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+
+	x := newExampleSample()
+	pred, err := session.Infer(context.Background(), x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("classes:", len(pred.Logits), "topk:", len(pred.TopK))
+
+	// A cancelled context is honored instead of blocking on the batcher.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = session.Infer(ctx, x)
+	fmt.Println("cancelled:", errors.Is(err, context.Canceled))
+
+	// Output:
+	// classes: 10 topk: 5
+	// cancelled: true
+}

@@ -1,26 +1,37 @@
 // Cnninference: train a small CNN on the synthetic dataset, then run the
-// same trained network on three substrates — exact 2D convolution, the
-// row-tiled 1D path (Table I), and the full quantized accelerator (Fig. 7)
-// — to see how little accuracy the photonic execution costs. Each substrate
-// is evaluated through a compiled NetworkPlan, and the accelerator plan is
-// then served through a micro-batching InferenceSession, the pattern a
+// same trained network on a list of execution substrates selected by
+// engine spec strings (photofourier.Open) — by default the exact 2D
+// reference, the row-tiled 1D path (Table I), and the full quantized
+// accelerator (Fig. 7) — to see how little accuracy the photonic execution
+// costs. Each substrate is evaluated through a compiled NetworkPlan, and
+// the last plannable substrate's plan is then served through a
+// micro-batching InferenceSession with context-aware Infer, the pattern a
 // deployed correlator would use (latch weights once, stream activations).
+//
+//	cnninference -engines "rowtiled?aperture=256;accelerator-noisy?nta=8"
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 
 	"photofourier"
 	"photofourier/internal/dataset"
 	"photofourier/internal/nn"
-	"photofourier/internal/serve"
 	"photofourier/internal/train"
 )
 
 func main() {
-	data, err := dataset.Synthetic(800, 1234)
+	samples := flag.Int("samples", 800, "synthetic dataset size")
+	engines := flag.String("engines", "reference;rowtiled?aperture=256;accelerator",
+		"semicolon-separated engine specs to evaluate")
+	flag.Parse()
+
+	data, err := dataset.Synthetic(*samples, 1234)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,18 +45,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	engines := []struct {
-		label       string
-		engine      photofourier.ConvEngine
-		accelerator bool
-	}{
-		{"exact 2D reference", nil, false},
-		{"row-tiled 1D JTC", photofourier.NewRowTiledEngine(256), false},
-		{"accelerator (8-bit, NTA=16)", photofourier.NewAcceleratorEngine(), true},
-	}
-	var accelPlan *photofourier.NetworkPlan
-	for _, e := range engines {
-		plan, err := net.Compile(e.engine)
+	// Engine choice is data: every substrate in the sweep is an Open spec,
+	// and the serving demo picks the last plannable one by capability
+	// instead of hard-coding a concrete engine type.
+	var servePlan *photofourier.NetworkPlan
+	var serveSpec string
+	for _, spec := range strings.Split(*engines, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		engine, err := photofourier.Open(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := net.Compile(engine)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,22 +67,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-28s top-1 %.1f%%  top-5 %.1f%%\n", e.label, 100*top1, 100*top5)
-		if e.accelerator {
-			accelPlan = plan
+		fmt.Printf("%-36s top-1 %.1f%%  top-5 %.1f%%\n", engine.String(), 100*top1, 100*top5)
+		if engine.Capabilities().Plannable || servePlan == nil {
+			servePlan, serveSpec = plan, engine.String()
 		}
 	}
+	if servePlan == nil {
+		log.Fatal("no engines requested")
+	}
 
-	// Serve a few samples concurrently through the accelerator plan.
-	session := photofourier.NewInferenceSession(accelPlan, serve.Options{MaxBatch: 8})
+	// Serve a few samples concurrently through the selected plan.
+	session, err := photofourier.NewInferenceSession(servePlan, photofourier.SessionOptions{MaxBatch: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer session.Close()
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	hits := make([]bool, 16)
 	for i := range hits {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			pred, err := session.Infer(testSet.X[i])
+			pred, err := session.Infer(ctx, testSet.X[i])
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -82,6 +103,6 @@ func main() {
 			correct++
 		}
 	}
-	fmt.Printf("served %d samples in %d micro-batches (%d/%d correct)\n",
-		session.Samples(), session.Batches(), correct, len(hits))
+	fmt.Printf("served %d samples via %q in %d micro-batches (%d/%d correct)\n",
+		session.Samples(), serveSpec, session.Batches(), correct, len(hits))
 }

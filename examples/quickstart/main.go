@@ -27,8 +27,12 @@ func main() {
 	fmt.Printf("14x14 conv on a 256-waveguide PFCU: mode=%v shots=%d efficiency=%.0f%%\n",
 		plan.Mode, plan.Shots(), 100*plan.Efficiency())
 
-	// 3. Functional convolution through the row-tiled substrate.
-	engine := photofourier.NewRowTiledEngine(256)
+	// 3. Functional convolution through the row-tiled substrate, opened
+	// from its registry spec string (engine choice is data, not code).
+	engine, err := photofourier.Open("rowtiled?aperture=256")
+	if err != nil {
+		log.Fatal(err)
+	}
 	in := tensor.New(1, 1, 14, 14)
 	for i := range in.Data {
 		in.Data[i] = float64(i%13) / 13

@@ -1,0 +1,132 @@
+package backend
+
+import (
+	"photofourier/internal/core"
+	"photofourier/internal/jtc"
+	"photofourier/internal/nn"
+)
+
+// The built-in substrate registrations. Names are stable API:
+//
+//	reference          exact 2D float convolution (nn.ReferenceEngine)
+//	rowtiled           exact row-tiled 1D JTC path (Table I substrate)
+//	accelerator        quantized accelerator, noise-free operating point
+//	accelerator-noisy  quantized accelerator with per-readout sensing noise
+//	                   (the Fig. 7 operating point, default noise 0.005)
+//	unplanned          accelerator with layer planning suppressed (the
+//	                   compiled-vs-uncompiled baseline)
+const defaultReadoutSeed = core.DefaultReadoutSeed
+
+// fig7ReadoutNoise is the accelerator-noisy default: the dark-current
+// sensing noise fraction the Fig. 7 sweep operates at.
+const fig7ReadoutNoise = 0.005
+
+// acceleratorDefaults is the paper's default operating point (NTA=16,
+// 8-bit ADC/DAC, 256-waveguide aperture, max-based calibration).
+func acceleratorDefaults() Config {
+	return Config{
+		Aperture:        core.DefaultAperture,
+		NTA:             16,
+		ADCBits:         8,
+		DACBits:         8,
+		ReadoutSeed:     core.DefaultReadoutSeed,
+		CalibPercentile: 1,
+	}
+}
+
+// buildAccelerator constructs a fully configured core.Engine; every knob is
+// set before the engine escapes, so no post-construction mutation happens.
+func buildAccelerator(cfg Config) (*core.Engine, error) {
+	return &core.Engine{
+		NTA:                cfg.NTA,
+		ADCBits:            cfg.ADCBits,
+		DACBits:            cfg.DACBits,
+		Detector:           jtc.NewLinearPowerDetector(0, 0, 0),
+		ADCCalibPercentile: cfg.CalibPercentile,
+		ReadoutNoise:       cfg.ReadoutNoise,
+		ReadoutSeed:        cfg.ReadoutSeed,
+		Parallelism:        cfg.Parallelism,
+		UseTiledPath:       cfg.Tiled,
+		NConv:              cfg.Aperture,
+	}, nil
+}
+
+var acceleratorKeys = []string{"aperture", "nta", "adc", "dac", "seed", "calib", "tiled", "workers"}
+
+func init() {
+	Register(Definition{
+		Name: "reference",
+		Caps: nn.Capabilities{},
+		Build: func(Config) (nn.ConvEngine, error) {
+			return nn.ReferenceEngine{}, nil
+		},
+	})
+
+	Register(Definition{
+		Name:     "rowtiled",
+		Caps:     nn.Capabilities{DefaultAperture: core.DefaultAperture},
+		Defaults: Config{Aperture: core.DefaultAperture},
+		Keys:     []string{"aperture", "colpad", "workers"},
+		Build: func(cfg Config) (nn.ConvEngine, error) {
+			e := core.NewRowTiledEngine(cfg.Aperture)
+			e.ColumnPad = cfg.ColumnPad
+			e.Parallelism = cfg.Parallelism
+			return e, nil
+		},
+	})
+
+	Register(Definition{
+		Name:     "accelerator",
+		Caps:     nn.Capabilities{Plannable: true, Quantized: true, DefaultAperture: core.DefaultAperture},
+		Defaults: acceleratorDefaults(),
+		Keys:     acceleratorKeys,
+		Build: func(cfg Config) (nn.ConvEngine, error) {
+			return buildAccelerator(cfg)
+		},
+	})
+
+	noisyDefaults := acceleratorDefaults()
+	noisyDefaults.ReadoutNoise = fig7ReadoutNoise
+	Register(Definition{
+		Name:     "accelerator-noisy",
+		Caps:     nn.Capabilities{Plannable: true, Noisy: true, Quantized: true, DefaultAperture: core.DefaultAperture},
+		Defaults: noisyDefaults,
+		Keys:     append([]string{"noise"}, acceleratorKeys...),
+		Build: func(cfg Config) (nn.ConvEngine, error) {
+			return buildAccelerator(cfg)
+		},
+	})
+
+	Register(Definition{
+		Name:     "unplanned",
+		Caps:     nn.Capabilities{Quantized: true, DefaultAperture: core.DefaultAperture},
+		Defaults: acceleratorDefaults(),
+		Keys:     append([]string{"noise"}, acceleratorKeys...),
+		Build: func(cfg Config) (nn.ConvEngine, error) {
+			e, err := buildAccelerator(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return e.Unplanned(), nil
+		},
+	})
+}
+
+// UnplannedTwin opens the planning-suppressed twin of an accelerator-family
+// engine at the identical resolved operating point — the baseline side of
+// compiled-vs-uncompiled comparisons. Engines that are not Plannable are
+// their own twin.
+func UnplannedTwin(e *Engine) (*Engine, error) {
+	if !e.Capabilities().Plannable {
+		return e, nil
+	}
+	def, err := lookup("unplanned")
+	if err != nil {
+		return nil, err
+	}
+	eng, err := def.Build(e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, def: def, cfg: e.cfg}, nil
+}

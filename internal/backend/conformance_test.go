@@ -1,0 +1,152 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+// TestCapabilityConsistency: every registered backend's advertisement is
+// honest — Plannable backends actually compile working LayerPlans, and
+// non-Plannable ones refuse (or are never routed through planning by the
+// capability-gated compiler).
+func TestCapabilityConsistency(t *testing.T) {
+	weight := tensor.New(2, 3, 3, 3)
+	weight.RandN(rand.New(rand.NewSource(5)), 0.5)
+	bias := []float64{0.1, -0.1}
+	input := tensor.New(1, 3, 8, 8)
+	input.RandN(rand.New(rand.NewSource(6)), 1)
+
+	for _, name := range Names() {
+		e, err := Open(name)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", name, err)
+		}
+		defCaps, err := Describe(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := e.Capabilities()
+		if caps.Plannable != defCaps.Plannable || caps.Quantized != defCaps.Quantized ||
+			caps.DefaultAperture != defCaps.DefaultAperture {
+			t.Errorf("%s: instance caps %+v disagree with registry advertisement %+v", name, caps, defCaps)
+		}
+		if caps.Plannable {
+			plan, err := e.PlanConv(weight, bias, 1, tensor.Same)
+			if err != nil {
+				t.Errorf("%s advertises Plannable but PlanConv failed: %v", name, err)
+				continue
+			}
+			got, err := plan.Conv2D(input)
+			if err != nil {
+				t.Errorf("%s: planned Conv2D: %v", name, err)
+				continue
+			}
+			// The plan must match the engine's own path bit-identically on
+			// an identically configured twin (independent call counters
+			// keep noise substreams aligned).
+			ref, err := Open(e.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Conv2D(input, weight, bias, 1, tensor.Same)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Errorf("%s: planned output diverges from engine output at %d: %v vs %v",
+						name, i, got.Data[i], want.Data[i])
+					break
+				}
+			}
+		} else {
+			if _, err := e.PlanConv(weight, bias, 1, tensor.Same); err == nil {
+				t.Errorf("%s advertises Plannable=false but PlanConv succeeded", name)
+			}
+		}
+		if e.Name() == "" || e.String() == "" {
+			t.Errorf("%s: empty Name/String", name)
+		}
+	}
+}
+
+// conformanceSpecs are the operating points the golden matrix runs; every
+// registered backend must appear at least once (asserted below).
+var conformanceSpecs = []string{
+	"reference",
+	"rowtiled?aperture=64",
+	"rowtiled?aperture=64,colpad=true",
+	"accelerator",
+	"accelerator?nta=4,adc=6",
+	"accelerator?aperture=64,tiled=true,nta=4",
+	"accelerator-noisy",
+	"accelerator-noisy?noise=0.01,seed=7",
+	"unplanned",
+	"unplanned?noise=0.005",
+}
+
+// TestNetworkPlanGoldenMatrix runs the NetworkPlan ≡ Network.Forward
+// bit-identity suite through registry-opened engines: for each spec, one
+// opened instance drives the compiled plan and a second, identically opened
+// instance drives the module-graph path (independent engine call counters
+// keep noisy substreams aligned), and the logits must match exactly.
+func TestNetworkPlanGoldenMatrix(t *testing.T) {
+	covered := map[string]bool{}
+	for _, spec := range conformanceSpecs {
+		sp, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered[sp.Name] = true
+	}
+	for _, name := range Names() {
+		if !covered[name] {
+			t.Errorf("backend %q missing from the golden conformance matrix", name)
+		}
+	}
+
+	x := tensor.New(2, 3, 16, 16)
+	x.RandN(rand.New(rand.NewSource(11)), 1)
+
+	for _, spec := range conformanceSpecs {
+		t.Run(spec, func(t *testing.T) {
+			planEng, err := Open(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fwdEng, err := Open(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+			plan, err := net.Compile(planEng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := plan.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			net2 := nn.SmallCNN([2]int{4, 8}, 10, 99)
+			net2.SetConvEngine(fwdEng)
+			want, err := net2.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(got.Data) != len(want.Data) {
+				t.Fatalf("logit sizes %d vs %d", len(got.Data), len(want.Data))
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("logit %d: compiled %v vs forward %v", i, got.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"photofourier/internal/jtc"
+	"photofourier/internal/nn"
 	"photofourier/internal/quant"
 	"photofourier/internal/tensor"
 	"photofourier/internal/tiling"
@@ -60,6 +61,12 @@ func (e *RowTiledEngine) Name() string {
 	return "row-tiled-1d"
 }
 
+// Capabilities implements nn.CapabilityReporter: exact full-precision
+// arithmetic (deterministic, unquantized) with no layer planning.
+func (e *RowTiledEngine) Capabilities() nn.Capabilities {
+	return nn.Capabilities{DefaultAperture: DefaultAperture}
+}
+
 func (e *RowTiledEngine) plan(h, w, k int, pad tensor.PadMode) (*tiling.Plan, error) {
 	key := planKey{h, w, k, pad, e.ColumnPad}
 	e.mu.Lock()
@@ -97,7 +104,7 @@ func (e *RowTiledEngine) conv2D(input, weight *tensor.Tensor, bias []float64, st
 	n, cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
 	cout, k := weight.Shape[0], weight.Shape[2]
 	if weight.Shape[1] != cin {
-		return nil, fmt.Errorf("core: channel mismatch %d vs %d", weight.Shape[1], cin)
+		return nil, fmt.Errorf("core: %w: channel mismatch %d vs %d", nn.ErrShapeMismatch, weight.Shape[1], cin)
 	}
 	p, err := e.plan(h, w, k, pad)
 	if err != nil {
@@ -173,8 +180,10 @@ type Engine struct {
 	// identically at every depth and is modeled in the Detector).
 	ReadoutNoise float64
 
-	// ReadoutSeed seeds the readout-noise substreams (0 selects the
-	// default). Every (Conv2D call, cross term, accumulation group) readout
+	// ReadoutSeed seeds the readout-noise substreams. It is resolved once
+	// at construction (NewEngine and the backend registry map 0 to
+	// DefaultReadoutSeed) and must not change afterwards. Every (Conv2D
+	// call, cross term, accumulation group) readout
 	// draws from its own deterministic RNG substream derived from this
 	// seed, so group readouts can run on the worker pool while staying
 	// bit-identical to a serial run — and the planned and unplanned paths
@@ -215,12 +224,19 @@ func NewEngine() *Engine {
 		DACBits:            8,
 		Detector:           jtc.NewLinearPowerDetector(0, 0, 0),
 		ADCCalibPercentile: 1,
-		NConv:              256,
-		ReadoutSeed:        defaultReadoutSeed,
+		NConv:              DefaultAperture,
+		ReadoutSeed:        DefaultReadoutSeed,
 	}
 }
 
-const defaultReadoutSeed = 12345
+// DefaultReadoutSeed seeds the readout-noise substreams when no explicit
+// seed is chosen. Seed resolution happens exactly once, at construction
+// (NewEngine, or the backend registry's Open): the runtime consumes
+// ReadoutSeed as-is.
+const DefaultReadoutSeed = 12345
+
+// DefaultAperture is the paper's PFCU input width (256 waveguides).
+const DefaultAperture = 256
 
 // mix64 is the splitmix64 finalizer: a fast bijective hash used to derive
 // independent RNG substreams from (seed, call, term, group) coordinates.
@@ -238,12 +254,11 @@ func mix64(x uint64) uint64 {
 // (Conv2D call, cross term, group) readout. Substreams are independent of
 // readout execution order, so parallel group readout is bit-identical to
 // serial, and the planned path reproduces the unplanned path exactly.
+// ReadoutSeed is consumed as-is: construction (NewEngine or backend.Open)
+// already resolved a zero seed to DefaultReadoutSeed, so no runtime
+// re-fallback happens here.
 func (e *Engine) readoutStream(call uint64, term, group int) *rand.Rand {
-	seed := e.ReadoutSeed
-	if seed == 0 {
-		seed = defaultReadoutSeed
-	}
-	h := mix64(uint64(seed))
+	h := mix64(uint64(e.ReadoutSeed))
 	h = mix64(h ^ call)
 	h = mix64(h ^ uint64(term)<<32 ^ uint64(group))
 	return rand.New(rand.NewSource(int64(h)))
@@ -267,6 +282,22 @@ func (e *Engine) Name() string {
 	return fmt.Sprintf("photofourier(nta=%d,adc=%d,dac=%d,%s)", e.NTA, e.ADCBits, e.DACBits, e.Detector.Name())
 }
 
+// Capabilities implements nn.CapabilityReporter: the accelerator plans
+// layers (weights latched once) and quantizes operands; it is noisy exactly
+// when a noise source is configured.
+func (e *Engine) Capabilities() nn.Capabilities {
+	noisy := e.ReadoutNoise > 0
+	if e.Detector != nil && !detectorNoiseFree(e.Detector) {
+		noisy = true
+	}
+	return nn.Capabilities{
+		Plannable:       true,
+		Noisy:           noisy,
+		Quantized:       e.ADCBits > 0 || e.DACBits > 0,
+		DefaultAperture: DefaultAperture,
+	}
+}
+
 // Conv2D implements nn.ConvEngine.
 func (e *Engine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (*tensor.Tensor, error) {
 	if e.NTA < 1 {
@@ -275,7 +306,7 @@ func (e *Engine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int
 	n, cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
 	cout, k := weight.Shape[0], weight.Shape[2]
 	if weight.Shape[1] != cin {
-		return nil, fmt.Errorf("core: channel mismatch %d vs %d", weight.Shape[1], cin)
+		return nil, fmt.Errorf("core: %w: channel mismatch %d vs %d", nn.ErrShapeMismatch, weight.Shape[1], cin)
 	}
 	// Quantize operands to DAC precision and split signs: activations and
 	// weights each decompose into non-negative (positive, negative) parts;
@@ -433,7 +464,7 @@ func groupedConv2D(x, wt *tensor.Tensor, groups [][2]int, pad tensor.PadMode, wo
 	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	cout, k := wt.Shape[0], wt.Shape[2]
 	if wt.Shape[1] != cin {
-		return nil, fmt.Errorf("core: grouped conv channel mismatch %d vs %d", wt.Shape[1], cin)
+		return nil, fmt.Errorf("core: %w: grouped conv channel mismatch %d vs %d", nn.ErrShapeMismatch, wt.Shape[1], cin)
 	}
 	padT, padL := 0, 0
 	oh, ow := h-k+1, w-k+1
@@ -626,6 +657,21 @@ func (u UnplannedEngine) Conv2D(input, weight *tensor.Tensor, bias []float64, st
 
 // Name implements nn.ConvEngine.
 func (u UnplannedEngine) Name() string { return u.E.Name() + " (unplanned)" }
+
+// Capabilities implements nn.CapabilityReporter: the wrapped engine's
+// capabilities with planning advertised off — the compiler and Conv.Forward
+// branch on this instead of type-switching, so the wrapper needs no
+// method-set tricks to suppress planning.
+func (u UnplannedEngine) Capabilities() nn.Capabilities {
+	caps := u.E.Capabilities()
+	caps.Plannable = false
+	return caps
+}
+
+// Unplanned returns the engine's planning-suppressed twin: identical
+// configuration and shared call/noise state, but every convolution runs the
+// per-call unplanned path.
+func (e *Engine) Unplanned() nn.ConvEngine { return UnplannedEngine{E: e} }
 
 type signedParts struct {
 	pos, neg *tensor.Tensor // nil when the corresponding part is all zero

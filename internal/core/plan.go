@@ -132,7 +132,7 @@ func (lp *LayerPlan) Stale() bool {
 func (lp *LayerPlan) Conv2D(input *tensor.Tensor) (*tensor.Tensor, error) {
 	e := lp.engine
 	if lp.Stale() {
-		return nil, fmt.Errorf("core: layer plan is stale (engine DAC/tiling config changed since PlanConv)")
+		return nil, fmt.Errorf("core: %w: engine DAC/tiling config changed since PlanConv", nn.ErrStalePlan)
 	}
 	if e.NTA < 1 {
 		return nil, fmt.Errorf("core: NTA %d must be >= 1", e.NTA)
@@ -142,7 +142,7 @@ func (lp *LayerPlan) Conv2D(input *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	n, cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
 	if cin != lp.cin {
-		return nil, fmt.Errorf("core: channel mismatch %d vs %d", lp.cin, cin)
+		return nil, fmt.Errorf("core: %w: channel mismatch %d vs %d", nn.ErrShapeMismatch, lp.cin, cin)
 	}
 	oh, ow := convOutHW(h, w, lp.k, lp.pad)
 	if oh < 1 || ow < 1 {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sync"
 
-	"photofourier/internal/core"
+	"photofourier/internal/backend"
 	"photofourier/internal/dataset"
 	"photofourier/internal/nets"
 	"photofourier/internal/nn"
@@ -12,6 +12,17 @@ import (
 	"photofourier/internal/tiling"
 	"photofourier/internal/train"
 )
+
+// compileSpec opens one engine spec through the backend registry and
+// compiles the study network against it — every substrate in the accuracy
+// sweeps is selected by spec string, not by concrete constructor.
+func compileSpec(net *nn.Network, spec string) (*nn.NetworkPlan, error) {
+	engine, err := backend.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	return net.Compile(engine)
+}
 
 func init() {
 	register("table1", table1)
@@ -152,7 +163,7 @@ func table1(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		refPlan, err := m.net.Compile(nil)
+		refPlan, err := compileSpec(m.net, "reference")
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +171,7 @@ func table1(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rtPlan, err := m.net.Compile(core.NewRowTiledEngine(256))
+		rtPlan, err := compileSpec(m.net, "rowtiled?aperture=256")
 		if err != nil {
 			return nil, err
 		}
@@ -231,9 +242,7 @@ func fig7(opt Options) (*Result, error) {
 		Header: []string{"configuration", "top-1 accuracy"},
 	}
 	// Full-precision psum reference (the paper's "fp psum" line).
-	fp := core.NewEngine()
-	fp.ADCBits = 0
-	fpPlan, err := m.net.Compile(fp)
+	fpPlan, err := compileSpec(m.net, "accelerator?adc=0")
 	if err != nil {
 		return nil, err
 	}
@@ -249,12 +258,10 @@ func fig7(opt Options) (*Result, error) {
 	}
 	accs := map[int]float64{}
 	for _, nta := range depths {
-		e := core.NewEngine()
-		e.NTA = nta
-		// Dark-current sensing noise per readout (the paper's photodetector
-		// model): shallow depths read out more often and accumulate more.
-		e.ReadoutNoise = 0.005
-		plan, err := m.net.Compile(e)
+		// The accelerator-noisy backend's default operating point carries
+		// the paper's per-readout dark-current sensing noise (0.005 of full
+		// scale): shallow depths read out more often and accumulate more.
+		plan, err := compileSpec(m.net, fmt.Sprintf("accelerator-noisy?nta=%d", nta))
 		if err != nil {
 			return nil, err
 		}

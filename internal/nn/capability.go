@@ -1,0 +1,63 @@
+package nn
+
+// Capabilities describes what an execution substrate can do, so callers —
+// the network compiler, experiment sweeps, the serving layer — branch on
+// advertised capability instead of type-switching on concrete engine
+// structs. Engines advertise them through CapabilityReporter; backends in
+// the registry advertise them per name.
+type Capabilities struct {
+	// Plannable reports that the engine compiles reusable LayerPlans
+	// (weights latched once, activations streamed). The network compiler
+	// only routes convolutions through PlanConv when this is set.
+	Plannable bool
+	// Noisy reports that repeated runs on identical inputs can differ
+	// unless the engine's noise seed and call sequence are pinned; serving
+	// layers use it to know results are batch-composition sensitive.
+	Noisy bool
+	// Quantized reports that operands pass through finite DAC/ADC
+	// precision, so outputs are not bit-identical to the float reference.
+	Quantized bool
+	// DefaultAperture is the substrate's native 1D aperture (PFCU input
+	// waveguides); 0 for substrates with no aperture notion.
+	DefaultAperture int
+}
+
+// CapabilityReporter is an optional ConvEngine extension for engines that
+// advertise their capabilities.
+type CapabilityReporter interface {
+	Capabilities() Capabilities
+}
+
+// CapabilitiesOf reports e's capabilities: its own advertisement when it is
+// a CapabilityReporter, otherwise a conservative inference (Plannable when
+// it implements LayerPlanner, everything else unknown/false).
+func CapabilitiesOf(e ConvEngine) Capabilities {
+	if e == nil {
+		return Capabilities{}
+	}
+	if cr, ok := e.(CapabilityReporter); ok {
+		return cr.Capabilities()
+	}
+	_, plannable := e.(LayerPlanner)
+	return Capabilities{Plannable: plannable}
+}
+
+// plannerFor returns the LayerPlanner to compile convolutions with, or nil
+// when the engine does not plan. An engine advertising Plannable=false is
+// never planned through, even if its dynamic type happens to implement
+// LayerPlanner (wrappers advertise capability; concrete types carry
+// methods).
+func plannerFor(e ConvEngine) LayerPlanner {
+	p, ok := e.(LayerPlanner)
+	if !ok {
+		return nil
+	}
+	if cr, ok := e.(CapabilityReporter); ok && !cr.Capabilities().Plannable {
+		return nil
+	}
+	return p
+}
+
+// Capabilities implements CapabilityReporter: the reference engine is exact
+// float arithmetic with no planning or aperture.
+func (ReferenceEngine) Capabilities() Capabilities { return Capabilities{} }

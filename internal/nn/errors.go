@@ -1,0 +1,17 @@
+package nn
+
+import "errors"
+
+// Sentinel errors shared across the inference stack (core engines, compiled
+// plans, the serving layer). Wrap them with fmt.Errorf("...: %w", Err...)
+// and test with errors.Is.
+var (
+	// ErrStalePlan marks a compiled plan (LayerPlan or NetworkPlan) whose
+	// source weights or engine configuration changed after compilation;
+	// recompile before reusing it.
+	ErrStalePlan = errors.New("plan is stale")
+
+	// ErrShapeMismatch marks operands whose shapes are inconsistent with
+	// each other or with what the operation requires.
+	ErrShapeMismatch = errors.New("shape mismatch")
+)

@@ -134,13 +134,13 @@ func (p *NetworkPlan) Stale() bool {
 // activations come from and return to the plan's per-geometry buffer pool.
 func (p *NetworkPlan) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if p.Stale() {
-		return nil, fmt.Errorf("nn: network plan is stale (training or an engine config change invalidated it); recompile with Network.Compile")
+		return nil, fmt.Errorf("nn: %w: training or an engine config change invalidated the network plan; recompile with Network.Compile", ErrStalePlan)
 	}
 	if x.Rank() != 4 {
-		return nil, fmt.Errorf("nn: compiled forward wants NCHW input, got %v", x.Shape)
+		return nil, fmt.Errorf("nn: %w: compiled forward wants NCHW input, got %v", ErrShapeMismatch, x.Shape)
 	}
 	if x.Shape[0] < 1 {
-		return nil, fmt.Errorf("nn: compiled forward wants a non-empty batch, got %v", x.Shape)
+		return nil, fmt.Errorf("nn: %w: compiled forward wants a non-empty batch, got %v", ErrShapeMismatch, x.Shape)
 	}
 	if _, err := p.StepShapes(x.Shape[1], x.Shape[2], x.Shape[3]); err != nil {
 		return nil, err
@@ -317,7 +317,7 @@ func (p *NetworkPlan) compile(m Module) ([]planStep, error) {
 		if p.engine == nil {
 			return []planStep{&convRefStep{c: v}}, nil
 		}
-		if planner, ok := p.engine.(LayerPlanner); ok {
+		if planner := plannerFor(p.engine); planner != nil {
 			lp, err := planner.PlanConv(v.Weight.W, v.Bias.W.Data, v.Stride, v.Pad)
 			if err != nil {
 				return nil, err

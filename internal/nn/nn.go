@@ -165,7 +165,7 @@ func (c *Conv) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: Conv wants NCHW input, got %v", x.Shape)
 	}
 	if !train && c.Engine != nil {
-		if planner, ok := c.Engine.(LayerPlanner); ok {
+		if planner := plannerFor(c.Engine); planner != nil {
 			plan, err := c.layerPlan(planner)
 			if err != nil {
 				return nil, err

@@ -7,14 +7,21 @@
 // network, many streamed activations).
 //
 // Micro-batching semantics: samples that land in the same batch run as one
-// NCHW forward pass. Under the quantized accelerator engine that is exactly
-// hardware batch semantics — DAC quantization scales and ADC full-scale
-// calibration are computed per batch, so a sample's logits can differ at
-// the last quantization step depending on its co-batched neighbors (the
-// reference and row-tiled engines are per-sample exact and batch-invariant).
+// NCHW forward pass. Whether a sample's result can depend on its co-batched
+// neighbors is a capability of the plan's engine, not of its concrete type:
+// sessions over engines advertising Quantized or Noisy capabilities
+// (nn.CapabilitiesOf) are batch-composition sensitive — DAC quantization
+// scales and ADC full-scale calibration are computed per batch — while
+// exact substrates are batch-invariant (see Session.BatchInvariant).
+//
+// Infer is context-aware: cancellation and deadlines are honored both at
+// queue admission and while an admitted sample waits for its batch to be
+// assembled and executed.
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,7 +32,17 @@ import (
 	"photofourier/internal/tensor"
 )
 
-// Options configures a Session.
+// Typed sentinel errors; test with errors.Is.
+var (
+	// ErrSessionClosed marks an Infer call on a closed session.
+	ErrSessionClosed = errors.New("serve: session closed")
+	// ErrBadOptions marks invalid session options (negative MaxBatch,
+	// MaxDelay, TopK, or Queue), rejected once by New.
+	ErrBadOptions = errors.New("serve: bad options")
+)
+
+// Options configures a Session. The zero value of every field selects its
+// default; negative values are rejected by New with ErrBadOptions.
 type Options struct {
 	// MaxBatch is the largest micro-batch assembled per forward pass
 	// (default 8).
@@ -39,6 +56,25 @@ type Options struct {
 	TopK int
 	// Queue is the pending-request buffer size (default 4*MaxBatch).
 	Queue int
+}
+
+// validate rejects negative options — a negative MaxDelay would otherwise
+// reach the batching deadline arithmetic, and negative Queue/TopK would
+// panic or truncate downstream.
+func (o Options) validate() error {
+	if o.MaxBatch < 0 {
+		return fmt.Errorf("%w: MaxBatch %d must be >= 0", ErrBadOptions, o.MaxBatch)
+	}
+	if o.MaxDelay < 0 {
+		return fmt.Errorf("%w: MaxDelay %v must be >= 0", ErrBadOptions, o.MaxDelay)
+	}
+	if o.TopK < 0 {
+		return fmt.Errorf("%w: TopK %d must be >= 0", ErrBadOptions, o.TopK)
+	}
+	if o.Queue < 0 {
+		return fmt.Errorf("%w: Queue %d must be >= 0", ErrBadOptions, o.Queue)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +102,7 @@ type Prediction struct {
 }
 
 type request struct {
+	ctx   context.Context
 	x     *tensor.Tensor // rank-3 CHW sample, read-only
 	reply chan reply
 }
@@ -82,6 +119,11 @@ type Session struct {
 	plan *nn.NetworkPlan
 	opts Options
 
+	// batchInvariant caches the engine-capability judgment: exact
+	// substrates give every sample the same logits regardless of
+	// co-batching.
+	batchInvariant bool
+
 	mu     sync.RWMutex
 	closed bool
 	reqs   chan request
@@ -91,35 +133,69 @@ type Session struct {
 	samples atomic.Uint64
 }
 
-// New starts a session over a compiled plan.
-func New(plan *nn.NetworkPlan, opts Options) *Session {
+// New starts a session over a compiled plan. Options are validated once,
+// here: negative values are rejected with an error matching ErrBadOptions.
+func New(plan *nn.NetworkPlan, opts Options) (*Session, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("%w: nil plan", ErrBadOptions)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	caps := nn.CapabilitiesOf(plan.Engine())
 	s := &Session{
-		plan: plan,
-		opts: opts.withDefaults(),
-		done: make(chan struct{}),
+		plan:           plan,
+		opts:           opts.withDefaults(),
+		batchInvariant: !caps.Quantized && !caps.Noisy,
+		done:           make(chan struct{}),
 	}
 	s.reqs = make(chan request, s.opts.Queue)
 	go s.run()
-	return s
+	return s, nil
 }
 
-// Infer submits one CHW sample and blocks until its prediction is ready.
-// The sample is read-only to the session and may be reused by the caller
-// afterwards.
-func (s *Session) Infer(x *tensor.Tensor) (*Prediction, error) {
-	if x == nil || x.Rank() != 3 {
-		return nil, fmt.Errorf("serve: Infer wants a CHW sample, got %v", shapeOf(x))
+// BatchInvariant reports whether a sample's prediction is independent of
+// its co-batched neighbors — false for substrates whose engines advertise
+// Quantized or Noisy capabilities (per-batch DAC scales and ADC
+// calibration), true for exact substrates.
+func (s *Session) BatchInvariant() bool { return s.batchInvariant }
+
+// Infer submits one CHW sample and blocks until its prediction is ready or
+// ctx is done. Cancellation is honored at queue admission and while the
+// sample waits for its micro-batch; a sample whose context expires before
+// its batch reaches the forward pass is dropped without being executed
+// (best-effort — cancellation racing the forward pass itself still returns
+// promptly, but that batch has already run). The sample is read-only to
+// the session and may be reused by the caller afterwards.
+func (s *Session) Infer(ctx context.Context, x *tensor.Tensor) (*Prediction, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	req := request{x: x, reply: make(chan reply, 1)}
+	if x == nil || x.Rank() != 3 {
+		return nil, fmt.Errorf("serve: %w: Infer wants a CHW sample, got %v", nn.ErrShapeMismatch, shapeOf(x))
+	}
+	req := request{ctx: ctx, x: x, reply: make(chan reply, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return nil, fmt.Errorf("serve: session closed")
+		return nil, ErrSessionClosed
 	}
-	s.reqs <- req
-	s.mu.RUnlock()
-	r := <-req.reply
-	return r.pred, r.err
+	// Queue admission: the submit itself respects cancellation when the
+	// queue is full. Close never closes s.reqs while an admission holds
+	// the read lock, so the send cannot panic.
+	select {
+	case s.reqs <- req:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-req.reply:
+		return r.pred, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Close stops admitting samples, waits for every in-flight request to be
@@ -145,7 +221,9 @@ func (s *Session) Samples() uint64 { return s.samples.Load() }
 // run is the batching loop: block for one request, greedily drain
 // compatible queued requests up to MaxBatch (waiting at most MaxDelay for
 // stragglers), then execute the batch. A request whose sample geometry
-// differs from the open batch flushes it and seeds the next one.
+// differs from the open batch flushes it and seeds the next one; a request
+// whose context is already done is answered with its context error and
+// never executed.
 func (s *Session) run() {
 	defer close(s.done)
 	var pending *request
@@ -160,6 +238,9 @@ func (s *Session) run() {
 			}
 			first = req
 		}
+		if dropCancelled(first) {
+			continue
+		}
 		batch := []request{first}
 		deadline := time.Now().Add(s.opts.MaxDelay)
 		for len(batch) < s.opts.MaxBatch {
@@ -172,6 +253,9 @@ func (s *Session) run() {
 			if !ok {
 				break
 			}
+			if dropCancelled(req) {
+				continue
+			}
 			if !sameShape(req.x.Shape, first.x.Shape) {
 				pending = &req
 				break
@@ -179,6 +263,18 @@ func (s *Session) run() {
 			batch = append(batch, req)
 		}
 		s.execute(batch)
+	}
+}
+
+// dropCancelled answers an already-cancelled request with its context
+// error and reports whether it was dropped.
+func dropCancelled(req request) bool {
+	select {
+	case <-req.ctx.Done():
+		req.reply <- reply{err: req.ctx.Err()}
+		return true
+	default:
+		return false
 	}
 }
 
@@ -209,6 +305,9 @@ func (s *Session) next(deadline time.Time) (req request, ok, open bool) {
 func (s *Session) flushRemaining() {
 	var batch []request
 	for req := range s.reqs {
+		if dropCancelled(req) {
+			continue
+		}
 		if len(batch) > 0 && (!sameShape(req.x.Shape, batch[0].x.Shape) || len(batch) == s.opts.MaxBatch) {
 			s.execute(batch)
 			batch = batch[:0]
@@ -221,8 +320,21 @@ func (s *Session) flushRemaining() {
 }
 
 // execute stacks one micro-batch into an NCHW tensor, runs the shared
-// plan, and delivers per-sample predictions.
+// plan, and delivers per-sample predictions. Requests whose context
+// expired while the batch was being assembled are dropped here, just
+// before the forward pass — so a cancelled sample is not executed and a
+// fully cancelled batch skips the plan entirely.
 func (s *Session) execute(batch []request) {
+	live := batch[:0]
+	for _, req := range batch {
+		if !dropCancelled(req) {
+			live = append(live, req)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	batch = live
 	n := len(batch)
 	c, h, w := batch[0].x.Shape[0], batch[0].x.Shape[1], batch[0].x.Shape[2]
 	x := tensor.New(n, c, h, w)

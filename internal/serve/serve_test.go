@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
-	"photofourier/internal/core"
+	"photofourier/internal/backend"
 	"photofourier/internal/nn"
 	"photofourier/internal/tensor"
 )
@@ -19,6 +21,15 @@ func testPlan(t *testing.T, engine nn.ConvEngine) *nn.NetworkPlan {
 		t.Fatal(err)
 	}
 	return plan
+}
+
+func newSession(t *testing.T, plan *nn.NetworkPlan, opts Options) *Session {
+	t.Helper()
+	s, err := New(plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func sample(seed int64) *tensor.Tensor {
@@ -51,15 +62,18 @@ func TestSessionMatchesDirectForward(t *testing.T) {
 	// A small coalescing delay lets the client goroutines enqueue before
 	// the first batch closes (MaxDelay 0 would serve arrival-order batches
 	// of whatever is queued, which on a quiet scheduler is often 1).
-	s := New(plan, Options{MaxBatch: 8, TopK: 3, MaxDelay: 20 * time.Millisecond})
+	s := newSession(t, plan, Options{MaxBatch: 8, TopK: 3, MaxDelay: 20 * time.Millisecond})
 	defer s.Close()
+	if !s.BatchInvariant() {
+		t.Error("reference plan should be batch-invariant")
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, samples)
 	for i := 0; i < samples; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			pred, err := s.Infer(xs[i])
+			pred, err := s.Infer(context.Background(), xs[i])
 			if err != nil {
 				errs <- err
 				return
@@ -90,13 +104,21 @@ func TestSessionMatchesDirectForward(t *testing.T) {
 	}
 }
 
-// TestSessionQuantizedEngine serves through the quantized accelerator plan
-// (smoke: predictions arrive, counters advance).
+// TestSessionQuantizedEngine serves through a registry-opened quantized
+// accelerator plan (smoke: predictions arrive, batch sensitivity is
+// advertised through capabilities, counters advance).
 func TestSessionQuantizedEngine(t *testing.T) {
-	plan := testPlan(t, core.NewEngine())
-	s := New(plan, Options{MaxBatch: 4})
+	eng, err := backend.Open("accelerator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := testPlan(t, eng)
+	s := newSession(t, plan, Options{MaxBatch: 4})
 	defer s.Close()
-	pred, err := s.Infer(sample(42))
+	if s.BatchInvariant() {
+		t.Error("quantized plan advertised batch-invariant")
+	}
+	pred, err := s.Infer(context.Background(), sample(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +131,10 @@ func TestSessionQuantizedEngine(t *testing.T) {
 // returns promptly relative to the deadline bound.
 func TestSessionDeadline(t *testing.T) {
 	plan := testPlan(t, nil)
-	s := New(plan, Options{MaxBatch: 64, MaxDelay: 50 * time.Millisecond})
+	s := newSession(t, plan, Options{MaxBatch: 64, MaxDelay: 50 * time.Millisecond})
 	defer s.Close()
 	start := time.Now()
-	if _, err := s.Infer(sample(7)); err != nil {
+	if _, err := s.Infer(context.Background(), sample(7)); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d > 5*time.Second {
@@ -124,20 +146,85 @@ func TestSessionDeadline(t *testing.T) {
 }
 
 // TestSessionRejectsBadShapeAndClose covers input validation and the
-// closed-session path.
+// closed-session path, including the typed sentinels.
 func TestSessionRejectsBadShapeAndClose(t *testing.T) {
 	plan := testPlan(t, nil)
-	s := New(plan, Options{})
-	if _, err := s.Infer(tensor.New(3, 16)); err == nil {
-		t.Error("rank-2 sample accepted")
+	s := newSession(t, plan, Options{})
+	ctx := context.Background()
+	if _, err := s.Infer(ctx, tensor.New(3, 16)); !errors.Is(err, nn.ErrShapeMismatch) {
+		t.Errorf("rank-2 sample: want ErrShapeMismatch, got %v", err)
 	}
-	if _, err := s.Infer(nil); err == nil {
-		t.Error("nil sample accepted")
+	if _, err := s.Infer(ctx, nil); !errors.Is(err, nn.ErrShapeMismatch) {
+		t.Errorf("nil sample: want ErrShapeMismatch, got %v", err)
 	}
 	s.Close()
 	s.Close() // idempotent
-	if _, err := s.Infer(sample(1)); err == nil {
-		t.Error("closed session accepted a sample")
+	if _, err := s.Infer(ctx, sample(1)); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("closed session: want ErrSessionClosed, got %v", err)
+	}
+}
+
+// TestSessionOptionValidation: New rejects negative options with
+// ErrBadOptions instead of letting them reach the batching arithmetic.
+func TestSessionOptionValidation(t *testing.T) {
+	plan := testPlan(t, nil)
+	for _, opts := range []Options{
+		{MaxBatch: -1},
+		{MaxDelay: -time.Second},
+		{TopK: -2},
+		{Queue: -8},
+	} {
+		if _, err := New(plan, opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("New(%+v): want ErrBadOptions, got %v", opts, err)
+		}
+	}
+	if _, err := New(nil, Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("nil plan: want ErrBadOptions, got %v", err)
+	}
+	s, err := New(plan, Options{}) // zero values are defaults, not errors
+	if err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	s.Close()
+}
+
+// TestInferContextCancelled: a context cancelled before submission is
+// honored at queue admission.
+func TestInferContextCancelled(t *testing.T) {
+	plan := testPlan(t, nil)
+	s := newSession(t, plan, Options{})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Infer(ctx, sample(1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestInferContextDeadlineDuringBatchWait: a sample admitted into a long
+// MaxDelay batch wait returns as soon as its deadline expires, well before
+// the batch would have sealed.
+func TestInferContextDeadlineDuringBatchWait(t *testing.T) {
+	plan := testPlan(t, nil)
+	// A huge MaxBatch and a long MaxDelay force the runner to sit in the
+	// straggler wait; the per-call deadline must cut through it.
+	s := newSession(t, plan, Options{MaxBatch: 64, MaxDelay: 30 * time.Second})
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Infer(ctx, sample(2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled Infer returned after %v", d)
+	}
+	// The expired sample must be dropped before the forward pass, not
+	// burned on a dead request (Close seals and drains the open batch).
+	s.Close()
+	if s.Samples() != 0 {
+		t.Errorf("cancelled sample was executed (%d samples served)", s.Samples())
 	}
 }
 
@@ -145,7 +232,7 @@ func TestSessionRejectsBadShapeAndClose(t *testing.T) {
 // batched separately but all answered.
 func TestSessionMixedGeometries(t *testing.T) {
 	plan := testPlan(t, nil)
-	s := New(plan, Options{MaxBatch: 8})
+	s := newSession(t, plan, Options{MaxBatch: 8})
 	defer s.Close()
 	small := sample(3)
 	big := tensor.New(3, 20, 20)
@@ -160,7 +247,7 @@ func TestSessionMixedGeometries(t *testing.T) {
 		wg.Add(1)
 		go func(x *tensor.Tensor) {
 			defer wg.Done()
-			if _, err := s.Infer(x); err != nil {
+			if _, err := s.Infer(context.Background(), x); err != nil {
 				errs <- err
 			}
 		}(x)

@@ -3,18 +3,27 @@
 // (Li et al., HPCA 2023). It re-exports the main entry points of the
 // internal packages:
 //
-//   - functional inference: RowTiledEngine and AcceleratorEngine run real
-//     CNN convolutions through the paper's row-tiling algorithm and the
-//     full quantized/temporally-accumulated accelerator model;
+//   - backend registry: Open("accelerator?nta=16,adc=8") builds any
+//     registered execution substrate from a spec string (engine choice is
+//     data, not code); OpenWith composes the same operating points from
+//     functional options; Backends/Describe enumerate names and
+//     capabilities;
+//   - functional inference: registry-opened engines run real CNN
+//     convolutions through the paper's row-tiling algorithm and the full
+//     quantized/temporally-accumulated accelerator model, and
+//     Network.Compile + InferenceSession serve them;
 //   - architecture evaluation: CG/NG/Baseline configurations with
 //     cycle/energy/area models for every workload in the paper;
 //   - experiments: regeneration of every table and figure.
 //
-// See the runnable programs under examples/ for typical usage.
+// See DESIGN.md for the spec-string grammar, the per-backend option set,
+// capability semantics, and the error taxonomy, and the runnable programs
+// under examples/ for typical usage.
 package photofourier
 
 import (
 	"photofourier/internal/arch"
+	"photofourier/internal/backend"
 	"photofourier/internal/core"
 	"photofourier/internal/experiments"
 	"photofourier/internal/nets"
@@ -23,6 +32,94 @@ import (
 	"photofourier/internal/serve"
 	"photofourier/internal/tensor"
 	"photofourier/internal/tiling"
+)
+
+// Backend registry (engine construction from spec strings).
+type (
+	// Engine is an opened, immutable execution substrate: a configured
+	// ConvEngine plus its backend identity, capabilities, and canonical
+	// spec string.
+	Engine = backend.Engine
+	// EngineOption is a functional engine-construction option for
+	// OpenWith (WithNTA, WithParallelism, ...).
+	EngineOption = backend.Option
+	// EngineConfig is the fully resolved operating point of an opened
+	// engine.
+	EngineConfig = backend.Config
+	// EngineSpec is a parsed engine spec (name plus key=value params).
+	EngineSpec = backend.Spec
+	// Capabilities describes what a substrate can do (Plannable, Noisy,
+	// Quantized, DefaultAperture); callers branch on it instead of
+	// type-switching on concrete engines.
+	Capabilities = nn.Capabilities
+)
+
+// Open builds an engine from a spec string:
+//
+//	name?key=val,key=val,...
+//
+// e.g. "rowtiled?aperture=256" or "accelerator?nta=16,adc=8,seed=7,workers=4".
+// Registered names: reference, rowtiled, accelerator, accelerator-noisy,
+// unplanned (see Backends). Unknown names yield ErrUnknownBackend;
+// malformed or out-of-range specs yield ErrBadSpec.
+func Open(spec string) (*Engine, error) { return backend.Open(spec) }
+
+// OpenWith builds an engine by backend name and functional options —
+// exact parity with Open's spec keys.
+func OpenWith(name string, opts ...EngineOption) (*Engine, error) {
+	return backend.OpenWith(name, opts...)
+}
+
+// Backends returns every registered backend name, sorted.
+func Backends() []string { return backend.Names() }
+
+// DescribeBackend returns a registered backend's capability advertisement.
+func DescribeBackend(name string) (Capabilities, error) { return backend.Describe(name) }
+
+// Functional engine-construction options (see Open for the spec-string
+// equivalents).
+var (
+	// WithParallelism bounds the engine's worker pools (<= 0 = NumCPU).
+	WithParallelism = backend.WithParallelism
+	// WithAperture sets the 1D convolution aperture (PFCU waveguides).
+	WithAperture = backend.WithAperture
+	// WithColumnPad toggles zero-padded row tiles (exact Same equality).
+	WithColumnPad = backend.WithColumnPad
+	// WithNTA sets the temporal accumulation depth.
+	WithNTA = backend.WithNTA
+	// WithADCBits sets partial-sum readout precision (0 = full).
+	WithADCBits = backend.WithADCBits
+	// WithDACBits sets operand precision (0 = full).
+	WithDACBits = backend.WithDACBits
+	// WithReadoutSeed seeds the readout-noise substreams (0 = default).
+	WithReadoutSeed = backend.WithReadoutSeed
+	// WithReadoutNoise sets the per-readout sensing noise fraction.
+	WithReadoutNoise = backend.WithReadoutNoise
+	// WithNoiseFree zeroes every configurable noise source.
+	WithNoiseFree = backend.WithNoiseFree
+	// WithTiledPath routes the accelerator through exact 1D shots.
+	WithTiledPath = backend.WithTiledPath
+	// WithCalibPercentile sets percentile ADC range calibration.
+	WithCalibPercentile = backend.WithCalibPercentile
+)
+
+// Typed sentinel errors, wired for errors.Is across the whole stack.
+var (
+	// ErrUnknownBackend: Open/OpenWith named an unregistered backend.
+	ErrUnknownBackend = backend.ErrUnknownBackend
+	// ErrBadSpec: malformed spec string, inapplicable option, or
+	// out-of-range value.
+	ErrBadSpec = backend.ErrBadSpec
+	// ErrStalePlan: a compiled LayerPlan/NetworkPlan no longer matches its
+	// source weights or engine config; recompile.
+	ErrStalePlan = nn.ErrStalePlan
+	// ErrShapeMismatch: operand shapes are inconsistent with each other or
+	// the operation.
+	ErrShapeMismatch = nn.ErrShapeMismatch
+	// ErrSessionClosed: Infer on a closed InferenceSession.
+	ErrSessionClosed = serve.ErrSessionClosed
+	// ErrBadOptions: invalid InferenceSession options (negative values).
+	ErrBadOptions = serve.ErrBadOptions
 )
 
 // Accelerator configurations (paper Sec. V).
@@ -57,23 +154,36 @@ type (
 	// ConvEngine executes CNN convolutions on a substrate.
 	ConvEngine = nn.ConvEngine
 	// RowTiledEngine is the exact row-tiled 1D substrate (Table I).
+	//
+	// Deprecated: open it through the registry ("rowtiled?aperture=256")
+	// instead of handling the concrete type.
 	RowTiledEngine = core.RowTiledEngine
 	// AcceleratorEngine is the full quantized accelerator (Fig. 7).
+	//
+	// Deprecated: open it through the registry ("accelerator?nta=16")
+	// instead of handling the concrete type.
 	AcceleratorEngine = core.Engine
 	// LayerPlan is a compiled, reusable inference path for one convolution
-	// layer (see AcceleratorEngine.PlanConv and DESIGN.md): weights are
-	// quantized, sign-split, and spectrally latched once, and every call
-	// pays only activation-dependent work, bit-identical to the unplanned
-	// engine.
+	// layer (see DESIGN.md): weights are quantized, sign-split, and
+	// spectrally latched once, and every call pays only
+	// activation-dependent work, bit-identical to the unplanned engine.
 	LayerPlan = nn.LayerPlan
 )
 
 // NewRowTiledEngine builds a row-tiled engine with the given 1D aperture
 // (256 in the paper's PFCU).
+//
+// Deprecated: use Open("rowtiled?aperture=N") or
+// OpenWith("rowtiled", WithAperture(N)); registry-opened engines are
+// immutable and carry capabilities and a canonical spec.
 func NewRowTiledEngine(nconv int) *RowTiledEngine { return core.NewRowTiledEngine(nconv) }
 
 // NewAcceleratorEngine builds the accelerator engine at the paper's default
 // operating point (NTA=16, 8-bit ADC/DAC).
+//
+// Deprecated: use Open("accelerator") or OpenWith("accelerator", ...);
+// registry-opened engines are immutable and carry capabilities and a
+// canonical spec.
 func NewAcceleratorEngine() *AcceleratorEngine { return core.NewEngine() }
 
 // Whole-network compiled inference (see DESIGN.md).
@@ -87,17 +197,21 @@ type (
 	// through pooled buffers — bit-identical to Network.Forward.
 	NetworkPlan = nn.NetworkPlan
 	// InferenceSession is the concurrency-safe serving front-end: it
-	// micro-batches single-sample requests and runs them through one
-	// shared NetworkPlan.
+	// micro-batches single-sample Infer(ctx, x) requests — honoring
+	// context cancellation at admission and during the batch wait — and
+	// runs them through one shared NetworkPlan.
 	InferenceSession = serve.Session
 	// SessionOptions configures an InferenceSession (batch size, deadline,
-	// top-k width).
+	// top-k width); negative values are rejected with ErrBadOptions.
 	SessionOptions = serve.Options
+	// Prediction is the per-sample result of one served inference.
+	Prediction = serve.Prediction
 )
 
 // NewInferenceSession starts a micro-batching inference session over a
-// compiled network plan.
-func NewInferenceSession(plan *NetworkPlan, opts SessionOptions) *InferenceSession {
+// compiled network plan. Options are validated here, once; negative values
+// yield an error matching ErrBadOptions.
+func NewInferenceSession(plan *NetworkPlan, opts SessionOptions) (*InferenceSession, error) {
 	return serve.New(plan, opts)
 }
 

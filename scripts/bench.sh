@@ -12,10 +12,13 @@
 #   default regenerates only the newest snapshot (3); pass "2 3" or "all"
 #   to regenerate older ones too.
 #   BENCHTIME=5s scripts/bench.sh           # longer sampling
+#   SPEC="accelerator-noisy?nta=8" scripts/bench.sh 3   # engine spec for the
+#       net-level snapshot (recorded in the JSON; default "accelerator")
 #   OUT2=/tmp/b2.json OUT3=/tmp/b3.json scripts/bench.sh all   # alternate outputs
 set -eu
 cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-2s}"
+spec="${SPEC:-accelerator}"
 targets="${*:-3}"
 [ "$targets" = "all" ] && targets="2 3"
 
@@ -48,6 +51,7 @@ if want 2; then
 		printf "{\n"
 		printf "  \"id\": \"BENCH_2\",\n"
 		printf "  \"benchmark\": \"Engine.Conv2D repeated-batch: planned (LayerPlan) vs unplanned\",\n"
+		printf "  \"engine_spec\": \"accelerator (planned) vs unplanned (baseline), plus per-workload params\",\n"
 		printf "  \"cpu\": \"%s\",\n", cpu
 		printf "  \"benchtime\": \"%s\",\n", benchtime
 		printf "  \"workloads\": {\n"
@@ -70,11 +74,12 @@ fi
 
 if want 3; then
 	out="${OUT3:-BENCH_3.json}"
-	raw=$(go test -run '^$' -bench '^BenchmarkNetInference$|^BenchmarkNetEvaluate$' \
+	raw=$(PF_BENCH_ENGINE="$spec" go test -run '^$' \
+		-bench '^BenchmarkNetInference$|^BenchmarkNetEvaluate$' \
 		-benchmem -benchtime "$benchtime" .)
 	printf '%s\n' "$raw"
 
-	printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+	printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v spec="$spec" '
 	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 	/^BenchmarkNet(Inference|Evaluate)\// {
 		split($1, parts, "/")
@@ -95,7 +100,8 @@ if want 3; then
 		eu = ns["evaluate,per-sample-double-forward"]
 		printf "{\n"
 		printf "  \"id\": \"BENCH_3\",\n"
-		printf "  \"benchmark\": \"whole-network compiled inference (SmallCNN 3x32x32, quantized engine): NetworkPlan + InferenceSession vs uncompiled per-sample\",\n"
+		printf "  \"benchmark\": \"whole-network compiled inference (SmallCNN 3x32x32): NetworkPlan + InferenceSession vs uncompiled per-sample\",\n"
+		printf "  \"engine_spec\": \"%s\",\n", spec
 		printf "  \"cpu\": \"%s\",\n", cpu
 		printf "  \"benchtime\": \"%s\",\n", benchtime
 		printf "  \"forward\": {\n"
