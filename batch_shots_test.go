@@ -1,0 +1,61 @@
+package photofourier
+
+import (
+	"math/rand"
+	"testing"
+
+	"photofourier/internal/backend"
+	"photofourier/internal/jtc"
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+// TestPackedBatchShotRegression is the shot-count regression gate: a packed
+// batch-8 ForwardBatch on the tiled accelerator must issue STRICTLY fewer
+// modeled JTC shots than eight single-sample forwards — the aperture-packing
+// win the batch scheduler exists for. (Run serially: it reads deltas of the
+// process-wide jtc.Shots counter.)
+func TestPackedBatchShotRegression(t *testing.T) {
+	net := nn.SmallCNN([2]int{4, 8}, 10, 7)
+	eng, err := backend.Open("accelerator?tiled=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	x8 := tensor.New(8, 3, 32, 32)
+	x8.RandN(rng, 1)
+
+	planA, err := net.Compile(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := x8.Size() / 8
+	before := jtc.Shots()
+	for b := 0; b < 8; b++ {
+		sample := &tensor.Tensor{Shape: []int{1, 3, 32, 32}, Data: x8.Data[b*per : (b+1)*per]}
+		if _, err := planA.Forward(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	singleShots := jtc.Shots() - before
+
+	engB, err := backend.Open("accelerator?tiled=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := net.Compile(engB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = jtc.Shots()
+	if _, err := planB.ForwardBatch(x8); err != nil {
+		t.Fatal(err)
+	}
+	batchShots := jtc.Shots() - before
+
+	t.Logf("tiled SmallCNN batch 8: per-sample %d shots, packed %d shots (%.1f%% fewer)",
+		singleShots, batchShots, 100*(1-float64(batchShots)/float64(singleShots)))
+	if batchShots >= singleShots {
+		t.Fatalf("packed batch issued %d shots, not fewer than %d per-sample shots", batchShots, singleShots)
+	}
+}

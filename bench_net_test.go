@@ -2,14 +2,17 @@ package photofourier
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"os"
 	"testing"
 
 	"photofourier/internal/backend"
+	"photofourier/internal/jtc"
 	"photofourier/internal/nn"
 	"photofourier/internal/serve"
 	"photofourier/internal/tensor"
+	"photofourier/internal/tiling"
 )
 
 // benchEngineSpec selects the engine the net-level benchmarks run on. The
@@ -181,4 +184,53 @@ func BenchmarkNetEvaluate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkNetForwardBatch measures the batch-major per-sample-exact
+// inference path (BENCH_5.json): SmallCNN and AlexNetS at batch sizes 1, 8,
+// and 32 on the PF_BENCH_ENGINE spec. ns/op is per batch — divide by the
+// batch size for per-sample cost. Two custom metrics expose the aperture
+// packing and spectrum-arena wins directly (both are zero on the direct,
+// non-tiled path, which issues no modeled JTC shots):
+//
+//   - shots/sample: modeled JTC shots per sample (packed schedule);
+//   - ktransforms/sample: kernel-tile spectra built per sample (plan-time
+//     latching makes this ~0 in steady state).
+func BenchmarkNetForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	nets := []struct {
+		name  string
+		build func() *nn.Network
+	}{
+		{"smallcnn", func() *nn.Network { return nn.SmallCNN([2]int{8, 16}, 10, 7) }},
+		{"alexnets", func() *nn.Network { return nn.AlexNetS(10, 7) }},
+	}
+	for _, nc := range nets {
+		net := nc.build()
+		for _, batch := range []int{1, 8, 32} {
+			x := tensor.New(batch, 3, 32, 32)
+			x.RandN(rng, 1)
+			b.Run(fmt.Sprintf("%s/batch%d", nc.name, batch), func(b *testing.B) {
+				plan, err := net.Compile(benchOpen(b))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := plan.ForwardBatch(x); err != nil { // warm geometry + pools
+					b.Fatal(err)
+				}
+				shots0, kt0 := jtc.Shots(), tiling.KernelTileTransforms()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.ForwardBatch(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				samples := float64(b.N * batch)
+				b.ReportMetric(float64(jtc.Shots()-shots0)/samples, "shots/sample")
+				b.ReportMetric(float64(tiling.KernelTileTransforms()-kt0)/samples, "ktransforms/sample")
+			})
+		}
+	}
 }

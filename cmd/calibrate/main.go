@@ -15,12 +15,37 @@ import (
 	"photofourier/internal/arch"
 	"photofourier/internal/backend"
 	"photofourier/internal/nets"
+	"photofourier/internal/tensor"
+	"photofourier/internal/tiling"
 )
 
+// apertureUtilization renders one backend's aperture utilization on a CNN
+// plane geometry (3x3 Same kernels): the per-sample computation efficiency
+// next to the batch-8 packed-schedule efficiency the shot scheduler
+// achieves (see tiling.BatchPlan). Backends without an aperture report "-".
+func apertureUtilization(defaultAperture, hw int) string {
+	if defaultAperture <= 0 {
+		return "-"
+	}
+	p, err := tiling.NewPlan(hw, hw, 3, defaultAperture, tensor.Same, false)
+	if err != nil {
+		return "-"
+	}
+	bp, err := p.PlanBatch(8)
+	if err != nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f/%.1f%%", 100*p.Efficiency(), 100*bp.Efficiency())
+}
+
 // printBackends renders the registry discovery table — the data a sweep
-// harness branches on instead of type-switching on engine structs.
+// harness branches on instead of type-switching on engine structs. The
+// util columns show aperture utilization per geometry as "per-sample
+// efficiency / batch-8 packed efficiency" (packing wins show in the second
+// number; on 32x32 the default aperture's full segments leave no slack).
 func printBackends() error {
-	fmt.Printf("%-18s %-9s %-5s %-9s %-8s %s\n", "backend", "plannable", "noisy", "quantized", "aperture", "spec keys")
+	fmt.Printf("%-18s %-9s %-5s %-9s %-8s %-12s %-12s %s\n",
+		"backend", "plannable", "noisy", "quantized", "aperture", "util32(1/8)", "util16(1/8)", "spec keys")
 	for _, name := range backend.Names() {
 		caps, err := backend.Describe(name)
 		if err != nil {
@@ -34,8 +59,10 @@ func printBackends() error {
 		if keyList == "" {
 			keyList = "(none)"
 		}
-		fmt.Printf("%-18s %-9v %-5v %-9v %-8d %s\n",
-			name, caps.Plannable, caps.Noisy, caps.Quantized, caps.DefaultAperture, keyList)
+		fmt.Printf("%-18s %-9v %-5v %-9v %-8d %-12s %-12s %s\n",
+			name, caps.Plannable, caps.Noisy, caps.Quantized, caps.DefaultAperture,
+			apertureUtilization(caps.DefaultAperture, 32),
+			apertureUtilization(caps.DefaultAperture, 16), keyList)
 	}
 	return nil
 }

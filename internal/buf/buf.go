@@ -26,10 +26,7 @@ func (pl *Pool[T]) Get(n int) []T {
 // value.
 func (pl *Pool[T]) GetZeroed(n int) []T {
 	s := pl.Get(n)
-	var zero T
-	for i := range s {
-		s[i] = zero
-	}
+	clear(s)
 	return s
 }
 

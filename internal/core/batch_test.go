@@ -1,0 +1,195 @@
+package core
+
+// Batch-major LayerPlan execution: ForwardBatchCalls must reproduce the
+// per-sample planned path bit for bit — per-sample quantization scales,
+// per-sample ADC calibration, per-sample keyed readout substreams — on both
+// the direct and the tiled path, while the tiled path's packed shot
+// schedule must never exceed (and, where the aperture has slack, must beat)
+// the per-sample shot count.
+
+import (
+	"math/rand"
+	"testing"
+
+	"photofourier/internal/jtc"
+	"photofourier/internal/tensor"
+)
+
+func TestForwardBatchCallsDirectBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, tc := range []struct {
+		n, cin, cout, h, w, k, stride int
+		pad                           tensor.PadMode
+		noise                         float64
+	}{
+		{3, 3, 8, 16, 16, 3, 1, tensor.Same, 0},
+		{8, 5, 4, 12, 10, 3, 1, tensor.Valid, 0},
+		{4, 3, 6, 9, 9, 5, 2, tensor.Same, 0.01},
+		{1, 2, 3, 8, 8, 1, 1, tensor.Same, 0.005},
+		{3, 2, 4, 12, 12, 7, 1, tensor.Same, 0}, // k > 5: heap tap scratch per worker
+	} {
+		x := tensor.New(tc.n, tc.cin, tc.h, tc.w)
+		x.RandN(rng, 1)
+		w := tensor.New(tc.cout, tc.cin, tc.k, tc.k)
+		w.RandN(rng, 0.5)
+		bias := make([]float64, tc.cout)
+		for i := range bias {
+			bias[i] = rng.NormFloat64()
+		}
+		mk := func() *Engine {
+			e := NewEngine()
+			e.ReadoutNoise = tc.noise
+			e.Parallelism = 4 // exercise the worker pool even on 1-CPU hosts
+			return e
+		}
+		eA, eB := mk(), mk()
+		pA, err := eA.PlanConv(w, bias, tc.stride, tc.pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pB, err := eB.PlanConv(w, bias, tc.stride, tc.pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpA := pA.(*LayerPlan)
+		lpB := pB.(*LayerPlan)
+		// oracle: per-sample loop
+		var want []float64
+		for b := 0; b < tc.n; b++ {
+			xb := &tensor.Tensor{Shape: []int{1, tc.cin, tc.h, tc.w}, Data: x.Data[b*tc.cin*tc.h*tc.w : (b+1)*tc.cin*tc.h*tc.w]}
+			ob, err := lpA.Conv2D(xb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, ob.Data...)
+		}
+		first := lpB.ReserveCalls(uint64(tc.n)) + 1
+		got, err := lpB.ForwardBatchCalls(x, first, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Data) != len(want) {
+			t.Fatalf("size %d vs %d", len(got.Data), len(want))
+		}
+		for i := range want {
+			if got.Data[i] != want[i] {
+				t.Fatalf("case %+v: elem %d: %v != %v", tc, i, got.Data[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForwardBatchCallsTiledBitIdentityAndPacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct {
+		n, cin, cout, h, w, k, nconv int
+		pad                          tensor.PadMode
+		noise                        float64
+		packs                        bool
+	}{
+		{3, 3, 4, 16, 16, 3, 256, tensor.Same, 0, true},     // row tiling; leftover chunks pack
+		{4, 2, 3, 12, 12, 3, 128, tensor.Valid, 0, true},    // row tiling; flexible chunking packs
+		{4, 2, 3, 10, 16, 3, 40, tensor.Valid, 0.01, true},  // partial row tiling packs short passes
+		{2, 2, 2, 6, 20, 3, 12, tensor.Valid, 0, false},     // row partitioning: no slack
+		{8, 3, 4, 16, 16, 3, 64, tensor.Same, 0.005, false}, // full-aperture chunks: nothing to pack
+	} {
+		x := tensor.New(tc.n, tc.cin, tc.h, tc.w)
+		x.RandN(rng, 1)
+		w := tensor.New(tc.cout, tc.cin, tc.k, tc.k)
+		w.RandN(rng, 0.5)
+		mk := func() *Engine {
+			e := NewEngine()
+			e.UseTiledPath = true
+			e.NConv = tc.nconv
+			e.ReadoutNoise = tc.noise
+			return e
+		}
+		eA, eB := mk(), mk()
+		pA, err := eA.PlanConv(w, nil, 1, tc.pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pB, err := eB.PlanConv(w, nil, 1, tc.pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpA, lpB := pA.(*LayerPlan), pB.(*LayerPlan)
+		var want []float64
+		shots0 := jtc.Shots()
+		for b := 0; b < tc.n; b++ {
+			xb := &tensor.Tensor{Shape: []int{1, tc.cin, tc.h, tc.w}, Data: x.Data[b*tc.cin*tc.h*tc.w : (b+1)*tc.cin*tc.h*tc.w]}
+			ob, err := lpA.Conv2D(xb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, ob.Data...)
+		}
+		perSampleShots := jtc.Shots() - shots0
+		first := lpB.ReserveCalls(uint64(tc.n)) + 1
+		shots1 := jtc.Shots()
+		got, err := lpB.ForwardBatchCalls(x, first, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchShots := jtc.Shots() - shots1
+		for i := range want {
+			if got.Data[i] != want[i] {
+				t.Fatalf("case %+v: elem %d: %v != %v", tc, i, got.Data[i], want[i])
+			}
+		}
+		t.Logf("case %+v: per-sample shots %d, packed batch shots %d", tc, perSampleShots, batchShots)
+		if batchShots > perSampleShots {
+			t.Errorf("case %+v: packed schedule issued MORE shots: %d vs %d", tc, batchShots, perSampleShots)
+		}
+		if tc.packs && batchShots >= perSampleShots {
+			t.Errorf("case %+v: packing bought nothing: %d vs %d", tc, batchShots, perSampleShots)
+		}
+	}
+}
+
+func benchLayer(b *testing.B, batchMajor bool, n, cin, cout, h, w, k int, relu bool) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(n, cin, h, w)
+	x.RandN(rng, 1)
+	if relu {
+		for i, v := range x.Data {
+			if v < 0 {
+				x.Data[i] = 0
+			}
+		}
+	}
+	wt := tensor.New(cout, cin, k, k)
+	wt.RandN(rng, 0.5)
+	e := NewEngine()
+	p, err := e.PlanConv(wt, nil, 1, tensor.Same)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp := p.(*LayerPlan)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batchMajor {
+			first := lp.ReserveCalls(uint64(n)) + 1
+			if _, err := lp.ForwardBatchCalls(x, first, 1); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := lp.Conv2D(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkLayerBatchConv1PerBatchConv2D(b *testing.B) {
+	benchLayer(b, false, 8, 3, 8, 32, 32, 3, false)
+}
+func BenchmarkLayerBatchConv1ForwardBatch(b *testing.B) {
+	benchLayer(b, true, 8, 3, 8, 32, 32, 3, false)
+}
+func BenchmarkLayerBatchConv2PerBatchConv2D(b *testing.B) {
+	benchLayer(b, false, 8, 8, 16, 16, 16, 3, true)
+}
+func BenchmarkLayerBatchConv2ForwardBatch(b *testing.B) {
+	benchLayer(b, true, 8, 8, 16, 16, 16, 3, true)
+}

@@ -545,6 +545,13 @@ func (e *Engine) hardwareScale(psums [][]float64, cin int) float64 {
 	if len(psums) == 0 {
 		return 1
 	}
+	if len(psums) == 1 {
+		// Single operating group: the merged design-depth charge IS the one
+		// group's charge, so calibrate on it directly instead of summing it
+		// into a zeroed scratch buffer first (0 + v == v exactly, so the
+		// derived scale is bit-identical).
+		return calibScale(psums[0], e.ADCCalibPercentile)
+	}
 	hwDepth := hardwareAccumulationDepth
 	if e.NTA > hwDepth {
 		hwDepth = e.NTA
@@ -600,19 +607,31 @@ func (e *Engine) readout(psum []float64, scale float64, rng *rand.Rand) error {
 		}
 		step := scale / float64((uint64(1)<<e.ADCBits)-1)
 		sigma := e.ReadoutNoise * scale
-		if sigma > 0 && rng == nil {
-			return fmt.Errorf("core: readout noise configured without an RNG substream")
-		}
-		for i, v := range psum {
-			if sigma > 0 {
+		if sigma > 0 {
+			// Noisy readout stays its own loop so the common noiseless path
+			// pays no per-element branch; the per-element arithmetic is
+			// identical either way.
+			if rng == nil {
+				return fmt.Errorf("core: readout noise configured without an RNG substream")
+			}
+			for i, v := range psum {
 				v += rng.NormFloat64() * sigma
+				if v < 0 {
+					v = 0
+				} else if v > scale {
+					v = scale
+				}
+				psum[i] = math.Round(v/step) * step
 			}
-			if v < 0 {
-				v = 0
-			} else if v > scale {
-				v = scale
+		} else {
+			for i, v := range psum {
+				if v < 0 {
+					v = 0
+				} else if v > scale {
+					v = scale
+				}
+				psum[i] = math.Round(v/step) * step
 			}
-			psum[i] = math.Round(v/step) * step
 		}
 	}
 	det := e.Detector

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -449,6 +450,23 @@ func mergeGroups(per [][]float64, groups [][2]int) [][]float64 {
 func (e *Engine) readoutAccumulate(callIdx uint64, term int, psums [][]float64, out []float64, cin, workers int) error {
 	scale := e.hardwareScale(psums, cin)
 	noise := e.ReadoutNoise > 0 && e.ADCBits > 0
+	sgn := termSign[term]
+	if workers <= 1 || len(psums) == 1 {
+		// Serial fast path: readout and signed accumulation fuse into one
+		// pass per group. The per-element operations and the group order are
+		// exactly the parallel path's, so the output bits are identical —
+		// one full sweep over the partial-sum buffers is simply skipped.
+		for gi, p := range psums {
+			var rng *rand.Rand
+			if noise {
+				rng = e.readoutStream(callIdx, term, gi)
+			}
+			if err := e.readoutAccum(p, scale, rng, sgn, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if err := parallelFor(len(psums), workers, func(gi int) error {
 		var rng *rand.Rand
 		if noise {
@@ -458,11 +476,80 @@ func (e *Engine) readoutAccumulate(callIdx uint64, term int, psums [][]float64, 
 	}); err != nil {
 		return err
 	}
-	sgn := termSign[term]
 	for _, p := range psums {
 		for i, v := range p {
 			out[i] += sgn * v
 		}
+	}
+	return nil
+}
+
+// readoutAccum is readout with the signed accumulation into out fused into
+// the same pass: every element undergoes the identical noise / clamp /
+// quantize / post-readout sequence, and the rounded value is added to out
+// instead of being stored back first. Values are bit-identical to readout
+// followed by out[i] += sgn*psum[i].
+func (e *Engine) readoutAccum(psum []float64, scale float64, rng *rand.Rand, sgn float64, out []float64) error {
+	out = out[:len(psum)]
+	det := e.Detector
+	_, postIdentity := detectorFastPaths(det)
+	if e.ADCBits > 0 {
+		if e.ADCBits > 32 {
+			return fmt.Errorf("core: ADC bits %d out of range", e.ADCBits)
+		}
+		if scale <= 0 {
+			scale = 1
+		}
+		step := scale / float64((uint64(1)<<e.ADCBits)-1)
+		sigma := e.ReadoutNoise * scale
+		if sigma > 0 {
+			if rng == nil {
+				return fmt.Errorf("core: readout noise configured without an RNG substream")
+			}
+			for i, v := range psum {
+				v += rng.NormFloat64() * sigma
+				if v < 0 {
+					v = 0
+				} else if v > scale {
+					v = scale
+				}
+				v = math.Round(v/step) * step
+				if !postIdentity {
+					v = det.PostReadout(v)
+				}
+				out[i] += sgn * v
+			}
+			return nil
+		}
+		if postIdentity {
+			for i, v := range psum {
+				if v < 0 {
+					v = 0
+				} else if v > scale {
+					v = scale
+				}
+				out[i] += sgn * (math.Round(v/step) * step)
+			}
+			return nil
+		}
+		for i, v := range psum {
+			if v < 0 {
+				v = 0
+			} else if v > scale {
+				v = scale
+			}
+			out[i] += sgn * det.PostReadout(math.Round(v/step)*step)
+		}
+		return nil
+	}
+	if postIdentity {
+		for i, v := range psum {
+			out[i] += sgn * v
+		}
+		return nil
+	}
+	for i, v := range psum {
+		out[i] += sgn * det.PostReadout(v)
 	}
 	return nil
 }
@@ -496,21 +583,7 @@ func quantizePartsPooled(t *tensor.Tensor, bits int) (*pooledParts, func(), erro
 		}
 	}
 	posBuf, negBuf := getFloats(len(src)), getFloats(len(src))
-	hasPos, hasNeg := false, false
-	for i, v := range src {
-		if q != nil {
-			v = q.Quantize(v)
-		}
-		var p, ng float64
-		if v > 0 {
-			p = v
-			hasPos = true
-		} else if v < 0 {
-			ng = -v
-			hasNeg = true
-		}
-		posBuf[i], negBuf[i] = p, ng
-	}
+	hasPos, hasNeg := quantizeSplitInto(posBuf, negBuf, src, q)
 	posPresent, negPresent := partPresence(hasPos, hasNeg)
 	pp := &pooledParts{}
 	shape := append([]int(nil), t.Shape...)
@@ -532,4 +605,49 @@ func quantizePartsPooled(t *tensor.Tensor, bits int) (*pooledParts, func(), erro
 		}
 	}
 	return pp, release, nil
+}
+
+// quantizeSplitInto performs the fused quantize + sign-split pass over src
+// into the pos/neg buffers and reports which signs occurred. The quantizer
+// arithmetic is quant.Linear.Quantize with its per-element Step division
+// hoisted out of the loop — clamp to [-Max, Max], round to the step grid —
+// so the produced values are bit-identical to Quantize while the hot loop
+// pays one division (the rounding's) per element instead of two.
+func quantizeSplitInto(posBuf, negBuf, src []float64, q *quant.Linear) (hasPos, hasNeg bool) {
+	posBuf = posBuf[:len(src)]
+	negBuf = negBuf[:len(src)]
+	if q != nil {
+		step, lo, hi := q.Step(), -q.Max, q.Max
+		for i, v := range src {
+			if v < lo {
+				v = lo
+			}
+			if v > hi {
+				v = hi
+			}
+			v = math.Round(v/step) * step
+			var p, ng float64
+			if v > 0 {
+				p = v
+				hasPos = true
+			} else if v < 0 {
+				ng = -v
+				hasNeg = true
+			}
+			posBuf[i], negBuf[i] = p, ng
+		}
+		return hasPos, hasNeg
+	}
+	for i, v := range src {
+		var p, ng float64
+		if v > 0 {
+			p = v
+			hasPos = true
+		} else if v < 0 {
+			ng = -v
+			hasNeg = true
+		}
+		posBuf[i], negBuf[i] = p, ng
+	}
+	return hasPos, hasNeg
 }

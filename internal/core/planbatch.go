@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"photofourier/internal/nn"
+	"photofourier/internal/quant"
+	"photofourier/internal/tensor"
+)
+
+// This file is the batch-major execution path of a LayerPlan: one
+// ForwardBatchCalls call runs a whole batch through the layer with
+// PER-SAMPLE semantics — each sample gets its own DAC quantization scale,
+// its own ADC full-scale calibration, and its own readout-noise substreams —
+// so the result is bit-identical to looping the planned single-sample path
+// over the batch, while the machine work is organized batch-major: weights
+// are walked once per output channel (not once per sample), every
+// activation plane is zero-padded once so the shift-and-add sweep runs as
+// chained full-plane register-tiled passes with no boundary clipping, and
+// the whole batch stays resident between pipeline stages.
+//
+// The zero padding is exact, not approximate: a tap reading a padding cell
+// contributes c*0 == +0, and adding +0 to a non-negative partial sum is an
+// IEEE no-op, so the padded sweep produces the same bits as the
+// boundary-clipped sweep that skips those taps. Junk columns between padded
+// rows do accumulate garbage; they are excluded when each sample's plane is
+// compacted for calibration and readout, and never reach an output.
+
+// padGeom is the padded plane layout of one batch-major direct sweep.
+type padGeom struct {
+	h, w, k    int
+	padT, padL int
+	oh, ow     int
+	sd         int // padded row stride: w + 2*padL
+	srcRows    int // padded source rows: h + 2*padT
+	srcPlane   int // srcRows * sd
+	dstPlane   int // oh * sd (output rows at source stride; cols [ow, sd) are junk)
+	span       int // flattened sweep span: (oh-1)*sd + ow
+}
+
+func newPadGeom(h, w, k int, pad tensor.PadMode) padGeom {
+	g := padGeom{h: h, w: w, k: k}
+	g.oh, g.ow = convOutHW(h, w, k, pad)
+	if pad == tensor.Same {
+		g.padT, g.padL = tensor.SamePad(k), tensor.SamePad(k)
+	}
+	g.sd = w + 2*g.padL
+	g.srcRows = h + 2*g.padT
+	g.srcPlane = g.srcRows * g.sd
+	g.dstPlane = g.oh * g.sd
+	g.span = (g.oh-1)*g.sd + g.ow
+	return g
+}
+
+// batchParts holds the per-sample sign-split quantized activations of one
+// batch in padded layout, with per-sample presence flags (the same
+// partPresence rule the single-sample path applies per call).
+type batchParts struct {
+	pos, neg []float64 // n*cin*srcPlane padded planes; nil when absent in every sample
+	hasPos   []bool
+	hasNeg   []bool
+}
+
+// quantizeBatchPadded quantizes every sample independently (per-sample
+// MaxAbs and quantizer, exactly like quantizePartsPooled on a single-sample
+// tensor) and writes the sign parts into zero-padded planes.
+func quantizeBatchPadded(x *tensor.Tensor, bits int, g padGeom) (*batchParts, func(), error) {
+	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	total := n * cin * g.srcPlane
+	posBuf, negBuf := getFloatsZeroed(total), getFloatsZeroed(total)
+	bp := &batchParts{hasPos: make([]bool, n), hasNeg: make([]bool, n)}
+	anyPos, anyNeg := false, false
+	per := cin * h * w
+	for b := 0; b < n; b++ {
+		sample := x.Data[b*per : (b+1)*per]
+		var q *quant.Linear
+		if bits > 0 {
+			maxAbs := 0.0
+			for _, v := range sample {
+				if v < 0 {
+					v = -v
+				}
+				if v > maxAbs {
+					maxAbs = v
+				}
+			}
+			if maxAbs == 0 {
+				maxAbs = 1
+			}
+			var err error
+			q, err = quant.NewLinear(bits, maxAbs)
+			if err != nil {
+				putFloats(posBuf)
+				putFloats(negBuf)
+				return nil, nil, err
+			}
+		}
+		hasPos, hasNeg := false, false
+		for ic := 0; ic < cin; ic++ {
+			srcPlane := sample[ic*h*w : (ic+1)*h*w]
+			dstBase := (b*cin+ic)*g.srcPlane + g.padT*g.sd + g.padL
+			for y := 0; y < h; y++ {
+				row := srcPlane[y*w : (y+1)*w]
+				off := dstBase + y*g.sd
+				hp, hn := quantizeSplitInto(posBuf[off:off+w], negBuf[off:off+w], row, q)
+				hasPos = hasPos || hp
+				hasNeg = hasNeg || hn
+			}
+		}
+		posPresent, negPresent := partPresence(hasPos, hasNeg)
+		bp.hasPos[b] = posPresent
+		bp.hasNeg[b] = negPresent
+		anyPos = anyPos || posPresent
+		anyNeg = anyNeg || negPresent
+	}
+	if anyPos {
+		bp.pos = posBuf
+	}
+	if anyNeg {
+		bp.neg = negBuf
+	}
+	release := func() {
+		putFloats(posBuf)
+		putFloats(negBuf)
+	}
+	return bp, release, nil
+}
+
+// BatchExact reports whether ForwardBatchCalls reproduces the per-sample
+// planned path bit-identically. It is false only when the detector draws
+// from a shared sequential noise stream (whose consumption order a
+// batch-major execution cannot reproduce); keyed readout-noise substreams
+// batch exactly.
+func (lp *LayerPlan) BatchExact() bool { return detectorNoiseFree(lp.engine.Detector) }
+
+// ReserveCalls implements nn.BatchLayerPlan: it reserves n consecutive
+// engine call indices and returns the count before the reservation, so a
+// caller can key per-sample readout substreams exactly as n sequential
+// single-sample Conv2D calls would.
+func (lp *LayerPlan) ReserveCalls(n uint64) uint64 { return lp.engine.calls.Add(n) - n }
+
+// ForwardBatchCalls implements nn.BatchLayerPlan: one batch-major planned
+// forward pass with per-sample semantics. Sample i draws its readout-noise
+// substreams from call index first + i*stride; with indices reserved
+// through ReserveCalls to mirror a per-sample call sequence, the output is
+// bit-identical to running the planned single-sample path on each sample in
+// order. The caller must check BatchExact first; a sequentially-noisy
+// detector cannot run batch-major.
+func (lp *LayerPlan) ForwardBatchCalls(x *tensor.Tensor, first, stride uint64) (*tensor.Tensor, error) {
+	e := lp.engine
+	if lp.Stale() {
+		return nil, fmt.Errorf("core: %w: engine DAC/tiling config changed since PlanConv", nn.ErrStalePlan)
+	}
+	if !lp.BatchExact() {
+		return nil, fmt.Errorf("core: batch-major forward with a sequentially-noisy detector; run samples through Conv2D instead")
+	}
+	if e.NTA < 1 {
+		return nil, fmt.Errorf("core: NTA %d must be >= 1", e.NTA)
+	}
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("core: batch forward wants NCHW input, got %v", x.Shape)
+	}
+	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if cin != lp.cin {
+		return nil, fmt.Errorf("core: %w: channel mismatch %d vs %d", nn.ErrShapeMismatch, lp.cin, cin)
+	}
+	oh, ow := convOutHW(h, w, lp.k, lp.pad)
+	if oh < 1 || ow < 1 {
+		return nil, fmt.Errorf("core: batch conv empty output for %v k=%d", x.Shape, lp.k)
+	}
+	out := tensor.New(n, lp.cout, oh, ow)
+	var err error
+	if lp.cfg.tiled {
+		err = lp.runTiledBatch(x, out, first, stride)
+	} else {
+		err = lp.runDirectBatch(x, out, first, stride)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if lp.bias != nil {
+		strideC := oh * ow
+		for b := 0; b < n; b++ {
+			for oc := 0; oc < lp.cout; oc++ {
+				base := (b*lp.cout + oc) * strideC
+				for i := 0; i < strideC; i++ {
+					out.Data[base+i] += lp.bias[oc]
+				}
+			}
+		}
+	}
+	if lp.stride > 1 {
+		return tensor.Decimate2D(out, lp.stride)
+	}
+	return out, nil
+}
+
+// runDirectBatch is the batch-major direct fast path: padded per-sample
+// quantization, one weight-stationary chained-stencil sweep, then
+// per-sample calibration and fused readout+accumulation.
+func (lp *LayerPlan) runDirectBatch(x, out *tensor.Tensor, first, stride uint64) error {
+	e := lp.engine
+	n, cin := x.Shape[0], x.Shape[1]
+	oh, ow := out.Shape[2], out.Shape[3]
+	g := newPadGeom(x.Shape[2], x.Shape[3], lp.k, lp.pad)
+	bp, release, err := quantizeBatchPadded(x, lp.cfg.dacBits, g)
+	if err != nil {
+		return err
+	}
+	defer release()
+
+	var present [numTerms]bool
+	present[termPosPos] = bp.pos != nil && lp.wpos != nil
+	present[termPosNeg] = bp.pos != nil && lp.wneg != nil
+	present[termNegPos] = bp.neg != nil && lp.wpos != nil
+	present[termNegNeg] = bp.neg != nil && lp.wneg != nil
+
+	groups := groupRanges(cin, e.NTA)
+	detGroups := groups
+	perChannel := e.Detector.PerChannel()
+	if perChannel {
+		detGroups = groupRanges(cin, 1)
+	}
+	workers := resolveWorkers(e.Parallelism)
+	size := n * lp.cout * g.dstPlane
+	ps := newPsumSetUncleared(present, len(detGroups), size)
+	defer ps.release()
+	if err := lp.sweepBatchDirect(bp, g, n, detGroups, ps, workers); err != nil {
+		return err
+	}
+
+	noise := e.ReadoutNoise > 0 && e.ADCBits > 0
+	cviews := make([][]float64, len(groups))
+	for gi := range cviews {
+		cviews[gi] = getFloats(lp.cout * oh * ow)
+	}
+	defer func() {
+		for _, v := range cviews {
+			putFloats(v)
+		}
+	}()
+	for term := 0; term < numTerms; term++ {
+		bufs := ps.terms[term]
+		if bufs == nil {
+			continue
+		}
+		if err := e.detectBuffers(bufs, workers); err != nil {
+			return err
+		}
+		merged := bufs
+		var pooled [][]float64
+		if perChannel {
+			pooled = mergeGroups(bufs, groups)
+			merged = pooled
+		}
+		// Per-sample activity mirrors the single-sample path's term
+		// presence: a sample without the term's activation part performs no
+		// calibration, readout, or noise draw for it.
+		partHas := bp.hasPos
+		if term == termNegPos || term == termNegNeg {
+			partHas = bp.hasNeg
+		}
+		sgn := termSign[term]
+		// Max-based calibration over a single operating group folds into the
+		// compaction pass (the scan visits the same values hardwareScale's
+		// calibScale would).
+		maxCalib := len(merged) == 1 && (e.ADCCalibPercentile <= 0 || e.ADCCalibPercentile >= 1)
+		for b := 0; b < n; b++ {
+			if !partHas[b] {
+				continue
+			}
+			var scale float64
+			if maxCalib {
+				m := compactPlanesMax(cviews[0], merged[0][b*lp.cout*g.dstPlane:], lp.cout, oh, g.sd, ow)
+				scale = m
+				if scale <= 0 {
+					scale = 1
+				}
+			} else {
+				for gi := range merged {
+					compactPlanes(cviews[gi], merged[gi][b*lp.cout*g.dstPlane:], lp.cout, oh, g.sd, ow)
+				}
+				scale = e.hardwareScale(cviews, cin)
+			}
+			outSample := out.Data[b*lp.cout*oh*ow : (b+1)*lp.cout*oh*ow]
+			callIdx := first + uint64(b)*stride
+			for gi := range cviews {
+				var rng *rand.Rand
+				if noise {
+					rng = e.readoutStream(callIdx, term, gi)
+				}
+				if err := e.readoutAccum(cviews[gi], scale, rng, sgn, outSample); err != nil {
+					return err
+				}
+			}
+		}
+		for _, buf := range pooled {
+			putFloats(buf)
+		}
+	}
+	return nil
+}
+
+// compactPlanesMax is compactPlanes with the max-magnitude scan of
+// max-based ADC calibration folded into the copy, sparing a separate pass.
+func compactPlanesMax(dst, src []float64, planes, rows, sd, ow int) float64 {
+	m := 0.0
+	di := 0
+	for p := 0; p < planes; p++ {
+		base := p * rows * sd
+		for r := 0; r < rows; r++ {
+			row := src[base+r*sd:][:ow]
+			d := dst[di:][:ow]
+			for i, v := range row {
+				d[i] = v
+				if v < 0 {
+					v = -v
+				}
+				if v > m {
+					m = v
+				}
+			}
+			di += ow
+		}
+	}
+	return m
+}
+
+// compactPlanes copies the real columns of `planes` padded output planes
+// (rows of ow valid samples at stride sd) into a contiguous buffer,
+// dropping the junk columns the flattened sweep accumulates between rows.
+func compactPlanes(dst, src []float64, planes, rows, sd, ow int) {
+	di := 0
+	for p := 0; p < planes; p++ {
+		base := p * rows * sd
+		for r := 0; r < rows; r++ {
+			copy(dst[di:di+ow], src[base+r*sd:])
+			di += ow
+		}
+	}
+}
+
+// sweepBatchDirect is the weight-stationary batched sweep: output channels
+// are the parallel work items; for each (output channel, input channel) the
+// signed quantized kernel is compacted once into positive and negative tap
+// chains, and each chain of up to three taps sweeps every sample's padded
+// plane in one register-tiled full-span pass. Per accumulator element the
+// additions arrive in (input channel, ky, kx) order with sign-matching taps
+// only (padding contributes exact +0), so each (sample, channel) output
+// plane is bit-identical to the single-sample fused sweep's.
+func (lp *LayerPlan) sweepBatchDirect(bp *batchParts, g padGeom, n int, groups [][2]int, ps *psumSet, workers int) error {
+	cout, cin, k := lp.cout, lp.cin, lp.k
+	return parallelFor(cout, workers, func(oc int) error {
+		// Tap scratch is per work item: workers must not share it.
+		var stack [50]sweepTap
+		taps := stack[:]
+		if k*k > 25 {
+			taps = make([]sweepTap, 2*k*k)
+		}
+		for gi, grp := range groups {
+			var tPP, tPN, tNP, tNN []float64
+			if bufs := ps.terms[termPosPos]; bufs != nil {
+				tPP = bufs[gi]
+			}
+			if bufs := ps.terms[termPosNeg]; bufs != nil {
+				tPN = bufs[gi]
+			}
+			if bufs := ps.terms[termNegPos]; bufs != nil {
+				tNP = bufs[gi]
+			}
+			if bufs := ps.terms[termNegNeg]; bufs != nil {
+				tNN = bufs[gi]
+			}
+			posFirst, negFirst := true, true
+			for ic := grp[0]; ic < grp[1]; ic++ {
+				wBase := (oc*cin + ic) * k * k
+				pos, neg := taps[:0], taps[k*k:k*k]
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						wv := lp.wq[wBase+ky*k+kx]
+						if wv > 0 {
+							pos = append(pos, sweepTap{wv, ky*g.sd + kx})
+						} else if wv < 0 {
+							neg = append(neg, sweepTap{-wv, ky*g.sd + kx})
+						}
+					}
+				}
+				if len(pos) > 0 {
+					lp.sweepTapChains(bp, g, n, oc, ic, pos, tPP, tNP, posFirst)
+					posFirst = false
+				}
+				if len(neg) > 0 {
+					lp.sweepTapChains(bp, g, n, oc, ic, neg, tPN, tNN, negFirst)
+					negFirst = false
+				}
+			}
+			// A group slice with no weights of one sign leaves its pair's
+			// planes unwritten; clear them so readout sees the zeros the
+			// zero-initialized path would.
+			if posFirst {
+				lp.clearPair(g, n, oc, tPP, tNP)
+			}
+			if negFirst {
+				lp.clearPair(g, n, oc, tPN, tNN)
+			}
+		}
+		return nil
+	})
+}
+
+// clearPair zeroes one (output channel, group) stripe of a cross-term pair,
+// the no-contribution fallback of the store-first sweep.
+func (lp *LayerPlan) clearPair(g padGeom, n, oc int, dp, dn []float64) {
+	for b := 0; b < n; b++ {
+		dstBase := (b*lp.cout + oc) * g.dstPlane
+		if dp != nil {
+			clear(dp[dstBase : dstBase+g.span])
+		}
+		if dn != nil {
+			clear(dn[dstBase : dstBase+g.span])
+		}
+	}
+}
+
+// sweepTapChains applies one sign's compacted taps for one (output channel,
+// input channel) pair to every sample: chains of up to three taps each
+// sweep a sample's full padded plane span before the next chain starts,
+// preserving per-element tap order.
+func (lp *LayerPlan) sweepTapChains(bp *batchParts, g padGeom, n, oc, ic int, taps []sweepTap, dp, dn []float64, store bool) {
+	cout, cin := lp.cout, lp.cin
+	for t := 0; t < len(taps); t += 3 {
+		ch := taps[t:]
+		if len(ch) > 3 {
+			ch = ch[:3]
+		}
+		z := store && t == 0
+		for b := 0; b < n; b++ {
+			srcBase := (b*cin + ic) * g.srcPlane
+			dstBase := (b*cout + oc) * g.dstPlane
+			mixed := bp.hasPos[b] && bp.hasNeg[b]
+			switch {
+			case mixed:
+				dP := dp[dstBase : dstBase+g.span]
+				dN := dn[dstBase : dstBase+g.span]
+				p := bp.pos[srcBase:]
+				ng := bp.neg[srcBase:]
+				switch {
+				case len(ch) == 3 && z:
+					axpy3MixedZ(dP, dN, p[ch[0].off:], p[ch[1].off:], p[ch[2].off:],
+						ng[ch[0].off:], ng[ch[1].off:], ng[ch[2].off:], ch[0].c, ch[1].c, ch[2].c)
+				case len(ch) == 3:
+					axpy3Mixed(dP, dN, p[ch[0].off:], p[ch[1].off:], p[ch[2].off:],
+						ng[ch[0].off:], ng[ch[1].off:], ng[ch[2].off:], ch[0].c, ch[1].c, ch[2].c)
+				case len(ch) == 2 && z:
+					axpy2MixedZ(dP, dN, p[ch[0].off:], p[ch[1].off:],
+						ng[ch[0].off:], ng[ch[1].off:], ch[0].c, ch[1].c)
+				case len(ch) == 2:
+					axpy2Mixed(dP, dN, p[ch[0].off:], p[ch[1].off:],
+						ng[ch[0].off:], ng[ch[1].off:], ch[0].c, ch[1].c)
+				case z:
+					axpy1MixedZ(dP, dN, p[ch[0].off:], ng[ch[0].off:], ch[0].c)
+				default:
+					axpy1Mixed(dP, dN, p[ch[0].off:], ng[ch[0].off:], ch[0].c)
+				}
+			case bp.hasPos[b]:
+				lp.sweepSingle(dp[dstBase:dstBase+g.span], bp.pos[srcBase:], ch, z)
+			case bp.hasNeg[b]:
+				lp.sweepSingle(dn[dstBase:dstBase+g.span], bp.neg[srcBase:], ch, z)
+			}
+		}
+	}
+}
+
+// runTiledBatch is implemented in planbatchtiled.go.
+
+// sweepSingle dispatches one chain over a single activation part.
+func (lp *LayerPlan) sweepSingle(d, part []float64, ch []sweepTap, z bool) {
+	switch {
+	case len(ch) == 3 && z:
+		axpy3Z(d, part[ch[0].off:], part[ch[1].off:], part[ch[2].off:], ch[0].c, ch[1].c, ch[2].c)
+	case len(ch) == 3:
+		axpy3(d, part[ch[0].off:], part[ch[1].off:], part[ch[2].off:], ch[0].c, ch[1].c, ch[2].c)
+	case len(ch) == 2 && z:
+		axpy2Z(d, part[ch[0].off:], part[ch[1].off:], ch[0].c, ch[1].c)
+	case len(ch) == 2:
+		axpy2(d, part[ch[0].off:], part[ch[1].off:], ch[0].c, ch[1].c)
+	case z:
+		axpy1Z(d, part[ch[0].off:], ch[0].c)
+	default:
+		axpy1(d, part[ch[0].off:], ch[0].c)
+	}
+}

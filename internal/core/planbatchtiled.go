@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+
+	"photofourier/internal/tensor"
+	"photofourier/internal/tiling"
+)
+
+// runTiledBatch is the batch-major full-fidelity path: every distinct
+// (sample, channel, shot, activation part) signal is transformed to the
+// frequency domain exactly once into the tiling executor's spectrum arena
+// and reused across every output channel and both weight signs — where the
+// per-sample path re-transforms per weight sign (and per worker chunk).
+// Shot accounting runs on the packed BatchPlan schedule, so batches advance
+// jtc.Shots by strictly less than per-sample execution whenever the
+// aperture has slack to pack.
+//
+// Per-sample semantics match runTiled exactly: per-sample quantization
+// scales, per-group detection in canonical order (noise-free detectors
+// only; ForwardBatchCalls gates on BatchExact), per-sample ADC calibration,
+// and per-sample keyed readout substreams.
+func (lp *LayerPlan) runTiledBatch(x, out *tensor.Tensor, first, stride uint64) error {
+	e := lp.engine
+	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := out.Shape[2], out.Shape[3]
+	flat := padGeom{h: h, w: w, sd: w, srcRows: h, srcPlane: h * w}
+	bp, release, err := quantizeBatchPadded(x, lp.cfg.dacBits, flat)
+	if err != nil {
+		return err
+	}
+	defer release()
+	geo, err := lp.geometry(h, w)
+	if err != nil {
+		return err
+	}
+	groups := groupRanges(cin, e.NTA)
+	workers := resolveWorkers(e.Parallelism)
+	size := n * lp.cout * oh * ow
+
+	var present [numTerms]bool
+	present[termPosPos] = bp.pos != nil && geo.kpos != nil
+	present[termPosNeg] = bp.pos != nil && geo.kneg != nil
+	present[termNegPos] = bp.neg != nil && geo.kpos != nil
+	present[termNegNeg] = bp.neg != nil && geo.kneg != nil
+	ps := newPsumSet(present, len(groups), size)
+	defer ps.release()
+
+	// Accumulator tables: term t, sample b, kernel oc map to the (b, oc)
+	// plane of that term's group buffer; absent samples stay nil (skipped).
+	accFor := func(term, gi int) [][]float64 {
+		bufs := ps.terms[term]
+		if bufs == nil {
+			return nil
+		}
+		accs := make([][]float64, n*lp.cout)
+		partHas := bp.hasPos
+		if term == termNegPos || term == termNegNeg {
+			partHas = bp.hasNeg
+		}
+		for b := 0; b < n; b++ {
+			if !partHas[b] {
+				continue
+			}
+			for oc := 0; oc < lp.cout; oc++ {
+				off := (b*lp.cout + oc) * oh * ow
+				accs[b*lp.cout+oc] = bufs[gi][off : off+oh*ow]
+			}
+		}
+		return accs
+	}
+
+	rowsFor := func(part []float64, has []bool) [][][]float64 {
+		if part == nil {
+			return nil
+		}
+		all := make([][][]float64, n)
+		for b := 0; b < n; b++ {
+			if !has[b] {
+				continue
+			}
+			all[b] = make([][]float64, h)
+		}
+		return all
+	}
+	bindRows := func(all [][][]float64, part []float64, ic int) [][][]float64 {
+		if all == nil {
+			return nil
+		}
+		for b := 0; b < n; b++ {
+			if all[b] == nil {
+				continue
+			}
+			base := (b*cin + ic) * h * w
+			for r := 0; r < h; r++ {
+				all[b][r] = part[base+r*w : base+(r+1)*w]
+			}
+		}
+		return all
+	}
+
+	// Groups are the sweep's parallel axis: each group's partial-sum
+	// buffers are disjoint, and the shot→kernel→sample arena reuse inside
+	// Conv2DPlannedAccumBatch stays intact per group (chunking output
+	// channels instead would re-transform signals per chunk). Row and
+	// kernel scratch is per work item.
+	if err := parallelFor(len(groups), workers, func(gi int) error {
+		g := groups[gi]
+		rowsPos := rowsFor(bp.pos, bp.hasPos)
+		rowsNeg := rowsFor(bp.neg, bp.hasNeg)
+		var kbufPos, kbufNeg []*tiling.KernelPlan
+		if geo.kpos != nil {
+			kbufPos = make([]*tiling.KernelPlan, lp.cout)
+		}
+		if geo.kneg != nil {
+			kbufNeg = make([]*tiling.KernelPlan, lp.cout)
+		}
+		op := &tiling.BatchConvOperands{KPos: kbufPos, KNeg: kbufNeg}
+		op.Accs[0] = accFor(termPosPos, gi)
+		op.Accs[1] = accFor(termPosNeg, gi)
+		op.Accs[2] = accFor(termNegPos, gi)
+		op.Accs[3] = accFor(termNegNeg, gi)
+		for ic := g[0]; ic < g[1]; ic++ {
+			op.Pos = bindRows(rowsPos, bp.pos, ic)
+			op.Neg = bindRows(rowsNeg, bp.neg, ic)
+			if kbufPos != nil {
+				for oc := 0; oc < lp.cout; oc++ {
+					kbufPos[oc] = geo.kpos[oc*cin+ic]
+				}
+			}
+			if kbufNeg != nil {
+				for oc := 0; oc < lp.cout; oc++ {
+					kbufNeg[oc] = geo.kneg[oc*cin+ic]
+				}
+			}
+			if err := geo.tp.Conv2DPlannedAccumBatch(op); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	noise := e.ReadoutNoise > 0 && e.ADCBits > 0
+	views := make([][]float64, len(groups))
+	for term := 0; term < numTerms; term++ {
+		bufs := ps.terms[term]
+		if bufs == nil {
+			continue
+		}
+		if err := e.detectBuffers(bufs, workers); err != nil {
+			return err
+		}
+		partHas := bp.hasPos
+		if term == termNegPos || term == termNegNeg {
+			partHas = bp.hasNeg
+		}
+		sgn := termSign[term]
+		for b := 0; b < n; b++ {
+			if !partHas[b] {
+				continue
+			}
+			for gi := range bufs {
+				views[gi] = bufs[gi][b*lp.cout*oh*ow : (b+1)*lp.cout*oh*ow]
+			}
+			scale := e.hardwareScale(views, cin)
+			outSample := out.Data[b*lp.cout*oh*ow : (b+1)*lp.cout*oh*ow]
+			callIdx := first + uint64(b)*stride
+			for gi := range views {
+				var rng *rand.Rand
+				if noise {
+					rng = e.readoutStream(callIdx, term, gi)
+				}
+				if err := e.readoutAccum(views[gi], scale, rng, sgn, outSample); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

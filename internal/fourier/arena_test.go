@@ -1,0 +1,88 @@
+package fourier
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestArenaBitIdenticalToSpectrumAPI pins the arena contract: transforming
+// into a slot and convolving from it produces the exact bits of the
+// TransformSignal + ConvolveSpectrumInto path (and therefore of
+// ConvolveInto on the original signal).
+func TestArenaBitIdenticalToSpectrumAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, tc := range []struct{ kLen, maxSig, sigLen int }{
+		{9, 64, 64},
+		{35, 96, 96},
+		{1, 1, 1}, // degenerate length-1 plan
+		{5, 40, 17},
+	} {
+		kernel := make([]float64, tc.kLen)
+		for i := range kernel {
+			kernel[i] = rng.NormFloat64()
+		}
+		cp, err := NewCorrPlan(kernel, tc.maxSig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signal := make([]float64, tc.sigLen)
+		for i := range signal {
+			signal[i] = rng.Float64()
+		}
+
+		spec := make([]complex128, cp.SpectrumLen())
+		if err := cp.TransformSignal(spec, signal); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, cp.OutLen(tc.sigLen))
+		if _, err := cp.ConvolveSpectrumInto(want, spec, tc.sigLen); err != nil {
+			t.Fatal(err)
+		}
+
+		a := NewSpectrumArena(3, cp.SpectrumLen())
+		if err := cp.TransformSignalSoA(a, 1, signal); err != nil {
+			t.Fatal(err)
+		}
+		re, im := a.Slot(1)
+		for i := range spec {
+			if re[i] != real(spec[i]) || im[i] != imag(spec[i]) {
+				t.Fatalf("case %+v: slot spectrum bin %d differs", tc, i)
+			}
+		}
+		got := make([]float64, cp.OutLen(tc.sigLen))
+		if _, err := cp.ConvolveSoAInto(got, a, 1, tc.sigLen); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %+v: output %d: %v != %v", tc, i, got[i], want[i])
+			}
+		}
+		// The slot survives convolution for reuse against further kernels.
+		if _, err := cp.ConvolveSoAInto(got, a, 1, tc.sigLen); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %+v: reused slot diverged at %d", tc, i)
+			}
+		}
+	}
+}
+
+// TestArenaOverValidation covers the pooled-backing constructor's checks.
+func TestArenaOverValidation(t *testing.T) {
+	if _, err := SpectrumArenaOver(make([]float64, 10), make([]float64, 10), 3); err == nil {
+		t.Error("non-multiple plane length accepted")
+	}
+	if _, err := SpectrumArenaOver(make([]float64, 9), make([]float64, 6), 3); err == nil {
+		t.Error("mismatched plane lengths accepted")
+	}
+	a, err := SpectrumArenaOver(make([]float64, 9), make([]float64, 9), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots() != 3 || a.Bins() != 3 {
+		t.Errorf("arena geometry %d slots x %d bins", a.Slots(), a.Bins())
+	}
+}

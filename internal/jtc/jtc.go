@@ -27,6 +27,22 @@ func Correlate1D(signal, kernel []float64) []float64 {
 	return fourier.CrossCorrelate(signal, kernel)
 }
 
+// totalShots counts every modeled JTC shot process-wide: one aperture
+// illumination correlated against one latched kernel tile. PFCU correlations
+// and the tiling executors both feed it; batch-packed execution adds the
+// PACKED shot count (multiple samples' tiles sharing one aperture count as
+// one shot per latched kernel), so shot-count deltas expose packing wins
+// directly. Perf snapshots read deltas of this monotonic counter.
+var totalShots atomic.Int64
+
+// Shots returns the process-wide modeled shot count (monotonic; compare
+// deltas).
+func Shots() int64 { return totalShots.Load() }
+
+// AddShots records n modeled shots. The tiling executors call it with their
+// scheduled (packed or per-sample) shot counts.
+func AddShots(n int64) { totalShots.Add(n) }
+
 // Detector transforms each per-channel partial sum at the photodetector
 // before charge accumulation and undoes any encoding after ADC readout.
 type Detector interface {
@@ -217,6 +233,7 @@ func (p *PFCU) Correlate(signal, kernelTile []float64) ([]float64, error) {
 		return nil, err
 	}
 	p.shots.Add(1)
+	totalShots.Add(1)
 	out := Correlate1D(signal, kernelTile)
 	for i, v := range out {
 		out[i] = p.detector.Detect(v)
@@ -312,6 +329,7 @@ func (p *PFCU) CorrelatePlanned(signal []float64, ks *KernelSpectrum) ([]float64
 		return nil, err
 	}
 	p.shots.Add(1)
+	totalShots.Add(1)
 	out, err := ks.corr.Convolve(signal)
 	if err != nil {
 		return nil, err

@@ -1,4 +1,4 @@
-package jtc
+package jtc_test
 
 import (
 	"math"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"photofourier/internal/fourier"
+	"photofourier/internal/jtc"
 	"photofourier/internal/quant"
 	"photofourier/internal/tensor"
 	"photofourier/internal/tiling"
@@ -23,7 +24,7 @@ func TestCorrelate1DMatchesFourier(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	a := nonNeg(rng, 40)
 	b := nonNeg(rng, 9)
-	got := Correlate1D(a, b)
+	got := jtc.Correlate1D(a, b)
 	want := fourier.CrossCorrelate(a, b)
 	for i := range got {
 		if got[i] != want[i] {
@@ -33,13 +34,13 @@ func TestCorrelate1DMatchesFourier(t *testing.T) {
 }
 
 func TestNewPFCUValidation(t *testing.T) {
-	if _, err := NewPFCU(1); err == nil {
+	if _, err := jtc.NewPFCU(1); err == nil {
 		t.Error("1 waveguide should fail")
 	}
-	if _, err := NewPFCU(256, WithWeightDACs(0)); err == nil {
+	if _, err := jtc.NewPFCU(256, jtc.WithWeightDACs(0)); err == nil {
 		t.Error("0 weight DACs should fail")
 	}
-	p, err := NewPFCU(256)
+	p, err := jtc.NewPFCU(256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestNewPFCUValidation(t *testing.T) {
 
 func TestPFCUCorrelateMatchesIdeal(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	p, _ := NewPFCU(256)
+	p, _ := jtc.NewPFCU(256)
 	sig := nonNeg(rng, 256)
 	kern := make([]float64, 31) // tiled 3x3 on a 14-wide row: 9 non-zeros
 	for _, idx := range []int{0, 1, 2, 14, 15, 16, 28, 29, 30} {
@@ -66,7 +67,7 @@ func TestPFCUCorrelateMatchesIdeal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Correlate1D(sig, kern)
+	want := jtc.Correlate1D(sig, kern)
 	for i := range got {
 		if got[i] != want[i] {
 			t.Fatalf("idx %d differs", i)
@@ -79,7 +80,7 @@ func TestPFCUCorrelateMatchesIdeal(t *testing.T) {
 
 func TestPFCUConstraints(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	p, _ := NewPFCU(64)
+	p, _ := jtc.NewPFCU(64)
 	if _, err := p.Correlate(nonNeg(rng, 65), nonNeg(rng, 9)); err == nil {
 		t.Error("oversized signal should fail")
 	}
@@ -116,7 +117,7 @@ func TestPFCU5x5KernelFitsExactly(t *testing.T) {
 	// 25 DACs accommodate a full 5x5 filter (paper: "PFCU keeps 25 active
 	// waveguides ... for backward compatibility").
 	rng := rand.New(rand.NewSource(4))
-	p, _ := NewPFCU(256)
+	p, _ := jtc.NewPFCU(256)
 	kern2d := make([][]float64, 5)
 	for r := range kern2d {
 		kern2d[r] = make([]float64, 5)
@@ -146,7 +147,7 @@ func TestPFCUWithTilingBackendMatches2DConv(t *testing.T) {
 	for r := range kern {
 		kern[r] = nonNeg(rng, k)
 	}
-	p, _ := NewPFCU(256)
+	p, _ := jtc.NewPFCU(256)
 	corr := func(sig, kt []float64) []float64 {
 		out, err := p.Correlate(sig, kt)
 		if err != nil {
@@ -176,7 +177,7 @@ func TestPFCUWithTilingBackendMatches2DConv(t *testing.T) {
 }
 
 func TestLinearPowerDetectorNoiseless(t *testing.T) {
-	d := NewLinearPowerDetector(0, 0, 0)
+	d := jtc.NewLinearPowerDetector(0, 0, 0)
 	if d.Detect(3.5) != 3.5 || d.PostReadout(2) != 2 {
 		t.Error("noiseless linear detector should be identity")
 	}
@@ -186,7 +187,7 @@ func TestLinearPowerDetectorNoiseless(t *testing.T) {
 }
 
 func TestLinearPowerDetectorNoiseStatistics(t *testing.T) {
-	d := NewLinearPowerDetector(0.1, 0, 42)
+	d := jtc.NewLinearPowerDetector(0.1, 0, 42)
 	n := 20000
 	var sum, sumSq float64
 	for i := 0; i < n; i++ {
@@ -205,8 +206,8 @@ func TestLinearPowerDetectorNoiseStatistics(t *testing.T) {
 }
 
 func TestShotNoiseGrowsWithSignal(t *testing.T) {
-	big := NewLinearPowerDetector(0, 0.1, 1)
-	small := NewLinearPowerDetector(0, 0.1, 1)
+	big := jtc.NewLinearPowerDetector(0, 0.1, 1)
+	small := jtc.NewLinearPowerDetector(0, 0.1, 1)
 	n := 5000
 	var varBig, varSmall float64
 	for i := 0; i < n; i++ {
@@ -221,7 +222,7 @@ func TestShotNoiseGrowsWithSignal(t *testing.T) {
 }
 
 func TestSquareLawDetector(t *testing.T) {
-	d := NewSquareLawDetector(0, 0)
+	d := jtc.NewSquareLawDetector(0, 0)
 	if d.Detect(3) != 9 {
 		t.Error("square law should square")
 	}
@@ -242,13 +243,13 @@ func TestSquareLawDetector(t *testing.T) {
 }
 
 func TestTemporalAccumulatorBasics(t *testing.T) {
-	if _, err := NewTemporalAccumulator(0, 4); err == nil {
+	if _, err := jtc.NewTemporalAccumulator(0, 4); err == nil {
 		t.Error("depth 0 should fail")
 	}
-	if _, err := NewTemporalAccumulator(4, 0); err == nil {
+	if _, err := jtc.NewTemporalAccumulator(4, 0); err == nil {
 		t.Error("width 0 should fail")
 	}
-	acc, err := NewTemporalAccumulator(2, 3)
+	acc, err := jtc.NewTemporalAccumulator(2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestTemporalAccumulationReducesQuantizationError(t *testing.T) {
 		}
 		// Full-depth temporal accumulation, one ADC conversion at the end.
 		adc1, _ := quant.NewADC(8, float64(channels), 625e6, 0.93e-3)
-		acc, _ := NewTemporalAccumulator(channels, width)
+		acc, _ := jtc.NewTemporalAccumulator(channels, width)
 		for c := range data {
 			if err := acc.Add(data[c]); err != nil {
 				t.Fatal(err)
@@ -320,7 +321,7 @@ func TestTemporalAccumulationReducesQuantizationError(t *testing.T) {
 		adc2, _ := quant.NewADC(8, float64(channels), 10e9, 14.9e-3)
 		got2 := make([]float64, width)
 		for c := range data {
-			accum1, _ := NewTemporalAccumulator(1, width)
+			accum1, _ := jtc.NewTemporalAccumulator(1, width)
 			if err := accum1.Add(data[c]); err != nil {
 				t.Fatal(err)
 			}
@@ -344,7 +345,7 @@ func TestTemporalAccumulationReducesQuantizationError(t *testing.T) {
 
 func TestReadOutADCCountsConversions(t *testing.T) {
 	adc, _ := quant.NewADC(8, 16, 625e6, 0.93e-3)
-	acc, _ := NewTemporalAccumulator(4, 10)
+	acc, _ := jtc.NewTemporalAccumulator(4, 10)
 	for c := 0; c < 4; c++ {
 		if err := acc.Add(make([]float64, 10)); err != nil {
 			t.Fatal(err)
@@ -359,8 +360,8 @@ func TestReadOutADCCountsConversions(t *testing.T) {
 }
 
 func TestReadOutSquareLawPostprocessing(t *testing.T) {
-	det := NewSquareLawDetector(0, 0)
-	acc, _ := NewTemporalAccumulator(1, 2)
+	det := jtc.NewSquareLawDetector(0, 0)
+	acc, _ := jtc.NewTemporalAccumulator(1, 2)
 	if err := acc.Add([]float64{det.Detect(3), det.Detect(4)}); err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestReadOutSquareLawPostprocessing(t *testing.T) {
 
 func BenchmarkPFCUCorrelate256(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
-	p, _ := NewPFCU(256)
+	p, _ := jtc.NewPFCU(256)
 	sig := nonNeg(rng, 256)
 	kern := make([]float64, 31)
 	for _, idx := range []int{0, 1, 2, 14, 15, 16, 28, 29, 30} {

@@ -77,9 +77,12 @@ type NetworkPlan struct {
 
 	// convs snapshots each convolution layer's invalidation generation at
 	// compile time; layerPlans lists the eagerly compiled per-layer plans
-	// (engine-config staleness).
+	// (engine-config staleness); batchPlans lists, in execution order, the
+	// plans offering the batch-major extension (ForwardBatch keys
+	// per-sample call indices through them).
 	convs      []convSnapshot
 	layerPlans []LayerPlan
+	batchPlans []BatchLayerPlan
 
 	pool buf.SizedPool[float64]
 
@@ -323,7 +326,12 @@ func (p *NetworkPlan) compile(m Module) ([]planStep, error) {
 				return nil, err
 			}
 			p.layerPlans = append(p.layerPlans, lp)
-			return []planStep{&convPlanStep{c: v, plan: lp}}, nil
+			step := &convPlanStep{c: v, plan: lp}
+			if blp, ok := lp.(BatchLayerPlan); ok {
+				step.batch = blp
+				p.batchPlans = append(p.batchPlans, blp)
+			}
+			return []planStep{step}, nil
 		}
 		return []planStep{&convEngineStep{c: v, engine: p.engine}}, nil
 	case *ReLULayer:
@@ -445,11 +453,13 @@ func (s *convRefStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Ten
 
 // convPlanStep runs a convolution through its eagerly compiled LayerPlan —
 // the same call Conv.Forward makes through its lazy plan cache, minus the
-// cache lookup.
+// cache lookup. batch is the plan's batch-major extension when it offers
+// one (ForwardBatch routes through it).
 type convPlanStep struct {
 	ownedOutput
-	c    *Conv
-	plan LayerPlan
+	c     *Conv
+	plan  LayerPlan
+	batch BatchLayerPlan
 }
 
 func (s *convPlanStep) name() string { return "conv(planned)" }
@@ -545,6 +555,34 @@ func (s *maxPoolStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Ten
 		for ch := 0; ch < c; ch++ {
 			inBase := (b*c + ch) * h * w
 			outBase := (b*c + ch) * oh * ow
+			if s.k == 2 && s.stride == 2 {
+				// The ubiquitous 2x2/2 window: two source rows per output
+				// row, four comparisons per element, no window loops. The
+				// running max seeds at -Inf exactly like the generic loop,
+				// so the selected values are identical (incl. NaN inputs).
+				for oy := 0; oy < oh; oy++ {
+					r0 := x.Data[inBase+2*oy*w:][:w]
+					r1 := x.Data[inBase+(2*oy+1)*w:][:w]
+					dst := out.Data[outBase+oy*ow:][:ow]
+					for ox := range dst {
+						v := math.Inf(-1)
+						if r0[2*ox] > v {
+							v = r0[2*ox]
+						}
+						if r0[2*ox+1] > v {
+							v = r0[2*ox+1]
+						}
+						if r1[2*ox] > v {
+							v = r1[2*ox]
+						}
+						if r1[2*ox+1] > v {
+							v = r1[2*ox+1]
+						}
+						dst[ox] = v
+					}
+				}
+				continue
+			}
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					best := math.Inf(-1)

@@ -50,6 +50,33 @@ type LayerPlanner interface {
 	PlanConv(weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (LayerPlan, error)
 }
 
+// BatchLayerPlan is an optional LayerPlan extension for batch-major
+// execution with PER-SAMPLE semantics: ForwardBatchCalls runs a whole NCHW
+// batch as if each sample had been run through Conv2D alone — per-sample
+// operand quantization scales, per-sample readout calibration, and
+// per-sample noise substreams — while executing batch-major (weights walked
+// once per batch, the whole batch resident per pipeline stage).
+//
+// Sample i keys its readout-noise substreams by the virtual call index
+// first + i*stride. Callers reserve the index block through ReserveCalls so
+// the keying matches the call sequence a per-sample loop would consume:
+// NetworkPlan.ForwardBatch reserves n*L indices for an n-sample batch over
+// L planned layers and passes layer l the pair (base+l+1, L), reproducing
+// the sample-major per-sample sequence exactly.
+type BatchLayerPlan interface {
+	LayerPlan
+	// BatchExact reports whether ForwardBatchCalls reproduces the
+	// per-sample path bit-identically; false when the engine's noise is a
+	// shared sequential stream rather than keyed substreams.
+	BatchExact() bool
+	// ReserveCalls reserves n consecutive engine call indices and returns
+	// the counter value before the reservation.
+	ReserveCalls(n uint64) uint64
+	// ForwardBatchCalls runs the planned layer batch-major over an NCHW
+	// batch with per-sample semantics.
+	ForwardBatchCalls(x *tensor.Tensor, first, stride uint64) (*tensor.Tensor, error)
+}
+
 // ReferenceEngine computes exact float convolutions.
 type ReferenceEngine struct{}
 

@@ -7,12 +7,14 @@
 // network, many streamed activations).
 //
 // Micro-batching semantics: samples that land in the same batch run as one
-// NCHW forward pass. Whether a sample's result can depend on its co-batched
-// neighbors is a capability of the plan's engine, not of its concrete type:
-// sessions over engines advertising Quantized or Noisy capabilities
-// (nn.CapabilitiesOf) are batch-composition sensitive — DAC quantization
-// scales and ADC full-scale calibration are computed per batch — while
-// exact substrates are batch-invariant (see Session.BatchInvariant).
+// batch-major pass through NetworkPlan.ForwardBatch, which executes with
+// PER-SAMPLE semantics — every sample gets its own DAC quantization scale,
+// ADC calibration, and readout-noise substreams, bit-identical to running
+// it alone. Co-batching is therefore invisible in results for every
+// noise-free substrate, including the quantized accelerator; only engines
+// advertising Noisy remain batch-composition sensitive, because a sample's
+// noise substream is keyed by its position in the serving call sequence
+// (see Session.BatchInvariant).
 //
 // Infer is context-aware: cancellation and deadlines are honored both at
 // queue admission and while an admitted sample waits for its batch to be
@@ -119,9 +121,10 @@ type Session struct {
 	plan *nn.NetworkPlan
 	opts Options
 
-	// batchInvariant caches the engine-capability judgment: exact
-	// substrates give every sample the same logits regardless of
-	// co-batching.
+	// batchInvariant caches the engine-capability judgment: with
+	// per-sample batch execution, only noisy substrates can give a sample
+	// different logits depending on co-batching (noise substreams are
+	// keyed by call-sequence position).
 	batchInvariant bool
 
 	mu     sync.RWMutex
@@ -146,7 +149,7 @@ func New(plan *nn.NetworkPlan, opts Options) (*Session, error) {
 	s := &Session{
 		plan:           plan,
 		opts:           opts.withDefaults(),
-		batchInvariant: !caps.Quantized && !caps.Noisy,
+		batchInvariant: !caps.Noisy,
 		done:           make(chan struct{}),
 	}
 	s.reqs = make(chan request, s.opts.Queue)
@@ -155,9 +158,11 @@ func New(plan *nn.NetworkPlan, opts Options) (*Session, error) {
 }
 
 // BatchInvariant reports whether a sample's prediction is independent of
-// its co-batched neighbors — false for substrates whose engines advertise
-// Quantized or Noisy capabilities (per-batch DAC scales and ADC
-// calibration), true for exact substrates.
+// its co-batched neighbors. Batches execute through the per-sample-exact
+// ForwardBatch path, so this is true for every noise-free substrate
+// (including the quantized accelerator) and false only for engines
+// advertising Noisy, whose readout substreams are keyed by the sample's
+// position in the serving call sequence.
 func (s *Session) BatchInvariant() bool { return s.batchInvariant }
 
 // Infer submits one CHW sample and blocks until its prediction is ready or
@@ -342,7 +347,7 @@ func (s *Session) execute(batch []request) {
 	for i, req := range batch {
 		copy(x.Data[i*per:(i+1)*per], req.x.Data)
 	}
-	logits, err := s.plan.Forward(x)
+	logits, err := s.plan.ForwardBatch(x)
 	if err != nil {
 		for _, req := range batch {
 			req.reply <- reply{err: err}

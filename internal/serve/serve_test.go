@@ -105,8 +105,9 @@ func TestSessionMatchesDirectForward(t *testing.T) {
 }
 
 // TestSessionQuantizedEngine serves through a registry-opened quantized
-// accelerator plan (smoke: predictions arrive, batch sensitivity is
-// advertised through capabilities, counters advance).
+// accelerator plan (smoke: predictions arrive, per-sample batch execution
+// makes the noise-free quantized substrate batch-invariant, counters
+// advance).
 func TestSessionQuantizedEngine(t *testing.T) {
 	eng, err := backend.Open("accelerator")
 	if err != nil {
@@ -115,8 +116,8 @@ func TestSessionQuantizedEngine(t *testing.T) {
 	plan := testPlan(t, eng)
 	s := newSession(t, plan, Options{MaxBatch: 4})
 	defer s.Close()
-	if s.BatchInvariant() {
-		t.Error("quantized plan advertised batch-invariant")
+	if !s.BatchInvariant() {
+		t.Error("noise-free quantized plan should be batch-invariant under per-sample batch execution")
 	}
 	pred, err := s.Infer(context.Background(), sample(42))
 	if err != nil {
@@ -259,5 +260,25 @@ func TestSessionMixedGeometries(t *testing.T) {
 	}
 	if s.Samples() != 16 {
 		t.Errorf("served %d samples, want 16", s.Samples())
+	}
+}
+
+// TestSessionNoisyEngineBatchSensitivity: only Noisy substrates remain
+// batch-composition sensitive under per-sample batch execution — a sample's
+// readout substreams are keyed by its position in the serving call
+// sequence.
+func TestSessionNoisyEngineBatchSensitivity(t *testing.T) {
+	eng, err := backend.Open("accelerator-noisy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := testPlan(t, eng)
+	s := newSession(t, plan, Options{MaxBatch: 4})
+	defer s.Close()
+	if s.BatchInvariant() {
+		t.Error("noisy plan advertised batch-invariant")
+	}
+	if _, err := s.Infer(context.Background(), sample(7)); err != nil {
+		t.Fatal(err)
 	}
 }

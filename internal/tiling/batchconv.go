@@ -1,0 +1,394 @@
+package tiling
+
+import (
+	"fmt"
+
+	"photofourier/internal/fourier"
+	"photofourier/internal/jtc"
+	"photofourier/internal/tensor"
+)
+
+// PackedShots returns the packed shot count PlanBatch(n) would schedule,
+// without materializing the schedule — the hot-path form the batch executor
+// uses for shot accounting. BatchPlan.Shots() always equals PackedShots(N).
+func (p *Plan) PackedShots(n int) int {
+	if n < 1 {
+		return 0
+	}
+	if v := p.loadPackedShots(n); v >= 0 {
+		return v
+	}
+	cap := p.capacitySlots()
+	gap := p.segmentGapSlots()
+	shots := 0
+	switch p.Mode {
+	case RowTiling:
+		shots = p.rowTiledSchedule(n, nil)
+	case PartialRowTiling:
+		passes := ceilDiv(p.K, p.RowsPerShot)
+		for pass := 0; pass < passes; pass++ {
+			nRows := min(p.RowsPerShot, p.K-pass*p.RowsPerShot)
+			per := (cap + gap) / (nRows + gap) // segments per shot
+			if per < 1 {
+				per = 1
+			}
+			shots += ceilDiv(n*p.OutH, per)
+		}
+	default:
+		// Row partitioning packs nothing; count what per-sample execution
+		// actually performs (executedShots skips Same-mode kernel rows that
+		// fall outside the input), so batch and per-sample deltas compare.
+		shots = n * p.executedShots()
+	}
+	p.storePackedShots(n, shots)
+	return shots
+}
+
+// BatchConvOperands bundles ONE input channel's operands for a whole batch:
+// the sign-split activation planes of every sample, the kernel plans of
+// both weight signs, and the cross-term accumulators.
+type BatchConvOperands struct {
+	// Pos and Neg hold each sample's plane rows for the positive and
+	// negative activation part; a nil sample entry skips that part for
+	// that sample. Either slice may be nil when the part is absent batch-
+	// wide.
+	Pos, Neg [][][]float64
+	// KPos and KNeg are the kernel plans of the positive and negative
+	// weight parts (nil when that sign is absent). All plans must belong
+	// to the same tiling plan and share transform geometry.
+	KPos, KNeg []*KernelPlan
+	// Accs indexes the cross-term accumulators: Accs[0][b*len(KPos)+j] is
+	// (+x,+w) for sample b and kernel j, Accs[1] is (+x,-w) over KNeg,
+	// Accs[2] is (-x,+w) over KPos, Accs[3] is (-x,-w) over KNeg. A nil
+	// accumulator entry is skipped.
+	Accs [4][][]float64
+}
+
+// kernelSetFor maps a cross-term index to its kernel set: terms 0 and 2 use
+// the positive-weight plans, terms 1 and 3 the negative-weight plans.
+func (op *BatchConvOperands) kernelSetFor(term int) []*KernelPlan {
+	if term == 0 || term == 2 {
+		return op.KPos
+	}
+	return op.KNeg
+}
+
+// Conv2DPlannedAccumBatch runs one input channel's plane convolution for a
+// whole batch: each distinct (sample, shot, activation part) signal is
+// transformed to the frequency domain EXACTLY ONCE — into a contiguous SoA
+// spectrum arena — and its spectrum reused against every kernel of both
+// weight signs, in shot → kernel → sample order. Each accumulator receives
+// additions in the same (shot) order Conv2DPlannedAccumMany produces, so
+// the result is bit-identical to per-sample planned convolutions.
+//
+// Shot accounting is PACKED: the modeled hardware executes the batch on the
+// BatchPlan schedule (multiple samples' tiles sharing one aperture), so
+// jtc.Shots advances by PackedShots per kernel instead of the per-sample
+// count — the numerical execution stays per-segment, which is what keeps it
+// bit-identical to the per-sample oracle (see the batchplan.go exactness
+// rules).
+func (p *Plan) Conv2DPlannedAccumBatch(op *BatchConvOperands) error {
+	n := len(op.Pos)
+	if len(op.Neg) > n {
+		n = len(op.Neg)
+	}
+	if n == 0 {
+		return nil
+	}
+	ref, err := p.checkBatchOperands(op, n)
+	if err != nil {
+		return err
+	}
+	if ref == nil {
+		return nil // no kernels at all
+	}
+	maxLk, maxSpec := 0, 0
+	for pass := range ref.corrs {
+		if lk := ref.lks[pass]; lk > maxLk {
+			maxLk = lk
+		}
+		if sl := ref.corrs[pass].SpectrumLen(); sl > maxSpec {
+			maxSpec = sl
+		}
+	}
+	g := getFloats(p.NConv)
+	defer putFloats(g)
+	dst := getFloats(p.NConv + maxLk - 1)
+	defer putFloats(dst)
+	arenaRe := [2][]float64{getFloats(n * maxSpec), getFloats(n * maxSpec)}
+	arenaIm := [2][]float64{getFloats(n * maxSpec), getFloats(n * maxSpec)}
+	defer func() {
+		for i := 0; i < 2; i++ {
+			putFloats(arenaRe[i])
+			putFloats(arenaIm[i])
+		}
+	}()
+	// One arena view pair per accumulation pass, over the shared pooled
+	// backing (passes run sequentially, so slots are reused between them).
+	passArenas := make([][2]*fourier.SpectrumArena, len(ref.corrs))
+	for pass := range ref.corrs {
+		bins := ref.corrs[pass].SpectrumLen()
+		for i := 0; i < 2; i++ {
+			a, err := fourier.SpectrumArenaOver(arenaRe[i][:n*bins], arenaIm[i][:n*bins], bins)
+			if err != nil {
+				panic(err) // sizes are constructed to fit
+			}
+			passArenas[pass][i] = a
+		}
+	}
+	switch p.Mode {
+	case RowTiling:
+		err = p.batchRowTiled(op, ref, n, g, dst, passArenas)
+	case PartialRowTiling:
+		err = p.batchPartial(op, ref, n, g, dst, passArenas)
+	default:
+		err = p.batchPartitioned(op, ref, n, g, dst, passArenas)
+	}
+	if err != nil {
+		return err
+	}
+	p.countBatchShots(op, n)
+	return nil
+}
+
+// countBatchShots advances the process shot counter by the packed schedule:
+// each activation part's participating samples pack into PackedShots
+// apertures, each illuminated once per latched kernel (both weight signs).
+func (p *Plan) countBatchShots(op *BatchConvOperands, n int) {
+	kernels := int64(len(op.KPos) + len(op.KNeg))
+	if kernels == 0 {
+		return
+	}
+	total := int64(0)
+	for _, part := range [2][][][]float64{op.Pos, op.Neg} {
+		present := 0
+		for _, rows := range part {
+			if rows != nil {
+				present++
+			}
+		}
+		if present > 0 {
+			total += int64(p.PackedShots(present)) * kernels
+		}
+	}
+	jtc.AddShots(total)
+}
+
+// checkBatchOperands validates geometry and transform sharing, returning a
+// reference kernel plan (nil when no kernel set is present).
+func (p *Plan) checkBatchOperands(op *BatchConvOperands, n int) (*KernelPlan, error) {
+	var ref *KernelPlan
+	for _, set := range [2][]*KernelPlan{op.KPos, op.KNeg} {
+		for j, kp := range set {
+			if kp == nil || kp.plan != p {
+				return nil, fmt.Errorf("tiling: batch kernel plan %d does not belong to this plan", j)
+			}
+			if ref == nil {
+				ref = kp
+				continue
+			}
+			for pass := range kp.corrs {
+				if !ref.corrs[pass].SharesTransform(kp.corrs[pass]) {
+					return nil, fmt.Errorf("tiling: batch kernel plan %d pass %d has mismatched transform geometry", j, pass)
+				}
+			}
+		}
+	}
+	for _, part := range [2][][][]float64{op.Pos, op.Neg} {
+		for b, rows := range part {
+			if rows == nil {
+				continue
+			}
+			if err := p.checkInput(rows); err != nil {
+				return nil, fmt.Errorf("tiling: batch sample %d: %w", b, err)
+			}
+		}
+	}
+	for term, accs := range op.Accs {
+		nk := len(op.kernelSetFor(term))
+		if accs == nil {
+			continue
+		}
+		if len(accs) != n*nk {
+			return nil, fmt.Errorf("tiling: term %d has %d accumulators, want %d samples x %d kernels", term, len(accs), n, nk)
+		}
+		for i, acc := range accs {
+			if acc != nil && len(acc) != p.OutH*p.OutW {
+				return nil, fmt.Errorf("tiling: term %d accumulator %d length %d, plan output is %dx%d", term, i, len(acc), p.OutH, p.OutW)
+			}
+		}
+	}
+	return ref, nil
+}
+
+// rowsOf returns sample b's plane rows for part index pi (0 = pos, 1 =
+// neg), or nil.
+func (op *BatchConvOperands) rowsOf(pi, b int) [][]float64 {
+	part := op.Pos
+	if pi == 1 {
+		part = op.Neg
+	}
+	if b >= len(part) {
+		return nil
+	}
+	return part[b]
+}
+
+// convolveShotKernels completes one shot for every (kernel, part, sample)
+// triple: the shot's arena spectra multiply each kernel spectrum and
+// scatter through emit. Loop order is kernel → part → sample; every
+// accumulator sees exactly one addition per shot, so inter-shot order (the
+// caller's) is what fixes bit-identity.
+func (p *Plan) convolveShotKernels(op *BatchConvOperands, n, pass, sigLen int, ar [2]*fourier.SpectrumArena, dst []float64, emit func(acc, full []float64, lk int)) error {
+	for term := 0; term < 4; term++ {
+		accs := op.Accs[term]
+		if accs == nil {
+			continue
+		}
+		kset := op.kernelSetFor(term)
+		pi := 0
+		if term >= 2 {
+			pi = 1
+		}
+		for j, kp := range kset {
+			cp := kp.corrs[pass]
+			lk := kp.lks[pass]
+			for b := 0; b < n; b++ {
+				if op.rowsOf(pi, b) == nil {
+					continue
+				}
+				acc := accs[b*len(kset)+j]
+				if acc == nil {
+					continue
+				}
+				full, err := cp.ConvolveSoAInto(dst, ar[pi], b, sigLen)
+				if err != nil {
+					return err
+				}
+				emit(acc, full, lk)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Plan) batchRowTiled(op *BatchConvOperands, ref *KernelPlan, n int, g, dst []float64, passArenas [][2]*fourier.SpectrumArena) error {
+	refCorr := ref.corrs[0]
+	ar := passArenas[0]
+	colOff := p.padL
+	if p.ColumnPad && p.Pad == tensor.Same {
+		colOff = 0
+	}
+	for shot := 0; shot*p.Nor < p.OutH; shot++ {
+		rOut0 := shot * p.Nor
+		for pi := 0; pi < 2; pi++ {
+			for b := 0; b < n; b++ {
+				rows := op.rowsOf(pi, b)
+				if rows == nil {
+					continue
+				}
+				p.tileRowsInto(g, rows, rOut0-p.padT, p.RowsPerShot)
+				if err := refCorr.TransformSignalSoA(ar[pi], b, g); err != nil {
+					return err
+				}
+			}
+		}
+		err := p.convolveShotKernels(op, n, 0, len(g), ar, dst, func(acc, full []float64, lk int) {
+			p.scatterRowTiledShot(acc, full, lk, rOut0, colOff)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Plan) batchPartial(op *BatchConvOperands, ref *KernelPlan, n int, g, dst []float64, passArenas [][2]*fourier.SpectrumArena) error {
+	colOff := p.padL
+	if p.ColumnPad && p.Pad == tensor.Same {
+		colOff = 0
+	}
+	for r := 0; r < p.OutH; r++ {
+		for pass := range ref.corrs {
+			j0 := pass * p.RowsPerShot
+			nRows := min(p.RowsPerShot, p.K-j0)
+			refCorr := ref.corrs[pass]
+			ar := passArenas[pass]
+			for pi := 0; pi < 2; pi++ {
+				for b := 0; b < n; b++ {
+					rows := op.rowsOf(pi, b)
+					if rows == nil {
+						continue
+					}
+					p.tileRowsInto(g, rows, r-p.padT+j0, nRows)
+					if err := refCorr.TransformSignalSoA(ar[pi], b, g); err != nil {
+						return err
+					}
+				}
+			}
+			err := p.convolveShotKernels(op, n, pass, len(g), ar, dst, func(acc, full []float64, lk int) {
+				row := acc[r*p.OutW : (r+1)*p.OutW]
+				for c := 0; c < p.OutW; c++ {
+					idx := c - colOff + lk - 1
+					if idx < 0 || idx >= len(full) {
+						continue
+					}
+					row[c] += full[idx]
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Plan) batchPartitioned(op *BatchConvOperands, ref *KernelPlan, n int, seg, dst []float64, passArenas [][2]*fourier.SpectrumArena) error {
+	step := p.NConv - p.K + 1
+	if step < 1 {
+		return fmt.Errorf("tiling: NConv %d cannot fit kernel %d with halo", p.NConv, p.K)
+	}
+	for r := 0; r < p.OutH; r++ {
+		for j := 0; j < p.K; j++ {
+			ri := r - p.padT + j
+			if ri < 0 || ri >= p.H {
+				continue
+			}
+			refCorr := ref.corrs[j]
+			ar := passArenas[j]
+			for c0 := 0; c0 < p.OutW; c0 += step {
+				for pi := 0; pi < 2; pi++ {
+					for b := 0; b < n; b++ {
+						rows := op.rowsOf(pi, b)
+						if rows == nil {
+							continue
+						}
+						in := rows[ri]
+						for i := range seg {
+							ix := c0 - p.padL + i
+							if ix < 0 || ix >= p.W {
+								seg[i] = 0
+							} else {
+								seg[i] = in[ix]
+							}
+						}
+						if err := refCorr.TransformSignalSoA(ar[pi], b, seg); err != nil {
+							return err
+						}
+					}
+				}
+				err := p.convolveShotKernels(op, n, j, len(seg), ar, dst, func(acc, full []float64, lk int) {
+					row := acc[r*p.OutW : (r+1)*p.OutW]
+					for c := c0; c < min(c0+step, p.OutW); c++ {
+						row[c] += full[(c-c0)+p.K-1]
+					}
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

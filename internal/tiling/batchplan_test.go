@@ -1,0 +1,147 @@
+package tiling
+
+import (
+	"testing"
+
+	"photofourier/internal/tensor"
+)
+
+func mustBatch(t *testing.T, p *Plan, n int) *BatchPlan {
+	t.Helper()
+	bp, err := p.PlanBatch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+// TestBatchPlanScheduleValid checks structural invariants of the packed
+// schedule across all three regimes: segments stay within aperture
+// capacity, never overlap, respect the Same-mode gap, cover every sample's
+// output rows exactly once, and the count-only PackedShots agrees with the
+// materialized schedule.
+func TestBatchPlanScheduleValid(t *testing.T) {
+	cases := []struct {
+		h, w, k, nconv int
+		pad            tensor.PadMode
+		colPad         bool
+		n              int
+	}{
+		{16, 16, 3, 256, tensor.Same, false, 5},
+		{16, 16, 3, 256, tensor.Same, true, 5},
+		{12, 12, 3, 128, tensor.Valid, false, 4},
+		{10, 16, 3, 40, tensor.Valid, false, 4}, // partial row tiling
+		{10, 10, 5, 30, tensor.Same, false, 3},  // partial, Same
+		{6, 40, 3, 16, tensor.Valid, false, 2},  // row partitioning
+		{32, 32, 3, 256, tensor.Same, false, 8}, // SmallCNN conv1 geometry
+		{16, 16, 3, 256, tensor.Same, false, 8}, // SmallCNN conv2 geometry
+		{33, 33, 5, 256, tensor.Same, false, 3}, // odd size, k=5
+	}
+	for _, tc := range cases {
+		p, err := NewPlan(tc.h, tc.w, tc.k, tc.nconv, tc.pad, tc.colPad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp := mustBatch(t, p, tc.n)
+		if got, want := bp.Shots(), p.PackedShots(tc.n); got != want {
+			t.Errorf("%+v: BatchPlan.Shots %d != PackedShots %d", tc, got, want)
+		}
+		if bp.Shots() > bp.UnpackedShots() {
+			t.Errorf("%+v: packed %d exceeds unpacked %d", tc, bp.Shots(), bp.UnpackedShots())
+		}
+		if u := bp.Utilization(); u <= 0 || u > 1+1e-12 {
+			t.Errorf("%+v: utilization %v out of (0,1]", tc, u)
+		}
+		if bp.Efficiency()+1e-12 < p.Efficiency() {
+			t.Errorf("%+v: packed efficiency %v below per-sample %v", tc, bp.Efficiency(), p.Efficiency())
+		}
+		if p.Mode == RowPartitioning {
+			continue // no materialized schedule
+		}
+		cap := p.capacitySlots()
+		gap := p.segmentGapSlots()
+		covered := map[int]int{} // sample -> rows covered
+		for _, sh := range bp.Schedule() {
+			if sh.SlotsUsed > cap {
+				t.Fatalf("%+v: shot uses %d of %d slots", tc, sh.SlotsUsed, cap)
+			}
+			prevEnd := -1
+			for _, seg := range sh.Segments {
+				if seg.Slot < 0 || seg.Slot+seg.Slots > cap {
+					t.Fatalf("%+v: segment %+v outside capacity %d", tc, seg, cap)
+				}
+				if prevEnd >= 0 && seg.Slot < prevEnd+gap {
+					t.Fatalf("%+v: segment %+v violates gap %d after %d", tc, seg, gap, prevEnd)
+				}
+				prevEnd = seg.Slot + seg.Slots
+				covered[seg.Sample] += seg.Rows
+			}
+		}
+		wantRows := p.OutH
+		if p.Mode == PartialRowTiling {
+			// Every output row recurs once per accumulation pass.
+			wantRows = p.OutH * ceilDiv(p.K, p.RowsPerShot)
+		}
+		for s := 0; s < tc.n; s++ {
+			if covered[s] != wantRows {
+				t.Errorf("%+v: sample %d covers %d of %d output rows", tc, s, covered[s], wantRows)
+			}
+		}
+	}
+}
+
+// TestBatchPlanPacksSlack pins the packing wins the scheduler exists for:
+// leftover row-tiles share shots in Same mode, and flexible chunking packs
+// Valid-mode apertures tightly.
+func TestBatchPlanPacksSlack(t *testing.T) {
+	// Same mode, 16x16/k3/NConv 256: per sample one full shot (14 rows)
+	// plus a 2-row leftover; three leftovers share one packed shot.
+	p, err := NewPlan(16, 16, 3, 256, tensor.Same, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := mustBatch(t, p, 8)
+	if bp.Shots() >= bp.UnpackedShots() {
+		t.Errorf("Same-mode leftovers did not pack: %d vs %d", bp.Shots(), bp.UnpackedShots())
+	}
+	// Valid mode packs flexibly chunked segments.
+	pv, err := NewPlan(12, 12, 3, 128, tensor.Valid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpv := mustBatch(t, pv, 4)
+	if bpv.Shots() >= bpv.UnpackedShots() {
+		t.Errorf("Valid-mode flexible chunking did not pack: %d vs %d", bpv.Shots(), bpv.UnpackedShots())
+	}
+	if bpv.Utilization() <= bp.Utilization()-1 {
+		t.Errorf("implausible utilizations: %v %v", bpv.Utilization(), bp.Utilization())
+	}
+}
+
+// TestEfficiencyColumnPadDenominator covers the columnPad edge of the
+// corrected efficiency metric: the padded plan's longer kernel tile must
+// enter the denominator, making column padding strictly less efficient
+// than the plain plan on the same geometry — and both must stay in (0,1].
+func TestEfficiencyColumnPadDenominator(t *testing.T) {
+	plain, err := NewPlan(16, 16, 3, 256, tensor.Same, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := NewPlan(16, 16, 3, 256, tensor.Same, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, ec := plain.Efficiency(), padded.Efficiency()
+	if ep <= 0 || ep > 1 || ec <= 0 || ec > 1 {
+		t.Fatalf("efficiencies out of range: plain %v colpad %v", ep, ec)
+	}
+	if ec >= ep {
+		t.Errorf("column padding should cost efficiency: colpad %v >= plain %v", ec, ep)
+	}
+	// The denominator counts the full 1D output: shots * (NConv + LK - 1).
+	lk := (plain.K-1)*plain.RowLen + plain.K
+	want := float64(plain.OutH*plain.OutW) / (float64(plain.Shots()) * float64(plain.NConv+lk-1))
+	if ep != want {
+		t.Errorf("plain efficiency %v, want %v", ep, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"photofourier/internal/buf"
+	"photofourier/internal/jtc"
 	"photofourier/internal/tensor"
 )
 
@@ -61,14 +62,20 @@ func (p *Plan) Conv2DPlannedAccumMany(input [][]float64, kps []*KernelPlan, accs
 	defer putFloats(dst)
 	spec := getComplexes(maxSpec)
 	defer putComplexes(spec)
+	var err error
 	switch p.Mode {
 	case RowTiling:
-		return p.convRowTiledAccMany(input, kps, accs, g, dst, spec)
+		err = p.convRowTiledAccMany(input, kps, accs, g, dst, spec)
 	case PartialRowTiling:
-		return p.convPartialAccMany(input, kps, accs, g, dst, spec)
+		err = p.convPartialAccMany(input, kps, accs, g, dst, spec)
 	default:
-		return p.convPartitionedAccMany(input, kps, accs, g, dst, spec)
+		err = p.convPartitionedAccMany(input, kps, accs, g, dst, spec)
 	}
+	if err != nil {
+		return err
+	}
+	jtc.AddShots(int64(p.executedShots()) * int64(len(kps)))
+	return nil
 }
 
 func (p *Plan) convRowTiledAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, g, dst []float64, spec []complex128) error {

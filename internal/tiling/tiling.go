@@ -20,10 +20,12 @@ package tiling
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"photofourier/internal/buf"
 	"photofourier/internal/fourier"
+	"photofourier/internal/jtc"
 	"photofourier/internal/tensor"
 )
 
@@ -80,6 +82,31 @@ type Plan struct {
 	Nor         int // valid output rows per shot (row tiling only)
 	OutH, OutW  int // 2D output size
 	padT, padL  int // top/left zero padding implied by Same mode
+
+	// packedShots memoizes PackedShots per batch size (the batch executor
+	// reads it once per input channel).
+	packedMu    sync.Mutex
+	packedShots map[int]int
+}
+
+// loadPackedShots returns the cached packed shot count for batch size n, or
+// -1 when not yet computed.
+func (p *Plan) loadPackedShots(n int) int {
+	p.packedMu.Lock()
+	defer p.packedMu.Unlock()
+	if v, ok := p.packedShots[n]; ok {
+		return v
+	}
+	return -1
+}
+
+func (p *Plan) storePackedShots(n, shots int) {
+	p.packedMu.Lock()
+	defer p.packedMu.Unlock()
+	if p.packedShots == nil {
+		p.packedShots = make(map[int]int)
+	}
+	p.packedShots[n] = shots
 }
 
 // NewPlan validates the geometry and selects the tiling regime.
@@ -144,17 +171,72 @@ func (p *Plan) Shots() int {
 // Efficiency returns the fraction of 1D output samples that are valid 2D
 // outputs — the paper's computation-efficiency metric. Higher NConv or
 // smaller inputs improve it (Sec. III-A).
+//
+// The denominator counts the FULL 1D correlation output of every shot,
+// NConv + LK - 1 samples for a tiled kernel of length LK — so column
+// padding, which stretches RowLen and with it the tiled kernel, correctly
+// lowers the efficiency it buys exactness with. (An earlier version used
+// NConv alone, silently ignoring the kernel-tile extension and the column
+// padding inside it.)
 func (p *Plan) Efficiency() float64 {
-	total := float64(p.Shots() * p.NConv)
+	return p.efficiencyFor(func(pass int) int { return p.shotsOfPass(pass) }, float64(p.OutH*p.OutW))
+}
+
+// shotOutputLen is the full 1D correlation output length of one shot in
+// the given accumulation pass: NConv + LK - 1 for the pass's tiled kernel
+// of length LK. It is the shared per-shot denominator of Plan.Efficiency
+// and BatchPlan.Efficiency.
+func (p *Plan) shotOutputLen(pass int) int {
+	switch p.Mode {
+	case RowTiling:
+		lk := (p.K-1)*p.RowLen + p.K
+		return p.NConv + lk - 1
+	case PartialRowTiling:
+		nRows := min(p.RowsPerShot, p.K-pass*p.RowsPerShot)
+		lk := (nRows-1)*p.RowLen + p.K
+		return p.NConv + lk - 1
+	default:
+		return p.NConv + p.K - 1
+	}
+}
+
+// passes is the number of accumulation passes (distinct kernel tiles) the
+// plan's mode uses.
+func (p *Plan) passes() int {
+	if p.Mode == PartialRowTiling {
+		return ceilDiv(p.K, p.RowsPerShot)
+	}
+	return 1
+}
+
+// shotsOfPass is the per-sample shot count of one accumulation pass.
+func (p *Plan) shotsOfPass(pass int) int {
+	switch p.Mode {
+	case RowTiling:
+		return p.Shots()
+	case PartialRowTiling:
+		return p.OutH
+	default:
+		return p.Shots()
+	}
+}
+
+// efficiencyFor computes valid / sum_pass(shots(pass) * shotOutputLen(pass))
+// with the row-partitioning K-fold credit (each 2D output needs K row
+// correlations).
+func (p *Plan) efficiencyFor(shotsOf func(pass int) int, valid float64) float64 {
+	total := 0.0
+	for pass := 0; pass < p.passes(); pass++ {
+		total += float64(shotsOf(pass)) * float64(p.shotOutputLen(pass))
+	}
 	if total == 0 {
 		return 0
 	}
-	switch p.Mode {
-	case RowTiling, PartialRowTiling:
-		return float64(p.OutH*p.OutW) / total
-	default:
-		return float64(p.OutH*p.OutW) / total * float64(p.K)
+	eff := valid / total
+	if p.Mode == RowPartitioning {
+		eff *= float64(p.K)
 	}
+	return eff
 }
 
 func ceilDiv(a, b int) int {
@@ -382,7 +464,41 @@ func (p *Plan) Conv2DPlannedAccum(input [][]float64, kp *KernelPlan, acc []float
 			return cp.ConvolveInto(dst, g)
 		}}
 	}
-	return p.convAccum(input, kcs, acc)
+	if err := p.convAccum(input, kcs, acc); err != nil {
+		return err
+	}
+	jtc.AddShots(int64(p.executedShots()))
+	return nil
+}
+
+// executedShots is the number of 1D correlations one plane convolution
+// against ONE kernel actually performs. It differs from Shots (the paper's
+// cycle formula) only in the row-partitioning regime: Same-mode kernel
+// rows that fall entirely outside the input are skipped, and rows split
+// into overlapping halo segments of NConv-K+1 valid samples rather than
+// the formula's ceil(W/NConv) segments.
+func (p *Plan) executedShots() int {
+	switch p.Mode {
+	case RowTiling:
+		return ceilDiv(p.OutH, p.Nor)
+	case PartialRowTiling:
+		return p.OutH * ceilDiv(p.K, p.RowsPerShot)
+	default:
+		step := p.NConv - p.K + 1
+		if step < 1 {
+			return 0
+		}
+		segs := ceilDiv(p.OutW, step)
+		rows := 0
+		for r := 0; r < p.OutH; r++ {
+			for j := 0; j < p.K; j++ {
+				if ri := r - p.padT + j; ri >= 0 && ri < p.H {
+					rows++
+				}
+			}
+		}
+		return rows * segs
+	}
 }
 
 func (p *Plan) reshape(acc []float64) [][]float64 {

@@ -7,20 +7,29 @@
 #                 InferenceSession vs. the uncompiled per-sample path, plus
 #                 the evaluation workload (logits-once batched vs. the old
 #                 double-forward sweep) (PR 3)
+#   BENCH_5.json  batch-major per-sample-exact inference (ForwardBatch):
+#                 SmallCNN + AlexNetS at batch {1,8,32}, plus packed-shot
+#                 accounting on the tiled spec — jtc.Shots() and
+#                 tiling.KernelTileTransforms() deltas recorded per sample,
+#                 so packing wins show up as shot-count reductions, not
+#                 just ns/op (PR 5)
 #
-# Usage: scripts/bench.sh [snapshot...]     # e.g. scripts/bench.sh 3
-#   default regenerates only the newest snapshot (3); pass "2 3" or "all"
+# Usage: scripts/bench.sh [snapshot...]     # e.g. scripts/bench.sh 5
+#   default regenerates only the newest snapshot (5); pass "2 3 5" or "all"
 #   to regenerate older ones too.
 #   BENCHTIME=5s scripts/bench.sh           # longer sampling
 #   SPEC="accelerator-noisy?nta=8" scripts/bench.sh 3   # engine spec for the
 #       net-level snapshot (recorded in the JSON; default "accelerator")
-#   OUT2=/tmp/b2.json OUT3=/tmp/b3.json scripts/bench.sh all   # alternate outputs
+#   TILEDSPEC="accelerator?tiled=true" scripts/bench.sh 5   # spec for the
+#       BENCH_5 shot-accounting pass
+#   OUT2=/tmp/b2.json OUT3=/tmp/b3.json OUT5=/tmp/b5.json scripts/bench.sh all
 set -eu
 cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-2s}"
 spec="${SPEC:-accelerator}"
-targets="${*:-3}"
-[ "$targets" = "all" ] && targets="2 3"
+tiledspec="${TILEDSPEC:-accelerator?tiled=true}"
+targets="${*:-5}"
+[ "$targets" = "all" ] && targets="2 3 5"
 
 want() {
 	for t in $targets; do
@@ -118,6 +127,103 @@ if want 3; then
 		printf "    \"compiled_batch8\": {\n"; row("evaluate", "compiled-batch8", 8); printf "    },\n"
 		printf "    \"throughput_speedup\": %.2f\n", eu / (ns["evaluate,compiled-batch8"] / 8)
 		printf "  }\n"
+		printf "}\n"
+	}' >"$out"
+	echo "wrote $out"
+fi
+
+if want 5; then
+	out="${OUT5:-BENCH_5.json}"
+	raw=$(PF_BENCH_ENGINE="$spec" go test -run '^$' \
+		-bench '^BenchmarkNetForwardBatch$' \
+		-benchmem -benchtime "$benchtime" .)
+	printf '%s\n' "$raw"
+
+	# Packed-shot accounting on the tiled spec: shot counts per op are
+	# deterministic, so a couple of iterations suffice.
+	rawshots=$(PF_BENCH_ENGINE="$tiledspec" go test -run '^$' \
+		-bench '^BenchmarkNetForwardBatch$/.*/^batch[18]$' \
+		-benchtime 2x .)
+	printf '%s\n' "$rawshots"
+
+	# BENCH_3's recorded compiled-batch8 per-sample cost is the baseline the
+	# acceptance ratio is computed against.
+	bench3=$(awk '/"compiled_batch8"/{f=1} f&&/ns_per_sample/{match($0, /"ns_per_sample": [0-9]+/); s=substr($0, RSTART+17, RLENGTH-17); print s+0; exit}' BENCH_3.json 2>/dev/null)
+	[ -n "$bench3" ] || bench3=0
+
+	{
+		printf '%s\n' "$raw"
+		printf 'SHOTS %s\n' ""
+		printf '%s\n' "$rawshots"
+	} | awk -v benchtime="$benchtime" -v spec="$spec" -v tiledspec="$tiledspec" -v bench3="$bench3" '
+	/^SHOTS/ { shots_section = 1; next }
+	/^cpu:/ { if (!cpu) { sub(/^cpu: */, ""); cpu = $0 } }
+	/^BenchmarkNetForwardBatch\// {
+		split($1, parts, "/")
+		net = parts[2]
+		wl = parts[3]
+		sub(/-[0-9]+$/, "", wl)
+		key = net "," wl
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") v_ns = $i
+			else if ($(i+1) == "shots/sample") v_sh = $i
+			else if ($(i+1) == "ktransforms/sample") v_kt = $i
+			else if ($(i+1) == "B/op") v_b = $i
+			else if ($(i+1) == "allocs/op") v_al = $i
+		}
+		if (shots_section) {
+			tshots[key] = v_sh
+			tkt[key] = v_kt
+		} else {
+			ns[key] = v_ns
+			bytes[key] = v_b
+			allocs[key] = v_al
+			if (!(net in seenNet)) { netOrder[++nn2] = net; seenNet[net] = 1 }
+		}
+	}
+	function div_of(wl) { sub(/batch/, "", wl); return wl + 0 }
+	END {
+		printf "{\n"
+		printf "  \"id\": \"BENCH_5\",\n"
+		printf "  \"benchmark\": \"batch-major per-sample-exact inference (NetworkPlan.ForwardBatch): SmallCNN + AlexNetS, batch {1,8,32}\",\n"
+		printf "  \"engine_spec\": \"%s\",\n", spec
+		printf "  \"tiled_spec\": \"%s\",\n", tiledspec
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"forward_batch\": {\n"
+		for (i = 1; i <= nn2; i++) {
+			net = netOrder[i]
+			printf "    \"%s\": {\n", net
+			first = 1
+			split("1 8 32", sizes, " ")
+			for (si = 1; si <= 3; si++) {
+				bsz = sizes[si]
+				wl = "batch" bsz
+				key = net "," wl
+				if (!(key in ns)) continue
+				if (!first) printf ",\n"
+				first = 0
+				printf "      \"%s\": {\"ns_per_op\": %s, \"ns_per_sample\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+					wl, ns[key], ns[key] / bsz, bytes[key], allocs[key]
+			}
+			printf "\n    }%s\n", (i < nn2) ? "," : ""
+		}
+		printf "  },\n"
+		printf "  \"bench3_compiled_batch8_ns_per_sample\": %s,\n", bench3
+		if (bench3 > 0 && ("smallcnn,batch8" in ns))
+			printf "  \"smallcnn_batch8_speedup_vs_bench3\": %.2f,\n", bench3 / (ns["smallcnn,batch8"] / 8)
+		printf "  \"tiled_packed_shots\": {\n"
+		first = 1
+		for (i = 1; i <= nn2; i++) {
+			net = netOrder[i]
+			k1 = net ",batch1"; k8 = net ",batch8"
+			if (!(k1 in tshots) || !(k8 in tshots)) continue
+			if (!first) printf ",\n"
+			first = 0
+			printf "    \"%s\": {\"batch1_shots_per_sample\": %s, \"batch8_shots_per_sample\": %s, \"shot_reduction\": %.3f, \"batch8_kernel_transforms_per_sample\": %s}", \
+				net, tshots[k1], tshots[k8], 1 - tshots[k8] / tshots[k1], tkt[k8]
+		}
+		printf "\n  }\n"
 		printf "}\n"
 	}' >"$out"
 	echo "wrote $out"
