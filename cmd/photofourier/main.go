@@ -31,6 +31,9 @@ func main() {
 	benchBatch := flag.Int("serve-batch", 8, "serve-bench session micro-batch size")
 	benchClients := flag.Int("serve-clients", 8, "serve-bench concurrent clients")
 	benchDelay := flag.Duration("serve-delay", 500*time.Microsecond, "serve-bench session micro-batch deadline")
+	benchFailover := flag.String("serve-failover", "", "serve-bench standby backend spec (e.g. reference); skips the per-sample baseline modes")
+	benchRetries := flag.Int("serve-retries", 0, "serve-bench session primary retries (0 = default 2)")
+	benchBackoff := flag.Duration("serve-backoff", 0, "serve-bench session retry backoff base (0 = retry immediately)")
 	flag.Parse()
 
 	if *list {
@@ -38,7 +41,17 @@ func main() {
 		return
 	}
 	if *bench {
-		if err := serveBench(*engine, *benchSamples, *benchBatch, *benchClients, *benchDelay); err != nil {
+		cfg := serveBenchConfig{
+			spec:     *engine,
+			samples:  *benchSamples,
+			batch:    *benchBatch,
+			clients:  *benchClients,
+			delay:    *benchDelay,
+			failover: *benchFailover,
+			retries:  *benchRetries,
+			backoff:  *benchBackoff,
+		}
+		if err := serveBench(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

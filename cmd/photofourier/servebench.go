@@ -5,13 +5,27 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"photofourier/internal/backend"
+	"photofourier/internal/fault"
 	"photofourier/internal/nn"
 	"photofourier/internal/serve"
 	"photofourier/internal/tensor"
 )
+
+// serveBenchConfig bundles the serve-bench CLI knobs.
+type serveBenchConfig struct {
+	spec     string
+	samples  int
+	batch    int
+	clients  int
+	delay    time.Duration
+	failover string
+	retries  int
+	backoff  time.Duration
+}
 
 // serveBench measures end-to-end inference throughput of a registry-opened
 // engine spec across the three serving modes this repo supports:
@@ -23,9 +37,14 @@ import (
 //   - compiled batched: concurrent clients through an InferenceSession,
 //     which micro-batches them onto one shared plan.
 //
+// With -serve-failover set the two per-sample baseline modes are skipped:
+// a chaos spec with a device outage would kill them (they have no recovery
+// ladder), and the point of a failover run is the self-healing session.
+//
 // This is the CLI twin of the BenchmarkNetInference suite recorded in
 // BENCH_3.json.
-func serveBench(spec string, samples, batch, clients int, delay time.Duration) error {
+func serveBench(cfg serveBenchConfig) error {
+	spec, samples, batch, clients, delay := cfg.spec, cfg.samples, cfg.batch, cfg.clients, cfg.delay
 	engine, err := backend.Open(spec)
 	if err != nil {
 		return err
@@ -56,53 +75,64 @@ func serveBench(spec string, samples, batch, clients int, delay time.Duration) e
 		return sps, nil
 	}
 
-	net.SetConvEngine(baseline)
-	base, err := throughput("uncompiled per-sample", func() error {
-		for _, x := range xs {
-			b, err := x.Reshape(1, 3, 32, 32)
-			if err != nil {
-				return err
+	var base, compiled float64
+	if cfg.failover == "" {
+		net.SetConvEngine(baseline)
+		base, err = throughput("uncompiled per-sample", func() error {
+			for _, x := range xs {
+				b, err := x.Reshape(1, 3, 32, 32)
+				if err != nil {
+					return err
+				}
+				if _, err := net.Forward(b); err != nil {
+					return err
+				}
 			}
-			if _, err := net.Forward(b); err != nil {
-				return err
-			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		return nil
-	})
-	if err != nil {
-		return err
+		net.SetConvEngine(nil)
 	}
-	net.SetConvEngine(nil)
 
 	plan, err := net.Compile(engine)
 	if err != nil {
 		return err
 	}
-	compiled, err := throughput("compiled per-sample", func() error {
-		for _, x := range xs {
-			b, err := x.Reshape(1, 3, 32, 32)
-			if err != nil {
-				return err
+	if cfg.failover == "" {
+		compiled, err = throughput("compiled per-sample", func() error {
+			for _, x := range xs {
+				b, err := x.Reshape(1, 3, 32, 32)
+				if err != nil {
+					return err
+				}
+				if _, err := plan.Forward(b); err != nil {
+					return err
+				}
 			}
-			if _, err := plan.Forward(b); err != nil {
-				return err
-			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		return nil
-	})
-	if err != nil {
-		return err
 	}
 
-	session, err := serve.New(plan, serve.Options{MaxBatch: batch, MaxDelay: delay})
+	session, err := serve.New(plan, serve.Options{
+		MaxBatch:     batch,
+		MaxDelay:     delay,
+		Retries:      cfg.retries,
+		RetryBackoff: cfg.backoff,
+		Failover:     cfg.failover,
+	})
 	if err != nil {
 		return err
 	}
 	defer session.Close()
 	ctx := context.Background()
+	var failed atomic.Uint64
 	batched, err := throughput("batched session", func() error {
 		var wg sync.WaitGroup
-		errCh := make(chan error, clients)
 		per := (samples + clients - 1) / clients
 		for c := 0; c < clients; c++ {
 			lo, hi := c*per, min((c+1)*per, samples)
@@ -114,24 +144,46 @@ func serveBench(spec string, samples, batch, clients int, delay time.Duration) e
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
 					if _, err := session.Infer(ctx, xs[i]); err != nil {
-						errCh <- err
-						return
+						failed.Add(1)
 					}
 				}
 			}(lo, hi)
 		}
 		wg.Wait()
-		close(errCh)
-		for err := range errCh {
-			return err
-		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("compiled speedup %.2fx, batched-session speedup %.2fx (%d micro-batches, mean width %.1f)\n",
-		compiled/base, batched/base, session.Batches(),
-		float64(session.Samples())/float64(max(session.Batches(), 1)))
+	if cfg.failover == "" {
+		fmt.Printf("compiled speedup %.2fx, batched-session speedup %.2fx (%d micro-batches, mean width %.1f)\n",
+			compiled/base, batched/base, session.Batches(),
+			float64(session.Samples())/float64(max(session.Batches(), 1)))
+	} else {
+		fmt.Printf("%d micro-batches, mean width %.1f\n", session.Batches(),
+			float64(session.Samples())/float64(max(session.Batches(), 1)))
+	}
+	reportResilience(engine, session, int(failed.Load()), samples)
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("%d of %d requests failed", n, samples)
+	}
 	return nil
+}
+
+// reportResilience prints the session's recovery counters and, when the
+// engine carries a fault injector, the substrate-level fault accounting.
+func reportResilience(engine *backend.Engine, session *serve.Session, failed, total int) {
+	h := session.Health()
+	fmt.Printf("health: ready=%v breaker=%v eff-batch=%d retries=%d splits=%d failovers=%d trips=%d exhausted=%d\n",
+		h.Ready, h.BreakerOpen, h.EffectiveMaxBatch,
+		h.Retries, h.BatchSplits, h.Failovers, h.BreakerTrips, h.RecoveryExhausted)
+	type faultCarrier interface{ FaultInjector() *fault.Injector }
+	if fc, ok := engine.Unwrap().(faultCarrier); ok {
+		if inj := fc.FaultInjector(); inj.Active() {
+			c := inj.Counters()
+			fmt.Printf("faults: shot=%d shot-retries=%d recalibrations=%d outages=%d dead-rows=%d\n",
+				c.ShotFaults, c.ShotRetries, c.Recalibrations, c.Outages, len(inj.DeadSlots()))
+		}
+	}
+	fmt.Printf("failed requests: %d of %d\n", failed, total)
 }

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"photofourier/internal/fault"
 	"photofourier/internal/nn"
 	"photofourier/internal/tensor"
 )
@@ -75,6 +76,12 @@ type Config struct {
 	// Tiled routes the accelerator through exact 1D row-tiled shots.
 	// Spec key "tiled".
 	Tiled bool
+	// Fault is the fault-injection spec ("shot:1e-3;drift:5e-5", see
+	// internal/fault); "" disables injection. Spec key "fault".
+	Fault string
+	// FaultSeed keys the injector's deterministic fault draws. Spec key
+	// "faultseed".
+	FaultSeed int64
 }
 
 // Option sets one Config field before the engine is built. Options carry
@@ -144,6 +151,17 @@ func WithTiledPath(on bool) Option {
 // WithCalibPercentile sets percentile-based ADC range calibration.
 func WithCalibPercentile(p float64) Option {
 	return Option{key: "calib", apply: func(c *Config) { c.CalibPercentile = p }}
+}
+
+// WithFault attaches a deterministic fault-injection spec (internal/fault
+// grammar, e.g. "shot:1e-3;drift:5e-5"); "" disables injection.
+func WithFault(spec string) Option {
+	return Option{key: "fault", apply: func(c *Config) { c.Fault = spec }}
+}
+
+// WithFaultSeed keys the injector's deterministic fault draws.
+func WithFaultSeed(seed int64) Option {
+	return Option{key: "faultseed", apply: func(c *Config) { c.FaultSeed = seed }}
 }
 
 // keyDef describes one spec key: how to parse a spec value into an Option
@@ -220,9 +238,28 @@ var keyTable = map[string]keyDef{
 	"calib":   floatKey(WithCalibPercentile, func(c Config) float64 { return c.CalibPercentile }),
 	"tiled":   boolKey(WithTiledPath, func(c Config) bool { return c.Tiled }),
 	"workers": intKey(WithParallelism, func(c Config) int { return c.Parallelism }),
+	"fault": {
+		// The value is the internal/fault sub-grammar, carried verbatim
+		// (';'-separated, so it never collides with the ','-separated spec
+		// parameters); validateConfig parses it for errors.
+		parse: func(val string) (Option, error) { return WithFault(val), nil },
+		emit:  func(cfg Config) string { return cfg.Fault },
+		same:  func(a, b Config) bool { return a.Fault == b.Fault },
+	},
+	"faultseed": {
+		parse: func(val string) (Option, error) {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Option{}, err
+			}
+			return WithFaultSeed(n), nil
+		},
+		emit: func(cfg Config) string { return strconv.FormatInt(cfg.FaultSeed, 10) },
+		same: func(a, b Config) bool { return a.FaultSeed == b.FaultSeed },
+	},
 }
 
-var keyOrder = []string{"aperture", "colpad", "nta", "adc", "dac", "seed", "noise", "calib", "tiled", "workers"}
+var keyOrder = []string{"aperture", "colpad", "nta", "adc", "dac", "seed", "noise", "calib", "tiled", "workers", "fault", "faultseed"}
 
 // Definition registers one backend: a name, its capability advertisement,
 // its default operating point, the spec keys it accepts, and a constructor
@@ -480,6 +517,11 @@ func validateConfig(def *Definition, cfg Config) error {
 	}
 	if accepted["calib"] && (cfg.CalibPercentile < 0 || cfg.CalibPercentile > 1) {
 		return bad("calib percentile %g out of range [0,1]", cfg.CalibPercentile)
+	}
+	if accepted["fault"] && cfg.Fault != "" {
+		if _, err := fault.Parse(cfg.Fault, cfg.FaultSeed); err != nil {
+			return bad("%v", err)
+		}
 	}
 	if def.Validate != nil {
 		if err := def.Validate(cfg); err != nil {

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"photofourier/internal/core"
+	"photofourier/internal/fault"
 	"photofourier/internal/jtc"
 	"photofourier/internal/nn"
 )
@@ -37,6 +38,10 @@ func acceleratorDefaults() Config {
 // buildAccelerator constructs a fully configured core.Engine; every knob is
 // set before the engine escapes, so no post-construction mutation happens.
 func buildAccelerator(cfg Config) (*core.Engine, error) {
+	inj, err := fault.Parse(cfg.Fault, cfg.FaultSeed)
+	if err != nil {
+		return nil, err
+	}
 	return &core.Engine{
 		NTA:                cfg.NTA,
 		ADCBits:            cfg.ADCBits,
@@ -48,10 +53,11 @@ func buildAccelerator(cfg Config) (*core.Engine, error) {
 		Parallelism:        cfg.Parallelism,
 		UseTiledPath:       cfg.Tiled,
 		NConv:              cfg.Aperture,
+		Faults:             inj,
 	}, nil
 }
 
-var acceleratorKeys = []string{"aperture", "nta", "adc", "dac", "seed", "calib", "tiled", "workers"}
+var acceleratorKeys = []string{"aperture", "nta", "adc", "dac", "seed", "calib", "tiled", "workers", "fault", "faultseed"}
 
 func init() {
 	Register(Definition{

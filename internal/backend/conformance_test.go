@@ -86,6 +86,11 @@ var conformanceSpecs = []string{
 	"accelerator-noisy?noise=0.01,seed=7",
 	"unplanned",
 	"unplanned?noise=0.005",
+	// Fault-injected operating points: shot misfires are detected and
+	// retried (bit-identical recovery), drift is keyed by call index, so
+	// two identically opened instances still agree exactly.
+	"accelerator?fault=shot:2e-3,faultseed=11",
+	"accelerator-noisy?fault=shot:1e-3;drift:1e-4,faultseed=5",
 }
 
 // TestNetworkPlanGoldenMatrix runs the NetworkPlan ≡ Network.Forward

@@ -1,0 +1,100 @@
+package backend
+
+import (
+	"errors"
+	"testing"
+
+	"photofourier/internal/core"
+	"photofourier/internal/fault"
+)
+
+// TestFaultSpecRoundTrip: the fault/faultseed keys survive the
+// spec → engine → String() → engine round trip, and the opened engine
+// actually carries the parsed injector.
+func TestFaultSpecRoundTrip(t *testing.T) {
+	spec := "accelerator?fault=shot:1e-3;drift:5e-5,faultseed=7"
+	e, err := Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := e.Unwrap().(*core.Engine).FaultInjector()
+	if inj == nil || !inj.Active() {
+		t.Fatal("opened engine carries no active injector")
+	}
+	if inj.Seed != 7 || inj.ShotRate != 1e-3 || inj.DriftRate != 5e-5 {
+		t.Fatalf("injector config %+v does not match spec", inj)
+	}
+	re, err := Open(e.String())
+	if err != nil {
+		t.Fatalf("reopening canonical spec %q: %v", e.String(), err)
+	}
+	if re.String() != e.String() {
+		t.Fatalf("round trip diverged: %q vs %q", re.String(), e.String())
+	}
+	rinj := re.Unwrap().(*core.Engine).FaultInjector()
+	if rinj.Seed != inj.Seed || rinj.ShotRate != inj.ShotRate || rinj.DriftRate != inj.DriftRate {
+		t.Fatalf("reopened injector %+v != original %+v", rinj, inj)
+	}
+}
+
+// TestFaultSpecOptionParity: WithFault/WithFaultSeed build the same
+// operating point as the spec keys.
+func TestFaultSpecOptionParity(t *testing.T) {
+	fromSpec, err := Open("accelerator?fault=shot:1e-3,faultseed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromOpts, err := OpenWith("accelerator", WithFault("shot:1e-3"), WithFaultSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSpec.String() != fromOpts.String() {
+		t.Fatalf("spec %q != options %q", fromSpec.String(), fromOpts.String())
+	}
+}
+
+// TestBadFaultSpecs: malformed fault grammar and inapplicable backends are
+// rejected with ErrBadSpec at Open time, not at first engine call.
+func TestBadFaultSpecs(t *testing.T) {
+	bad := []string{
+		"accelerator?fault=shot",        // missing param
+		"accelerator?fault=shot:2",      // rate out of range
+		"accelerator?fault=laser:0.1",   // unknown mode
+		"accelerator?fault=outage:0",    // calls are 1-based
+		"reference?fault=shot:1e-3",     // reference takes no fault key
+		"rowtiled?fault=shot:1e-3",      // rowtiled takes no fault key
+		"accelerator?faultseed=notanum", // seed must parse
+	}
+	for _, spec := range bad {
+		if _, err := Open(spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Open(%q) err %v, want ErrBadSpec", spec, err)
+		}
+	}
+}
+
+// TestFaultCapabilityNoisy: an active injector makes the engine advertise
+// Noisy (results depend on the fault draws), while a zero-rate injector
+// does not.
+func TestFaultCapabilityNoisy(t *testing.T) {
+	faulty, err := Open("accelerator?fault=shot:1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.Capabilities().Noisy {
+		t.Fatal("fault-injected accelerator must advertise Noisy")
+	}
+	clean, err := Open("accelerator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Capabilities().Noisy {
+		t.Fatal("clean accelerator must not advertise Noisy")
+	}
+	if inj := clean.Unwrap().(*core.Engine).FaultInjector(); inj != nil {
+		t.Fatalf("clean engine carries injector %v", inj)
+	}
+	// Sanity: the canonical sentinel is shared across layers.
+	if !errors.Is(core.ErrDeviceFault, fault.ErrDeviceFault) {
+		t.Fatal("core.ErrDeviceFault must alias fault.ErrDeviceFault")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"photofourier/internal/fault"
 	"photofourier/internal/jtc"
 	"photofourier/internal/nn"
 	"photofourier/internal/quant"
@@ -191,6 +192,14 @@ type Engine struct {
 	ReadoutSeed int64
 	calls       atomic.Uint64 // Conv2D invocations, decorrelates per-call noise
 
+	// Faults is the optional deterministic fault injector (see
+	// internal/fault and fault.go in this package): transient shot
+	// misfires with guarded retry, laser-power drift with periodic
+	// recalibration probes, ADC stuck bits, dead aperture rows, and full
+	// outage. nil (or a zero-rate injector) leaves every readout
+	// bit-identical to a fault-free engine.
+	Faults *fault.Injector
+
 	// Parallelism bounds the worker pool the convolution sweeps spread
 	// (batch x output-channel) work items over. <= 0 selects
 	// runtime.NumCPU(); 1 runs serially. Detector noise sampling and ADC
@@ -290,6 +299,11 @@ func (e *Engine) Capabilities() nn.Capabilities {
 	if e.Detector != nil && !detectorNoiseFree(e.Detector) {
 		noisy = true
 	}
+	if e.Faults.Active() {
+		// An active fault model perturbs readouts (drift, stuck bits) or can
+		// fail calls outright; batch invariance no longer holds.
+		noisy = true
+	}
 	return nn.Capabilities{
 		Plannable:       true,
 		Noisy:           noisy,
@@ -324,6 +338,9 @@ func (e *Engine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int
 	out := tensor.New(n, cout, oh, ow)
 	groups := groupRanges(cin, e.NTA)
 	callIdx := e.calls.Add(1)
+	if err := e.checkOutage(callIdx); err != nil {
+		return nil, err
+	}
 	for term, sgn := range [...]struct {
 		x, w  *tensor.Tensor
 		scale float64
@@ -356,6 +373,9 @@ func (e *Engine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int
 			var rng *rand.Rand
 			if e.ReadoutNoise > 0 && e.ADCBits > 0 {
 				rng = e.readoutStream(callIdx, term, gi)
+			}
+			if err := e.applyGroupFaults(callIdx, term, gi, psum.Data, scale); err != nil {
+				return nil, err
 			}
 			if err := e.readout(psum.Data, scale, rng); err != nil {
 				return nil, err

@@ -151,6 +151,9 @@ func (lp *LayerPlan) Conv2D(input *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	out := tensor.New(n, lp.cout, oh, ow)
 	callIdx := e.calls.Add(1)
+	if err := e.checkOutage(callIdx); err != nil {
+		return nil, err
+	}
 	var err error
 	if lp.cfg.tiled {
 		err = lp.runTiled(input, out, callIdx)
@@ -361,7 +364,9 @@ func (lp *LayerPlan) geometry(h, w int) (*layerGeo, error) {
 	if g, ok := lp.geos[key]; ok {
 		return g, nil
 	}
-	tp, err := tiling.NewPlan(h, w, lp.k, lp.cfg.nconv, lp.pad, false)
+	// Dead aperture rows quarantined by the fault injector are scheduled
+	// around by the batch packer; a healthy engine takes the plain plan.
+	tp, err := tiling.NewPlanAvoiding(h, w, lp.k, lp.cfg.nconv, lp.pad, false, lp.engine.Faults.DeadSlots())
 	if err != nil {
 		return nil, err
 	}
@@ -449,6 +454,16 @@ func mergeGroups(per [][]float64, groups [][2]int) [][]float64 {
 // canonical group order.
 func (e *Engine) readoutAccumulate(callIdx uint64, term int, psums [][]float64, out []float64, cin, workers int) error {
 	scale := e.hardwareScale(psums, cin)
+	if e.Faults != nil {
+		// Apply the fault model (drift, guarded misfires, stuck bits) to every
+		// group before readout — the same (call, term, group) coordinates the
+		// unplanned path uses, so both paths misbehave identically.
+		for gi, p := range psums {
+			if err := e.applyGroupFaults(callIdx, term, gi, p, scale); err != nil {
+				return err
+			}
+		}
+	}
 	noise := e.ReadoutNoise > 0 && e.ADCBits > 0
 	sgn := termSign[term]
 	if workers <= 1 || len(psums) == 1 {

@@ -170,6 +170,13 @@ func (lp *LayerPlan) ForwardBatchCalls(x *tensor.Tensor, first, stride uint64) (
 		return nil, fmt.Errorf("core: batch conv empty output for %v k=%d", x.Shape, lp.k)
 	}
 	out := tensor.New(n, lp.cout, oh, ow)
+	// Outage is monotonic in the call index, so the batch's largest reserved
+	// call decides for every sample at once.
+	if n > 0 {
+		if err := e.checkOutage(first + uint64(n-1)*stride); err != nil {
+			return nil, err
+		}
+	}
 	var err error
 	if lp.cfg.tiled {
 		err = lp.runTiledBatch(x, out, first, stride)
@@ -285,6 +292,13 @@ func (lp *LayerPlan) runDirectBatch(x, out *tensor.Tensor, first, stride uint64)
 			}
 			outSample := out.Data[b*lp.cout*oh*ow : (b+1)*lp.cout*oh*ow]
 			callIdx := first + uint64(b)*stride
+			if e.Faults != nil {
+				for gi := range cviews {
+					if err := e.applyGroupFaults(callIdx, term, gi, cviews[gi], scale); err != nil {
+						return err
+					}
+				}
+			}
 			for gi := range cviews {
 				var rng *rand.Rand
 				if noise {

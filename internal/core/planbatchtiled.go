@@ -167,6 +167,13 @@ func (lp *LayerPlan) runTiledBatch(x, out *tensor.Tensor, first, stride uint64) 
 			scale := e.hardwareScale(views, cin)
 			outSample := out.Data[b*lp.cout*oh*ow : (b+1)*lp.cout*oh*ow]
 			callIdx := first + uint64(b)*stride
+			if e.Faults != nil {
+				for gi := range views {
+					if err := e.applyGroupFaults(callIdx, term, gi, views[gi], scale); err != nil {
+						return err
+					}
+				}
+			}
 			for gi := range views {
 				var rng *rand.Rand
 				if noise {

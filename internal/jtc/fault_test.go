@@ -1,0 +1,114 @@
+package jtc_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"photofourier/internal/fault"
+	"photofourier/internal/jtc"
+)
+
+// TestShotRetryAccounting is the retry-accounting regression test: a retry
+// is a real illumination, so every guard-triggered re-execution advances
+// jtc.Shots alongside jtc.RetriedShots, and successful correlations stay
+// bit-identical to the fault-free device (detected misfires are re-run,
+// undetected ones are value-preserving).
+func TestShotRetryAccounting(t *testing.T) {
+	const calls = 200
+	inj, err := fault.Parse("shot:0.3", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, _ := jtc.NewPFCU(64, jtc.WithFaultInjector(inj))
+	clean, _ := jtc.NewPFCU(64)
+
+	rng := rand.New(rand.NewSource(5))
+	shots0, retried0 := jtc.Shots(), jtc.RetriedShots()
+	failures := 0
+	for i := 0; i < calls; i++ {
+		sig, kern := nonNeg(rng, 64), nonNeg(rng, 9)
+		got, err := faulty.Correlate(sig, kern)
+		if err != nil {
+			if !errors.Is(err, fault.ErrDeviceFault) {
+				t.Fatalf("call %d: exhaustion error %v does not wrap ErrDeviceFault", i, err)
+			}
+			failures++
+			continue
+		}
+		want, _ := clean.Correlate(sig, kern)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("call %d sample %d: %g != clean %g", i, j, got[j], want[j])
+			}
+		}
+	}
+	retriedDelta := jtc.RetriedShots() - retried0
+	// clean fired one shot per call too; subtract it from the global delta.
+	faultyShots := (jtc.Shots() - shots0) - (calls - int64(failures))
+	if retriedDelta == 0 {
+		t.Fatal("rate 0.3 over 200 calls produced no retries")
+	}
+	if c := inj.Counters(); int64(c.ShotRetries) != retriedDelta {
+		t.Fatalf("injector retry counter %d != global delta %d", c.ShotRetries, retriedDelta)
+	}
+	if want := int64(calls) + retriedDelta; faultyShots != want {
+		t.Fatalf("faulty device fired %d shots, want %d calls + %d retries = %d",
+			faultyShots, calls, retriedDelta, want)
+	}
+	if got := faulty.Shots(); got != int64(calls)+retriedDelta {
+		t.Fatalf("per-PFCU shots %d, want %d", got, int64(calls)+retriedDelta)
+	}
+}
+
+// TestShotRetryExhaustion: a device that misfires every attempt burns the
+// retry budget and surfaces ErrDeviceFault.
+func TestShotRetryExhaustion(t *testing.T) {
+	inj, err := fault.Parse("shot:1;retries:2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := jtc.NewPFCU(64, jtc.WithFaultInjector(inj))
+	rng := rand.New(rand.NewSource(9))
+	_, err = p.Correlate(nonNeg(rng, 64), nonNeg(rng, 9))
+	if !errors.Is(err, fault.ErrDeviceFault) {
+		t.Fatalf("err %v, want ErrDeviceFault after exhausted budget", err)
+	}
+	if c := inj.Counters(); c.ShotRetries != 2 || c.ShotFaults != 3 {
+		t.Fatalf("counters %+v, want 2 retries / 3 faults for budget 2", c)
+	}
+}
+
+// TestNilAndZeroRateInjectorPassthrough: no injector and a zero-rate
+// injector take the guard-free path and stay bit-identical.
+func TestNilAndZeroRateInjectorPassthrough(t *testing.T) {
+	zero, err := fault.Parse("shot:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Active() {
+		t.Fatal("zero-rate injector must be inactive")
+	}
+	withNil, _ := jtc.NewPFCU(64, jtc.WithFaultInjector(nil))
+	withZero, _ := jtc.NewPFCU(64, jtc.WithFaultInjector(zero))
+	clean, _ := jtc.NewPFCU(64)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20; i++ {
+		sig, kern := nonNeg(rng, 64), nonNeg(rng, 9)
+		want, _ := clean.Correlate(sig, kern)
+		for name, p := range map[string]*jtc.PFCU{"nil": withNil, "zero-rate": withZero} {
+			got, err := p.Correlate(sig, kern)
+			if err != nil {
+				t.Fatalf("%s injector: %v", name, err)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%s injector diverged at call %d sample %d", name, i, j)
+				}
+			}
+		}
+	}
+	if jtc.RetriedShots() < 0 {
+		t.Fatal("impossible")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"photofourier/internal/fault"
 	"photofourier/internal/fourier"
 	"photofourier/internal/quant"
 )
@@ -42,6 +43,23 @@ func Shots() int64 { return totalShots.Load() }
 // AddShots records n modeled shots. The tiling executors call it with their
 // scheduled (packed or per-sample) shot counts.
 func AddShots(n int64) { totalShots.Add(n) }
+
+// retriedShots counts shots re-executed after a per-shot sanity guard
+// flagged a misfire. A retry is a real illumination, so it advances
+// totalShots too — jtc.Shots reflects every shot the device fired,
+// including recovery work.
+var retriedShots atomic.Int64
+
+// RetriedShots returns the process-wide retried shot count (monotonic;
+// compare deltas).
+func RetriedShots() int64 { return retriedShots.Load() }
+
+// AddRetriedShots records n guard-triggered shot re-executions. Each also
+// counts as a modeled shot (see Shots).
+func AddRetriedShots(n int64) {
+	retriedShots.Add(n)
+	totalShots.Add(n)
+}
 
 // Detector transforms each per-channel partial sum at the photodetector
 // before charge accumulation and undoes any encoding after ADC readout.
@@ -175,6 +193,8 @@ type PFCU struct {
 
 	detector Detector
 	shots    atomic.Int64 // number of correlations performed, for perf accounting
+	faults   *fault.Injector
+	shotSeq  atomic.Uint64 // 1-based shot index keying fault draws
 }
 
 // Option configures a PFCU at construction.
@@ -189,6 +209,14 @@ func WithDetector(d Detector) Option {
 // the paper's backward-compatibility budget for 5x5 filters).
 func WithWeightDACs(n int) Option {
 	return func(p *PFCU) { p.WeightDACs = n }
+}
+
+// WithFaultInjector attaches a deterministic fault injector: every
+// correlation passes the per-shot sanity guard, and detected misfires are
+// re-run within the injector's retry budget (retries advance Shots and
+// RetriedShots). A nil injector leaves the PFCU fault-free.
+func WithFaultInjector(inj *fault.Injector) Option {
+	return func(p *PFCU) { p.faults = inj }
 }
 
 // NewPFCU builds a PFCU with ni input waveguides.
@@ -234,11 +262,56 @@ func (p *PFCU) Correlate(signal, kernelTile []float64) ([]float64, error) {
 	}
 	p.shots.Add(1)
 	totalShots.Add(1)
-	out := Correlate1D(signal, kernelTile)
-	for i, v := range out {
-		out[i] = p.detector.Detect(v)
+	run := func() ([]float64, error) {
+		out := Correlate1D(signal, kernelTile)
+		for i, v := range out {
+			out[i] = p.detector.Detect(v)
+		}
+		return out, nil
 	}
-	return out, nil
+	out, _ := run()
+	if p.faults == nil || p.faults.ShotRate <= 0 {
+		return out, nil
+	}
+	return p.guardShot(out, run)
+}
+
+// guardShot applies the transient-misfire model to one completed shot: it
+// draws deterministically whether this (shot, attempt) misfires, corrupts
+// the plane accordingly, runs the per-shot sanity guard, and re-fires the
+// shot (rerun — a real recompute, with fresh detector noise, counted by
+// Shots and RetriedShots) until the guard passes or the retry budget is
+// exhausted (ErrDeviceFault). An undetectable corruption is
+// value-preserving by construction, so a passed guard means an exact plane.
+func (p *PFCU) guardShot(out []float64, rerun func() ([]float64, error)) ([]float64, error) {
+	inj := p.faults
+	shot := p.shotSeq.Add(1)
+	maxAbs, cleanEnergy := fault.PlaneStats(out)
+	bound := 2*maxAbs + 1
+	for attempt := 0; ; attempt++ {
+		kind, hit := inj.DrawShotFault(shot, 0, 0, attempt)
+		if !hit {
+			return out, nil
+		}
+		inj.NoteShotFault()
+		fault.CorruptPlane(out, kind, inj.CorruptSeed(shot, 0, 0, attempt), bound)
+		if fault.GuardPlane(out, bound, cleanEnergy) == nil {
+			return out, nil
+		}
+		if attempt >= inj.MaxShotRetries {
+			return nil, fmt.Errorf("jtc: %w: shot %d misfired %d times (retry budget %d)",
+				fault.ErrDeviceFault, shot, attempt+1, inj.MaxShotRetries)
+		}
+		inj.NoteShotRetry()
+		p.shots.Add(1)
+		AddRetriedShots(1)
+		var err error
+		if out, err = rerun(); err != nil {
+			return nil, err
+		}
+		maxAbs, cleanEnergy = fault.PlaneStats(out)
+		bound = 2*maxAbs + 1
+	}
 }
 
 func (p *PFCU) checkKernelTile(kernelTile []float64) error {
@@ -330,14 +403,24 @@ func (p *PFCU) CorrelatePlanned(signal []float64, ks *KernelSpectrum) ([]float64
 	}
 	p.shots.Add(1)
 	totalShots.Add(1)
-	out, err := ks.corr.Convolve(signal)
+	run := func() ([]float64, error) {
+		out, err := ks.corr.Convolve(signal)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range out {
+			out[i] = p.detector.Detect(v)
+		}
+		return out, nil
+	}
+	out, err := run()
 	if err != nil {
 		return nil, err
 	}
-	for i, v := range out {
-		out[i] = p.detector.Detect(v)
+	if p.faults == nil || p.faults.ShotRate <= 0 {
+		return out, nil
 	}
-	return out, nil
+	return p.guardShot(out, run)
 }
 
 // Detector returns the PFCU's detector model.

@@ -73,6 +73,7 @@ type NetworkPlan struct {
 	Parallelism int
 
 	engine ConvEngine
+	src    *Network // source network, for recompiling onto another engine
 	steps  []planStep
 
 	// convs snapshots each convolution layer's invalidation generation at
@@ -103,7 +104,7 @@ type geoKey struct{ c, h, w int }
 // compiled eagerly, so the first Forward already runs the fully latched
 // path.
 func (n *Network) Compile(engine ConvEngine) (*NetworkPlan, error) {
-	p := &NetworkPlan{Name: n.Name, engine: engine}
+	p := &NetworkPlan{Name: n.Name, engine: engine, src: n}
 	steps, err := p.compile(n.Root)
 	if err != nil {
 		return nil, fmt.Errorf("nn: compile %s: %w", n.Name, err)
@@ -114,6 +115,11 @@ func (n *Network) Compile(engine ConvEngine) (*NetworkPlan, error) {
 
 // Engine returns the engine the plan compiled against (nil = reference).
 func (p *NetworkPlan) Engine() ConvEngine { return p.engine }
+
+// Source returns the network the plan was compiled from, so holders can
+// recompile it onto another engine (e.g. serving failover onto a standby
+// backend). The plan itself stays an immutable snapshot.
+func (p *NetworkPlan) Source() *Network { return p.src }
 
 // Stale reports whether the plan's compiled artifacts no longer match the
 // source network or engine: a training step invalidated a convolution

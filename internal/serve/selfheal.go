@@ -1,0 +1,322 @@
+// Self-healing execution: the serving half of the recovery ladder (see
+// DESIGN.md). The substrate layers already retry transient shot misfires
+// and recalibrate drift internally; what reaches the session as an error is
+// a failure those rungs could not absorb — a retry budget exhausted, a
+// device outage, a quarantine that left no usable aperture. The session
+// then climbs the remaining rungs, per micro-batch:
+//
+//  1. bounded retry with linear backoff, honoring the earliest live request
+//     deadline in the batch (transient plan errors);
+//  2. batch split + batch-size shrink: a failing multi-sample batch is
+//     halved and each half retried independently, isolating a poison
+//     sample and lowering the effective batch ceiling under repeated
+//     failure (it grows back after a clean streak);
+//  3. per-session circuit breaker: after BreakerThreshold consecutive
+//     primary failures the primary is not attempted for BreakerCooldown,
+//     so a dead device stops burning retry budget per request;
+//  4. failover onto the standby backend spec (Options.Failover), compiled
+//     lazily from the plan's source network and kept for the session's
+//     lifetime.
+//
+// Only when every rung fails does a request see ErrRecoveryExhausted (still
+// carrying the primary error chain, so errors.Is(err, core.ErrDeviceFault)
+// keeps working). Health exposes readiness and the recovery counters.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"photofourier/internal/backend"
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+// runPrimary drives one stacked batch through the primary plan with bounded
+// retry. attempted=false means the circuit breaker was open and the primary
+// was never tried (so a failure says nothing new about the batch and the
+// caller should fail over whole rather than split).
+func (s *Session) runPrimary(x *tensor.Tensor, batch []request) (logits *tensor.Tensor, err error, attempted bool) {
+	if s.breakerOpen() {
+		return nil, fmt.Errorf("serve: circuit breaker open"), false
+	}
+	attempts := 1 + s.opts.Retries
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			s.retriesN.Add(1)
+		}
+		out, ferr := s.plan.ForwardBatch(x)
+		if ferr == nil {
+			s.notePrimaryOK()
+			return out, nil, true
+		}
+		lastErr = ferr
+		if attempt+1 < attempts && !s.retryWait(attempt, batch) {
+			break
+		}
+	}
+	s.notePrimaryFail()
+	return nil, lastErr, true
+}
+
+// retryWait sleeps the linear backoff of one retry — (attempt+1) *
+// RetryBackoff — capped by the earliest live request deadline in the batch.
+// It reports false when that deadline has already passed, so retrying would
+// only serve cancelled requests.
+func (s *Session) retryWait(attempt int, batch []request) bool {
+	wait := time.Duration(attempt+1) * s.opts.RetryBackoff
+	earliest, has := earliestDeadline(batch)
+	if has {
+		remaining := time.Until(earliest)
+		if remaining <= 0 {
+			return false
+		}
+		if wait > remaining {
+			wait = remaining
+		}
+	}
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	return true
+}
+
+// earliestDeadline returns the soonest context deadline among the batch's
+// requests (has=false when none carries one).
+func earliestDeadline(batch []request) (t time.Time, has bool) {
+	for _, req := range batch {
+		if d, ok := req.ctx.Deadline(); ok && (!has || d.Before(t)) {
+			t, has = d, true
+		}
+	}
+	return t, has
+}
+
+// breakerOpen reports whether the circuit breaker currently blocks the
+// primary plan.
+func (s *Session) breakerOpen() bool {
+	until := s.breakerUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
+// notePrimaryOK resets the breaker and, after a clean streak, grows the
+// effective batch ceiling back toward the configured MaxBatch.
+func (s *Session) notePrimaryOK() {
+	s.consecFail.Store(0)
+	s.breakerUntil.Store(0)
+	if s.okStreak.Add(1) >= batchGrowStreak {
+		s.okStreak.Store(0)
+		for {
+			cur := s.effBatch.Load()
+			if int(cur) >= s.opts.MaxBatch {
+				return
+			}
+			next := cur * 2
+			if int(next) > s.opts.MaxBatch {
+				next = int32(s.opts.MaxBatch)
+			}
+			if s.effBatch.CompareAndSwap(cur, next) {
+				return
+			}
+		}
+	}
+}
+
+// notePrimaryFail counts one exhausted primary attempt sequence and trips
+// the breaker after BreakerThreshold consecutive failures.
+func (s *Session) notePrimaryFail() {
+	s.primaryFails.Add(1)
+	s.okStreak.Store(0)
+	if int(s.consecFail.Add(1)) >= s.opts.BreakerThreshold {
+		s.consecFail.Store(0)
+		s.breakerUntil.Store(time.Now().Add(s.opts.BreakerCooldown).UnixNano())
+		s.breakerTrips.Add(1)
+	}
+}
+
+// batchGrowStreak is how many consecutive clean batches earn one doubling
+// of the effective batch ceiling after a shrink.
+const batchGrowStreak = 16
+
+// shrinkBatch halves the effective batch ceiling (never below 1).
+func (s *Session) shrinkBatch() {
+	s.okStreak.Store(0)
+	for {
+		cur := s.effBatch.Load()
+		next := cur / 2
+		if next < 1 {
+			next = 1
+		}
+		if cur == next || s.effBatch.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// maxBatch is the current effective batch ceiling (MaxBatch, shrunk under
+// repeated failure, grown back on clean streaks).
+func (s *Session) maxBatch() int { return int(s.effBatch.Load()) }
+
+// standbyPlan lazily compiles the plan's source network onto the standby
+// backend spec, once per session (sticky, including the error).
+func (s *Session) standbyPlan() (*nn.NetworkPlan, error) {
+	if s.opts.Failover == "" {
+		return nil, fmt.Errorf("serve: no failover backend configured")
+	}
+	s.foMu.Lock()
+	defer s.foMu.Unlock()
+	if s.foPlan != nil || s.foErr != nil {
+		return s.foPlan, s.foErr
+	}
+	eng, err := backend.Open(s.opts.Failover)
+	if err != nil {
+		s.foErr = fmt.Errorf("serve: opening failover backend %q: %w", s.opts.Failover, err)
+		return nil, s.foErr
+	}
+	plan, err := s.net.Compile(eng)
+	if err != nil {
+		s.foErr = fmt.Errorf("serve: compiling failover plan on %q: %w", s.opts.Failover, err)
+		return nil, s.foErr
+	}
+	s.foPlan = plan
+	return plan, nil
+}
+
+// deliver runs one cancel-filtered micro-batch through the recovery ladder
+// and answers every request. It recurses on batch halves when splitting.
+func (s *Session) deliver(batch []request) {
+	live := batch[:0]
+	for _, req := range batch {
+		if !dropCancelled(req) {
+			live = append(live, req)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	batch = live
+	x := stack(batch)
+	logits, perr, attempted := s.runPrimary(x, batch)
+	if perr == nil {
+		s.reply(batch, logits)
+		return
+	}
+	if attempted && len(batch) > 1 {
+		// The primary genuinely failed on this batch: halve it so a poison
+		// sample is isolated (each half gets fresh retries, then its own
+		// failover), and shrink the batch ceiling for the batches to come.
+		s.splits.Add(1)
+		s.shrinkBatch()
+		mid := len(batch) / 2
+		s.deliver(batch[:mid])
+		s.deliver(batch[mid:])
+		return
+	}
+	fo, ferr := s.standbyPlan()
+	if ferr == nil {
+		var out *tensor.Tensor
+		if out, ferr = fo.ForwardBatch(x); ferr == nil {
+			s.failovers.Add(1)
+			s.reply(batch, out)
+			return
+		}
+	}
+	s.exhausted.Add(uint64(len(batch)))
+	err := fmt.Errorf("%w: %w (failover: %v)", ErrRecoveryExhausted, perr, ferr)
+	for _, req := range batch {
+		req.reply <- reply{err: err}
+	}
+}
+
+// stack copies a batch's CHW samples into one NCHW tensor.
+func stack(batch []request) *tensor.Tensor {
+	c, h, w := batch[0].x.Shape[0], batch[0].x.Shape[1], batch[0].x.Shape[2]
+	x := tensor.New(len(batch), c, h, w)
+	per := c * h * w
+	for i, req := range batch {
+		copy(x.Data[i*per:(i+1)*per], req.x.Data)
+	}
+	return x
+}
+
+// reply answers every request of a successfully executed batch.
+func (s *Session) reply(batch []request, logits *tensor.Tensor) {
+	s.batches.Add(1)
+	s.samples.Add(uint64(len(batch)))
+	classes := logits.Shape[1]
+	for i, req := range batch {
+		row := make([]float64, classes)
+		copy(row, logits.Data[i*classes:(i+1)*classes])
+		req.reply <- reply{pred: &Prediction{
+			Logits: row,
+			Class:  argmax(row),
+			TopK:   topK(row, s.opts.TopK),
+		}}
+	}
+}
+
+// Health is a point-in-time snapshot of the session's readiness and
+// recovery accounting.
+type Health struct {
+	// Ready reports whether the session can serve a request right now:
+	// it is open, and either the primary breaker is closed or a failover
+	// backend stands by.
+	Ready bool
+	// BreakerOpen reports whether the primary circuit breaker is open.
+	BreakerOpen bool
+	// EffectiveMaxBatch is the current batch ceiling (MaxBatch, shrunk
+	// under repeated failure).
+	EffectiveMaxBatch int
+	// Batches / Samples count successful executions (Session.Batches /
+	// Session.Samples).
+	Batches, Samples uint64
+	// Retries counts primary forward re-attempts after transient errors.
+	Retries uint64
+	// PrimaryFailures counts primary attempt sequences that ended in error.
+	PrimaryFailures uint64
+	// BatchSplits counts failing batches halved to isolate a poison sample.
+	BatchSplits uint64
+	// Failovers counts batches served by the standby backend.
+	Failovers uint64
+	// BreakerTrips counts circuit-breaker openings.
+	BreakerTrips uint64
+	// RecoveryExhausted counts requests that failed every rung.
+	RecoveryExhausted uint64
+}
+
+// Health returns the session's readiness and recovery counters.
+func (s *Session) Health() Health {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	open := s.breakerOpen()
+	return Health{
+		Ready:             !closed && (!open || s.opts.Failover != ""),
+		BreakerOpen:       open,
+		EffectiveMaxBatch: s.maxBatch(),
+		Batches:           s.batches.Load(),
+		Samples:           s.samples.Load(),
+		Retries:           s.retriesN.Load(),
+		PrimaryFailures:   s.primaryFails.Load(),
+		BatchSplits:       s.splits.Load(),
+		Failovers:         s.failovers.Load(),
+		BreakerTrips:      s.breakerTrips.Load(),
+		RecoveryExhausted: s.exhausted.Load(),
+	}
+}
+
+// validateFailover checks a failover spec at New time: the spec must open,
+// and the plan must know its source network to recompile from.
+func validateFailover(plan *nn.NetworkPlan, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	if plan.Source() == nil {
+		return fmt.Errorf("%w: Failover %q needs a plan compiled by Network.Compile (no source network to recompile)", ErrBadOptions, spec)
+	}
+	if _, err := backend.Open(spec); err != nil {
+		return fmt.Errorf("%w: Failover spec %q: %v", ErrBadOptions, spec, err)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"photofourier/internal/backend"
+	"photofourier/internal/fault"
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+// flakyEngine is a reference engine whose Conv2D fails (wrapping the
+// canonical device-fault sentinel) while the call counter is inside
+// [failFrom, failTo); counters are atomic so the runner and test goroutines
+// can share it.
+type flakyEngine struct {
+	calls            atomic.Int64
+	failFrom, failTo int64
+}
+
+func (f *flakyEngine) Conv2D(input, weight *tensor.Tensor, bias []float64, stride int, pad tensor.PadMode) (*tensor.Tensor, error) {
+	n := f.calls.Add(1)
+	if n > f.failFrom && n <= f.failTo {
+		return nil, fmt.Errorf("flaky: %w: transient failure at call %d", fault.ErrDeviceFault, n)
+	}
+	return nn.ReferenceEngine{}.Conv2D(input, weight, bias, stride, pad)
+}
+
+func (f *flakyEngine) Name() string { return "flaky" }
+
+func TestSelfHealOptionValidation(t *testing.T) {
+	plan := testPlan(t, nil)
+	bad := []Options{
+		{Retries: -1},
+		{RetryBackoff: -time.Millisecond},
+		{BreakerThreshold: -1},
+		{BreakerCooldown: -time.Second},
+		{Failover: "no-such-backend"},
+		{Failover: "accelerator?nta=-3"},
+	}
+	for _, opts := range bad {
+		if _, err := New(plan, opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("New(%+v) err %v, want ErrBadOptions", opts, err)
+		}
+	}
+	s, err := New(plan, Options{Failover: "reference"})
+	if err != nil {
+		t.Fatalf("valid failover rejected: %v", err)
+	}
+	s.Close()
+	// A plan that does not know its source network cannot recompile a
+	// standby, so failover must be rejected up front.
+	if _, err := New(&nn.NetworkPlan{}, Options{Failover: "reference"}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("sourceless plan with failover: err %v, want ErrBadOptions", err)
+	}
+}
+
+// TestTransientFailureRetried: a primary that fails once and recovers is
+// absorbed by the retry rung — every request succeeds, no failover happens.
+func TestTransientFailureRetried(t *testing.T) {
+	eng := &flakyEngine{failFrom: 2, failTo: 4}
+	s := newSession(t, testPlan(t, eng), Options{MaxBatch: 4, Failover: "reference"})
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := s.Infer(context.Background(), sample(int64(i))); err != nil {
+			t.Fatalf("Infer %d: %v", i, err)
+		}
+	}
+	h := s.Health()
+	if h.Retries == 0 {
+		t.Fatalf("transient failure produced no retries: %+v", h)
+	}
+	if h.Failovers != 0 {
+		t.Fatalf("retryable failure escalated to failover: %+v", h)
+	}
+	if !h.Ready || h.BreakerOpen {
+		t.Fatalf("recovered session not healthy: %+v", h)
+	}
+}
+
+// TestOutageFailsOver: a permanently dead primary trips the breaker and
+// every request is served by the standby backend — zero failed requests.
+func TestOutageFailsOver(t *testing.T) {
+	eng, err := backend.Open("accelerator?fault=outage:1,faultseed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, testPlan(t, eng), Options{
+		MaxBatch:         4,
+		Failover:         "reference",
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute, // stays open for the whole test
+	})
+	defer s.Close()
+	for i := 0; i < 16; i++ {
+		if _, err := s.Infer(context.Background(), sample(int64(i))); err != nil {
+			t.Fatalf("Infer %d: %v", i, err)
+		}
+	}
+	h := s.Health()
+	if h.Failovers == 0 || h.PrimaryFailures == 0 {
+		t.Fatalf("dead primary did not fail over: %+v", h)
+	}
+	if h.BreakerTrips == 0 || !h.BreakerOpen {
+		t.Fatalf("dead primary did not trip the breaker: %+v", h)
+	}
+	if !h.Ready {
+		t.Fatal("session with a standby must stay Ready under an open breaker")
+	}
+	if h.RecoveryExhausted != 0 {
+		t.Fatalf("requests exhausted despite failover: %+v", h)
+	}
+	if h.Samples != 16 {
+		t.Fatalf("served %d of 16 samples", h.Samples)
+	}
+}
+
+// TestBatchSplitShrinksCeiling: a failing multi-sample batch is halved and
+// the effective batch ceiling drops, bounded below by 1.
+func TestBatchSplitShrinksCeiling(t *testing.T) {
+	eng := &flakyEngine{failFrom: 2, failTo: 1 << 40} // dies after warmup
+	s := newSession(t, testPlan(t, eng), Options{
+		MaxBatch: 8,
+		MaxDelay: 20 * time.Millisecond, // let multi-sample batches form
+		Failover: "reference",
+	})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Infer(context.Background(), sample(int64(i))); err != nil {
+				t.Errorf("Infer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	h := s.Health()
+	if h.BatchSplits == 0 {
+		// Micro-batch assembly is timing-dependent; only multi-sample
+		// batches can split.
+		t.Skipf("no multi-sample batch formed: %+v", h)
+	}
+	if h.EffectiveMaxBatch >= 8 || h.EffectiveMaxBatch < 1 {
+		t.Fatalf("ceiling %d after splits, want in [1,8)", h.EffectiveMaxBatch)
+	}
+}
+
+// TestRecoveryExhausted: with no standby configured, a dead primary
+// surfaces ErrRecoveryExhausted still carrying the device-fault chain.
+func TestRecoveryExhausted(t *testing.T) {
+	eng, err := backend.Open("accelerator?fault=outage:1,faultseed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, testPlan(t, eng), Options{MaxBatch: 2})
+	defer s.Close()
+	_, err = s.Infer(context.Background(), sample(1))
+	if !errors.Is(err, ErrRecoveryExhausted) {
+		t.Fatalf("err %v, want ErrRecoveryExhausted", err)
+	}
+	if !errors.Is(err, fault.ErrDeviceFault) {
+		t.Fatalf("exhaustion error %v lost the device-fault chain", err)
+	}
+	if h := s.Health(); h.RecoveryExhausted == 0 {
+		t.Fatalf("exhausted requests not counted: %+v", h)
+	}
+}
+
+// TestChaosHammerConcurrent is the chaos acceptance scenario: shot
+// misfires plus a mid-run device outage, many concurrent clients, standby
+// configured — every single Infer must complete.
+func TestChaosHammerConcurrent(t *testing.T) {
+	eng, err := backend.Open("accelerator?fault=shot:1e-3;outage:40,faultseed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, testPlan(t, eng), Options{
+		MaxBatch: 4,
+		MaxDelay: 200 * time.Microsecond,
+		Failover: "reference",
+	})
+	defer s.Close()
+	const clients, perClient = 6, 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := s.Infer(context.Background(), sample(int64(c*perClient+i))); err != nil {
+					t.Errorf("client %d sample %d: %v", c, i, err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	h := s.Health()
+	if h.Samples != clients*perClient {
+		t.Fatalf("served %d of %d samples: %+v", h.Samples, clients*perClient, h)
+	}
+	if h.RecoveryExhausted != 0 {
+		t.Fatalf("chaos run failed requests: %+v", h)
+	}
+}

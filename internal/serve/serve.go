@@ -39,8 +39,15 @@ var (
 	// ErrSessionClosed marks an Infer call on a closed session.
 	ErrSessionClosed = errors.New("serve: session closed")
 	// ErrBadOptions marks invalid session options (negative MaxBatch,
-	// MaxDelay, TopK, or Queue), rejected once by New.
+	// MaxDelay, TopK, Queue, Retries, RetryBackoff, BreakerThreshold, or
+	// BreakerCooldown, or an unusable Failover spec), rejected once by New.
 	ErrBadOptions = errors.New("serve: bad options")
+	// ErrRecoveryExhausted marks a request that failed every rung of the
+	// recovery ladder: primary retries, batch splitting, and (when
+	// configured) failover. The wrapped chain keeps the primary error, so
+	// errors.Is against core.ErrDeviceFault still works when the root cause
+	// was an injected device fault.
+	ErrRecoveryExhausted = errors.New("serve: recovery exhausted")
 )
 
 // Options configures a Session. The zero value of every field selects its
@@ -58,6 +65,26 @@ type Options struct {
 	TopK int
 	// Queue is the pending-request buffer size (default 4*MaxBatch).
 	Queue int
+	// Retries is how many times a failed primary forward pass is re-run
+	// before the ladder moves on to splitting or failover (default 2).
+	Retries int
+	// RetryBackoff is the base of the linear backoff between primary
+	// retries: retry k sleeps k*RetryBackoff, capped by the earliest live
+	// request deadline in the batch. 0 (the default) retries immediately.
+	RetryBackoff time.Duration
+	// Failover names a standby backend spec (e.g. "reference") that serves
+	// a batch when the primary's retries are exhausted or its circuit
+	// breaker is open. The standby plan is compiled lazily from the
+	// session plan's source network on first use and kept for the
+	// session's lifetime. Empty (the default) disables failover; setting
+	// it requires a plan compiled by Network.Compile.
+	Failover string
+	// BreakerThreshold is how many consecutive primary failures open the
+	// circuit breaker (default 4).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks the primary
+	// before the next trial attempt (default 250ms).
+	BreakerCooldown time.Duration
 }
 
 // validate rejects negative options — a negative MaxDelay would otherwise
@@ -76,6 +103,18 @@ func (o Options) validate() error {
 	if o.Queue < 0 {
 		return fmt.Errorf("%w: Queue %d must be >= 0", ErrBadOptions, o.Queue)
 	}
+	if o.Retries < 0 {
+		return fmt.Errorf("%w: Retries %d must be >= 0", ErrBadOptions, o.Retries)
+	}
+	if o.RetryBackoff < 0 {
+		return fmt.Errorf("%w: RetryBackoff %v must be >= 0", ErrBadOptions, o.RetryBackoff)
+	}
+	if o.BreakerThreshold < 0 {
+		return fmt.Errorf("%w: BreakerThreshold %d must be >= 0", ErrBadOptions, o.BreakerThreshold)
+	}
+	if o.BreakerCooldown < 0 {
+		return fmt.Errorf("%w: BreakerCooldown %v must be >= 0", ErrBadOptions, o.BreakerCooldown)
+	}
 	return nil
 }
 
@@ -88,6 +127,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Queue < 1 {
 		o.Queue = 4 * o.MaxBatch
+	}
+	if o.Retries < 1 {
+		o.Retries = 2
+	}
+	if o.BreakerThreshold < 1 {
+		o.BreakerThreshold = 4
+	}
+	if o.BreakerCooldown < 1 {
+		o.BreakerCooldown = 250 * time.Millisecond
 	}
 	return o
 }
@@ -134,6 +182,31 @@ type Session struct {
 
 	batches atomic.Uint64
 	samples atomic.Uint64
+
+	// Self-healing state (see selfheal.go). net is the plan's source
+	// network, kept so a failover plan can be recompiled onto the standby
+	// backend; the standby plan itself is built lazily and sticks (error
+	// included) for the session's lifetime.
+	net    *nn.Network
+	foMu   sync.Mutex
+	foPlan *nn.NetworkPlan
+	foErr  error
+
+	// Circuit breaker and adaptive batch ceiling. breakerUntil is a
+	// unix-nano timestamp (0 = closed); effBatch is the current batch
+	// ceiling, halved on split, doubled back after a clean streak.
+	consecFail   atomic.Uint32
+	okStreak     atomic.Uint32
+	breakerUntil atomic.Int64
+	effBatch     atomic.Int32
+
+	// Recovery counters, exposed through Health.
+	retriesN     atomic.Uint64
+	primaryFails atomic.Uint64
+	splits       atomic.Uint64
+	failovers    atomic.Uint64
+	breakerTrips atomic.Uint64
+	exhausted    atomic.Uint64
 }
 
 // New starts a session over a compiled plan. Options are validated once,
@@ -145,13 +218,18 @@ func New(plan *nn.NetworkPlan, opts Options) (*Session, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	if err := validateFailover(plan, opts.Failover); err != nil {
+		return nil, err
+	}
 	caps := nn.CapabilitiesOf(plan.Engine())
 	s := &Session{
 		plan:           plan,
 		opts:           opts.withDefaults(),
 		batchInvariant: !caps.Noisy,
 		done:           make(chan struct{}),
+		net:            plan.Source(),
 	}
+	s.effBatch.Store(int32(s.opts.MaxBatch))
 	s.reqs = make(chan request, s.opts.Queue)
 	go s.run()
 	return s, nil
@@ -248,7 +326,7 @@ func (s *Session) run() {
 		}
 		batch := []request{first}
 		deadline := time.Now().Add(s.opts.MaxDelay)
-		for len(batch) < s.opts.MaxBatch {
+		for len(batch) < s.maxBatch() {
 			req, ok, open := s.next(deadline)
 			if !open {
 				s.execute(batch)
@@ -313,7 +391,7 @@ func (s *Session) flushRemaining() {
 		if dropCancelled(req) {
 			continue
 		}
-		if len(batch) > 0 && (!sameShape(req.x.Shape, batch[0].x.Shape) || len(batch) == s.opts.MaxBatch) {
+		if len(batch) > 0 && (!sameShape(req.x.Shape, batch[0].x.Shape) || len(batch) >= s.maxBatch()) {
 			s.execute(batch)
 			batch = batch[:0]
 		}
@@ -324,48 +402,12 @@ func (s *Session) flushRemaining() {
 	}
 }
 
-// execute stacks one micro-batch into an NCHW tensor, runs the shared
-// plan, and delivers per-sample predictions. Requests whose context
-// expired while the batch was being assembled are dropped here, just
-// before the forward pass — so a cancelled sample is not executed and a
-// fully cancelled batch skips the plan entirely.
+// execute runs one micro-batch through the recovery ladder (selfheal.go):
+// cancelled requests are dropped just before the forward pass, then the
+// batch is stacked and driven through primary retries, batch splitting,
+// and failover before any request sees an error.
 func (s *Session) execute(batch []request) {
-	live := batch[:0]
-	for _, req := range batch {
-		if !dropCancelled(req) {
-			live = append(live, req)
-		}
-	}
-	if len(live) == 0 {
-		return
-	}
-	batch = live
-	n := len(batch)
-	c, h, w := batch[0].x.Shape[0], batch[0].x.Shape[1], batch[0].x.Shape[2]
-	x := tensor.New(n, c, h, w)
-	per := c * h * w
-	for i, req := range batch {
-		copy(x.Data[i*per:(i+1)*per], req.x.Data)
-	}
-	logits, err := s.plan.ForwardBatch(x)
-	if err != nil {
-		for _, req := range batch {
-			req.reply <- reply{err: err}
-		}
-		return
-	}
-	s.batches.Add(1)
-	s.samples.Add(uint64(n))
-	classes := logits.Shape[1]
-	for i, req := range batch {
-		row := make([]float64, classes)
-		copy(row, logits.Data[i*classes:(i+1)*classes])
-		req.reply <- reply{pred: &Prediction{
-			Logits: row,
-			Class:  argmax(row),
-			TopK:   topK(row, s.opts.TopK),
-		}}
-	}
+	s.deliver(batch)
 }
 
 func argmax(row []float64) int {

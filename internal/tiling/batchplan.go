@@ -128,44 +128,65 @@ func (bp *BatchPlan) packRowTiled() {
 // the per-sample Nor-row chunking (and zero gaps); only last-chunk slack
 // can host further samples' segments.
 func (p *Plan) rowTiledSchedule(n int, emit func(shot int, seg BatchSegment)) int {
-	capSlots := p.capacitySlots()
+	spans := p.schedSpans()
 	gap := p.segmentGapSlots()
 	flexible := p.Pad != tensor.Same || p.ColumnPad
-	var used []int // slots used per open shot, in shot order
-	// place finds the first shot with room for `slots` more (plus the gap
-	// when the shot is non-empty), opening a new shot when none fits.
-	place := func(slots int) (shot, slot int) {
-		for i, u := range used {
-			need := slots
-			if u > 0 {
-				need += gap
-			}
-			if u+need <= capSlots {
-				at := u
-				if u > 0 {
-					at += gap
-				}
-				used[i] = at + slots
-				return i, at
-			}
+	maxSpan := 0
+	for _, sp := range spans {
+		if sp.n > maxSpan {
+			maxSpan = sp.n
 		}
-		used = append(used, slots)
-		return len(used) - 1, 0
 	}
-	// avail reports the slots the next segment can occupy: the free span of
-	// the first shot that still fits a minimal segment, else a fresh
-	// aperture (flexible chunking sizes segments to fit).
-	avail := func() int {
-		for _, u := range used {
-			free := capSlots - u
-			if u > 0 {
-				free -= gap
-			}
-			if free >= p.K {
-				return free
+	// Each span fills contiguously from its start; a healthy aperture is the
+	// single span [0, capacitySlots), reducing exactly to whole-aperture
+	// first-fit.
+	var used [][]int // per open shot, per span: slots used
+	// place finds the first (shot, span) with room for `slots` more (plus
+	// the gap when the span already holds a segment), opening a new shot
+	// when none fits.
+	place := func(slots int) (shot, slot int) {
+		for i, shotUsed := range used {
+			for j, u := range shotUsed {
+				need := slots
+				if u > 0 {
+					need += gap
+				}
+				if u+need <= spans[j].n {
+					at := u
+					if u > 0 {
+						at += gap
+					}
+					shotUsed[j] = at + slots
+					return i, spans[j].start + at
+				}
 			}
 		}
-		return capSlots
+		row := make([]int, len(spans))
+		j := 0
+		for spans[j].n < slots {
+			j++
+		}
+		row[j] = slots
+		used = append(used, row)
+		return len(used) - 1, spans[j].start
+	}
+	// avail reports the slots the next segment can occupy: the free run of
+	// the first (shot, span) that still fits a minimal segment, else the
+	// largest span of a fresh aperture (flexible chunking sizes segments to
+	// fit).
+	avail := func() int {
+		for _, shotUsed := range used {
+			for j, u := range shotUsed {
+				free := spans[j].n - u
+				if u > 0 {
+					free -= gap
+				}
+				if free >= p.K {
+					return free
+				}
+			}
+		}
+		return maxSpan
 	}
 	for s := 0; s < n; s++ {
 		r0 := 0
@@ -194,31 +215,49 @@ func (p *Plan) rowTiledSchedule(n int, emit func(shot int, seg BatchSegment)) in
 // row) pair contributes one segment of the pass's loaded-row count.
 func (bp *BatchPlan) packPartial() {
 	p := bp.p
-	cap := p.capacitySlots()
+	spans := p.schedSpans()
 	gap := p.segmentGapSlots()
 	passes := ceilDiv(p.K, p.RowsPerShot)
 	for pass := 0; pass < passes; pass++ {
 		nRows := min(p.RowsPerShot, p.K-pass*p.RowsPerShot)
 		var cur *BatchShot
+		si, used := 0, 0 // fill position within the current shot: span index, slots used in it
 		for s := 0; s < bp.N; s++ {
 			for r := 0; r < p.OutH; r++ {
-				need := nRows
-				if cur != nil && cur.SlotsUsed > 0 {
-					need += gap
+				placed := false
+				for cur != nil && si < len(spans) {
+					need, at := nRows, spans[si].start+used
+					if used > 0 {
+						need += gap
+						at += gap
+					}
+					if used+need <= spans[si].n {
+						cur.Segments = append(cur.Segments, BatchSegment{
+							Sample: s, Pass: pass, RowOut: r, Rows: 1, Slot: at, Slots: nRows,
+						})
+						used = at - spans[si].start + nRows
+						if end := at + nRows; end > cur.SlotsUsed {
+							cur.SlotsUsed = end
+						}
+						placed = true
+						break
+					}
+					si, used = si+1, 0
 				}
-				if cur == nil || cur.SlotsUsed+need > cap {
-					bp.shots = append(bp.shots, BatchShot{Pass: pass})
-					cur = &bp.shots[len(bp.shots)-1]
-					need = nRows
+				if placed {
+					continue
 				}
-				slot := cur.SlotsUsed
-				if len(cur.Segments) > 0 {
-					slot += gap
+				bp.shots = append(bp.shots, BatchShot{Pass: pass})
+				cur = &bp.shots[len(bp.shots)-1]
+				si, used = 0, 0
+				for spans[si].n < nRows {
+					si++
 				}
 				cur.Segments = append(cur.Segments, BatchSegment{
-					Sample: s, Pass: pass, RowOut: r, Rows: 1, Slot: slot, Slots: nRows,
+					Sample: s, Pass: pass, RowOut: r, Rows: 1, Slot: spans[si].start, Slots: nRows,
 				})
-				cur.SlotsUsed = slot + nRows
+				used = nRows
+				cur.SlotsUsed = spans[si].start + nRows
 			}
 		}
 	}

@@ -1,0 +1,126 @@
+package tiling
+
+import (
+	"errors"
+	"testing"
+
+	"photofourier/internal/fault"
+	"photofourier/internal/tensor"
+)
+
+// TestNewPlanAvoidingNilIsNewPlan: no dead slots (nil or out-of-range)
+// reproduces NewPlan exactly — one live span spanning the whole capacity.
+func TestNewPlanAvoidingNilIsNewPlan(t *testing.T) {
+	want, err := NewPlan(16, 16, 3, 256, tensor.Same, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dead := range [][]int{nil, {}, {want.capacitySlots(), 99999}} {
+		got, err := NewPlanAvoiding(16, 16, 3, 256, tensor.Same, false, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.DeadSlots() != nil && len(got.DeadSlots()) != 0 {
+			t.Fatalf("dead %v: quarantine retained out-of-range slots %v", dead, got.DeadSlots())
+		}
+		if got.PackedShots(5) != want.PackedShots(5) {
+			t.Fatalf("dead %v: PackedShots %d != healthy %d", dead, got.PackedShots(5), want.PackedShots(5))
+		}
+	}
+}
+
+// TestQuarantineSchedulesAroundDeadSlots: with dead slots quarantined, no
+// scheduled segment touches them, every output row is still covered, and
+// the shot count never drops below the healthy aperture's.
+func TestQuarantineSchedulesAroundDeadSlots(t *testing.T) {
+	cases := []struct {
+		h, w, k, nconv int
+		pad            tensor.PadMode
+		n              int
+		dead           []int
+	}{
+		{8, 8, 3, 256, tensor.Same, 5, []int{1, 2}},
+		{8, 8, 3, 256, tensor.Same, 5, []int{0}},
+		{12, 12, 3, 128, tensor.Valid, 4, []int{3}},
+		{16, 16, 3, 512, tensor.Same, 8, []int{4, 5, 6}},
+	}
+	for _, tc := range cases {
+		healthy, err := NewPlan(tc.h, tc.w, tc.k, tc.nconv, tc.pad, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPlanAvoiding(tc.h, tc.w, tc.k, tc.nconv, tc.pad, false, tc.dead)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		bp, err := p.PlanBatch(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bp.Shots() < healthy.PackedShots(tc.n) {
+			t.Errorf("%+v: quarantined aperture packs %d shots, below healthy %d",
+				tc, bp.Shots(), healthy.PackedShots(tc.n))
+		}
+		deadSet := map[int]bool{}
+		for _, d := range tc.dead {
+			deadSet[d] = true
+		}
+		covered := map[int]int{}
+		for _, sh := range bp.Schedule() {
+			for _, seg := range sh.Segments {
+				for s := seg.Slot; s < seg.Slot+seg.Slots; s++ {
+					if deadSet[s] {
+						t.Fatalf("%+v: segment %+v lands on dead slot %d", tc, seg, s)
+					}
+				}
+				covered[seg.Sample] += seg.Rows
+			}
+		}
+		wantRows := p.OutH
+		if p.Mode == PartialRowTiling {
+			wantRows = p.OutH * ceilDiv(p.K, p.RowsPerShot)
+		}
+		for s := 0; s < tc.n; s++ {
+			if covered[s] != wantRows {
+				t.Errorf("%+v: sample %d covers %d of %d output rows", tc, s, covered[s], wantRows)
+			}
+		}
+	}
+}
+
+// TestQuarantineUnusableAperture: a quarantine that fragments every live
+// span below the minimal schedulable segment must fail at construction
+// with ErrDeviceFault, not loop or mis-schedule later.
+func TestQuarantineUnusableAperture(t *testing.T) {
+	// 64-waveguide aperture, 8x8 k=3: few capacity slots; killing the
+	// middle ones leaves no span that fits a row-tiling segment.
+	_, err := NewPlanAvoiding(8, 8, 3, 64, tensor.Same, false, []int{1, 2, 3, 4})
+	if err == nil {
+		t.Fatal("fragmented aperture accepted")
+	}
+	if !errors.Is(err, fault.ErrDeviceFault) {
+		t.Fatalf("err %v does not wrap fault.ErrDeviceFault", err)
+	}
+	// Partial row tiling loads every capacity slot per shot, so ANY dead
+	// slot makes the aperture unusable in that regime.
+	_, err = NewPlanAvoiding(10, 16, 3, 40, tensor.Valid, false, []int{0})
+	if !errors.Is(err, fault.ErrDeviceFault) {
+		t.Fatalf("partial-row-tiling quarantine: err %v, want ErrDeviceFault", err)
+	}
+}
+
+// TestQuarantineRowPartitioningIgnored: row-partitioning geometries have no
+// slot grid (the aperture is smaller than a row), so dead tile slots are
+// filtered out and the plan still works.
+func TestQuarantineRowPartitioningIgnored(t *testing.T) {
+	p, err := NewPlanAvoiding(6, 40, 3, 16, tensor.Valid, false, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != RowPartitioning {
+		t.Fatalf("geometry did not select RowPartitioning: %v", p.Mode)
+	}
+	if len(p.DeadSlots()) != 0 {
+		t.Fatalf("row partitioning retained dead slots %v", p.DeadSlots())
+	}
+}

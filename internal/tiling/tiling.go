@@ -20,10 +20,12 @@ package tiling
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"photofourier/internal/buf"
+	"photofourier/internal/fault"
 	"photofourier/internal/fourier"
 	"photofourier/internal/jtc"
 	"photofourier/internal/tensor"
@@ -83,11 +85,36 @@ type Plan struct {
 	OutH, OutW  int // 2D output size
 	padT, padL  int // top/left zero padding implied by Same mode
 
+	// deadSlots lists quarantined aperture tile slots, sorted (empty when
+	// the aperture is healthy); liveSpans are the maximal usable runs the
+	// batch packer schedules segments into (see NewPlanAvoiding). Both are
+	// read-only after construction.
+	deadSlots []int
+	liveSpans []liveSpan
+
 	// packedShots memoizes PackedShots per batch size (the batch executor
 	// reads it once per input channel).
 	packedMu    sync.Mutex
 	packedShots map[int]int
 }
+
+// liveSpan is one maximal run of usable tile slots between quarantined
+// ones.
+type liveSpan struct{ start, n int }
+
+// schedSpans returns the live spans the packer schedules into: the
+// quarantine-derived spans, or the whole slot grid when the aperture is
+// healthy.
+func (p *Plan) schedSpans() []liveSpan {
+	if len(p.liveSpans) > 0 {
+		return p.liveSpans
+	}
+	return []liveSpan{{0, p.capacitySlots()}}
+}
+
+// DeadSlots returns the quarantined tile slots the plan schedules around
+// (nil for a healthy aperture; read-only).
+func (p *Plan) DeadSlots() []int { return p.deadSlots }
 
 // loadPackedShots returns the cached packed shot count for batch size n, or
 // -1 when not yet computed.
@@ -151,6 +178,88 @@ func NewPlan(h, w, k, nconv int, pad tensor.PadMode, columnPad bool) (*Plan, err
 		p.Mode = RowPartitioning
 		p.RowsPerShot = 0
 		p.Nor = 0
+	}
+	return p, nil
+}
+
+// NewPlanAvoiding is NewPlan with dead aperture tile slots quarantined: the
+// batch packer (PlanBatch / PackedShots) schedules segments only into the
+// remaining live slot spans, trading shots for correctness on a degraded
+// device. Quarantined slots are dark — they load no light and read as
+// zeros — so they both bound segments and count toward the zero separation
+// plain-Same packing keeps between segments. Dead indices at or beyond the
+// slot grid (including every index when the mode is row partitioning,
+// whose aperture holds no whole-row slots) name unused aperture rows and
+// are ignored. An aperture too fragmented to hold the mode's minimal
+// segment fails with an error wrapping fault.ErrDeviceFault, so the
+// serving layer can fail over.
+func NewPlanAvoiding(h, w, k, nconv int, pad tensor.PadMode, columnPad bool, dead []int) (*Plan, error) {
+	p, err := NewPlan(h, w, k, nconv, pad, columnPad)
+	if err != nil {
+		return nil, err
+	}
+	if len(dead) == 0 {
+		return p, nil
+	}
+	capSlots := p.capacitySlots()
+	seen := make(map[int]bool, len(dead))
+	for _, d := range dead {
+		if d >= 0 && d < capSlots && !seen[d] {
+			seen[d] = true
+			p.deadSlots = append(p.deadSlots, d)
+		}
+	}
+	if len(p.deadSlots) == 0 {
+		return p, nil
+	}
+	sort.Ints(p.deadSlots)
+	// Maximal live runs between dead slots. A span whose preceding dead run
+	// is narrower than the packing gap sacrifices leading slots so segment
+	// separation holds across the quarantine boundary.
+	gap := p.segmentGapSlots()
+	var raw []liveSpan
+	s := 0
+	for _, d := range p.deadSlots {
+		if d > s {
+			raw = append(raw, liveSpan{s, d - s})
+		}
+		s = d + 1
+	}
+	if s < capSlots {
+		raw = append(raw, liveSpan{s, capSlots - s})
+	}
+	maxSpan := 0
+	for i, sp := range raw {
+		if i > 0 {
+			deadGap := sp.start - (raw[i-1].start + raw[i-1].n)
+			if lead := gap - deadGap; lead > 0 {
+				sp.start += lead
+				sp.n -= lead
+			}
+		}
+		if sp.n >= 1 {
+			p.liveSpans = append(p.liveSpans, sp)
+			if sp.n > maxSpan {
+				maxSpan = sp.n
+			}
+		}
+	}
+	minSeg := 1
+	switch p.Mode {
+	case RowTiling:
+		if pad == tensor.Same && !columnPad {
+			// Plain Same keeps the per-sample Nor-row chunking, so the
+			// largest chunk must fit one span whole.
+			minSeg = min(p.Nor, p.OutH) + p.K - 1
+		} else {
+			minSeg = p.K // one output row plus its K-1 trailing rows
+		}
+	case PartialRowTiling:
+		minSeg = p.RowsPerShot
+	}
+	if maxSpan < minSeg {
+		return nil, fmt.Errorf("tiling: %w: quarantine of %d slots leaves a largest live span of %d, below the minimal %v segment of %d",
+			fault.ErrDeviceFault, len(p.deadSlots), maxSpan, p.Mode, minSeg)
 	}
 	return p, nil
 }

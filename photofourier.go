@@ -101,6 +101,12 @@ var (
 	WithTiledPath = backend.WithTiledPath
 	// WithCalibPercentile sets percentile ADC range calibration.
 	WithCalibPercentile = backend.WithCalibPercentile
+	// WithFault arms the deterministic fault injector from a fault spec
+	// (";"-separated mode:param, e.g. "shot:1e-3;drift:5e-5"; see
+	// DESIGN.md's fault-model section). Empty disables injection.
+	WithFault = backend.WithFault
+	// WithFaultSeed seeds the fault injector's deterministic draws.
+	WithFaultSeed = backend.WithFaultSeed
 )
 
 // Typed sentinel errors, wired for errors.Is across the whole stack.
@@ -120,6 +126,14 @@ var (
 	ErrSessionClosed = serve.ErrSessionClosed
 	// ErrBadOptions: invalid InferenceSession options (negative values).
 	ErrBadOptions = serve.ErrBadOptions
+	// ErrDeviceFault: an injected substrate fault (shot misfire past the
+	// retry budget, device outage, unusable quarantined aperture) surfaced
+	// through an engine call.
+	ErrDeviceFault = core.ErrDeviceFault
+	// ErrRecoveryExhausted: a served request failed every rung of the
+	// session's recovery ladder (retry, split, failover); the chain still
+	// matches ErrDeviceFault when an injected fault was the root cause.
+	ErrRecoveryExhausted = serve.ErrRecoveryExhausted
 )
 
 // Accelerator configurations (paper Sec. V).
@@ -202,7 +216,8 @@ type (
 	// runs them through one shared NetworkPlan.
 	InferenceSession = serve.Session
 	// SessionOptions configures an InferenceSession (batch size, deadline,
-	// top-k width); negative values are rejected with ErrBadOptions.
+	// top-k width, retry/failover policy); negative values are rejected
+	// with ErrBadOptions.
 	SessionOptions = serve.Options
 	// Prediction is the per-sample result of one served inference.
 	Prediction = serve.Prediction
