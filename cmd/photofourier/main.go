@@ -27,6 +27,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	bench := flag.Bool("serve-bench", false, "measure end-to-end inference throughput (uncompiled vs compiled vs batched session) and exit")
 	engine := flag.String("engine", "accelerator", "serve-bench engine spec (name?key=val,..., e.g. accelerator-noisy?nta=8)")
+	benchPool := flag.String("pool", "", "serve-bench device pool spec (pool?key=val,..,devices=spec|spec*N|..); overrides -engine and skips the per-sample baselines")
 	benchSamples := flag.Int("serve-samples", 256, "samples per serve-bench mode")
 	benchBatch := flag.Int("serve-batch", 8, "serve-bench session micro-batch size")
 	benchClients := flag.Int("serve-clients", 8, "serve-bench concurrent clients")
@@ -43,6 +44,7 @@ func main() {
 	if *bench {
 		cfg := serveBenchConfig{
 			spec:     *engine,
+			pool:     *benchPool,
 			samples:  *benchSamples,
 			batch:    *benchBatch,
 			clients:  *benchClients,

@@ -11,6 +11,7 @@ import (
 	"photofourier/internal/backend"
 	"photofourier/internal/fault"
 	"photofourier/internal/nn"
+	"photofourier/internal/pool"
 	"photofourier/internal/serve"
 	"photofourier/internal/tensor"
 )
@@ -18,6 +19,7 @@ import (
 // serveBenchConfig bundles the serve-bench CLI knobs.
 type serveBenchConfig struct {
 	spec     string
+	pool     string
 	samples  int
 	batch    int
 	clients  int
@@ -44,6 +46,9 @@ type serveBenchConfig struct {
 // This is the CLI twin of the BenchmarkNetInference suite recorded in
 // BENCH_3.json.
 func serveBench(cfg serveBenchConfig) error {
+	if cfg.pool != "" {
+		return servePoolBench(cfg)
+	}
 	spec, samples, batch, clients, delay := cfg.spec, cfg.samples, cfg.batch, cfg.clients, cfg.delay
 	engine, err := backend.Open(spec)
 	if err != nil {
@@ -168,6 +173,97 @@ func serveBench(cfg serveBenchConfig) error {
 		return fmt.Errorf("%d of %d requests failed", n, samples)
 	}
 	return nil
+}
+
+// servePoolBench runs the batched-session mode against a device pool: the
+// pool shards each micro-batch by sample across its live devices, and the
+// report adds the pool's scheduling counters plus one health row per device
+// (state, faults, probes, readmits) — the chaos-smoke CI step greps these
+// for the quarantined dead device. Per-sample baselines are skipped: they
+// bench a single engine, which -engine already covers.
+func servePoolBench(cfg serveBenchConfig) error {
+	samples, batch, clients, delay := cfg.samples, cfg.batch, cfg.clients, cfg.delay
+	net := nn.SmallCNN([2]int{8, 16}, 10, 7)
+	p, err := pool.Open(net, cfg.pool)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	rng := rand.New(rand.NewSource(21))
+	xs := make([]*tensor.Tensor, samples)
+	for i := range xs {
+		xs[i] = tensor.New(3, 32, 32)
+		xs[i].RandN(rng, 1)
+	}
+	fmt.Printf("serving %s (%d params) on pool %q (%d devices) — %d samples, micro-batch %d, %d clients\n",
+		net.Name, net.NumParams(), p.Spec(), p.Size(), samples, batch, clients)
+
+	session, err := serve.NewExecutor(p, serve.Options{
+		MaxBatch:     batch,
+		MaxDelay:     delay,
+		Retries:      cfg.retries,
+		RetryBackoff: cfg.backoff,
+		Failover:     cfg.failover,
+	})
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	ctx := context.Background()
+	var failed atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := (samples + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		lo, hi := c*per, min((c+1)*per, samples)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if _, err := session.Infer(ctx, xs[i]); err != nil {
+					failed.Add(1)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("%-24s %8.1f samples/sec  (%v total)\n", "pooled session",
+		float64(samples)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	fmt.Printf("%d micro-batches, mean width %.1f\n", session.Batches(),
+		float64(session.Samples())/float64(max(session.Batches(), 1)))
+
+	h := session.Health()
+	fmt.Printf("health: ready=%v breaker=%v eff-batch=%d retries=%d splits=%d failovers=%d trips=%d exhausted=%d\n",
+		h.Ready, h.BreakerOpen, h.EffectiveMaxBatch,
+		h.Retries, h.BatchSplits, h.Failovers, h.BreakerTrips, h.RecoveryExhausted)
+	c := p.Counters()
+	fmt.Printf("pool: live=%d/%d requests=%d shards=%d hedges=%d hedge-wins=%d quarantines=%d readmits=%d probes=%d exhausted=%d\n",
+		p.Live(), p.Size(), c.Requests, c.Shards, c.Hedges, c.HedgeWins,
+		c.Quarantines, c.Readmits, c.Probes, c.Exhausted)
+	for _, row := range h.Devices {
+		fmt.Printf("device %d: %-40s state=%-11s shards=%d samples=%d faults=%d probes=%d readmits=%d ewma=%v busy=%v%s\n",
+			row.ID, row.Spec, row.State, row.Shards, row.Samples, row.Faults,
+			row.Probes, row.Readmits, row.EWMALatency.Round(time.Microsecond),
+			row.Busy.Round(time.Microsecond), lastErrSuffix(row.LastError))
+	}
+	fmt.Printf("failed requests: %d of %d\n", failed.Load(), samples)
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("%d of %d requests failed", n, samples)
+	}
+	return nil
+}
+
+func lastErrSuffix(s string) string {
+	if s == "" {
+		return ""
+	}
+	return " err=" + s
 }
 
 // reportResilience prints the session's recovery counters and, when the

@@ -707,6 +707,12 @@ func (u UnplannedEngine) Capabilities() nn.Capabilities {
 	return caps
 }
 
+// Calls forwards to the wrapped engine's shared call counter.
+func (u UnplannedEngine) Calls() uint64 { return u.E.Calls() }
+
+// AlignCalls forwards to the wrapped engine's shared call counter.
+func (u UnplannedEngine) AlignCalls(next uint64) { u.E.AlignCalls(next) }
+
 // Unplanned returns the engine's planning-suppressed twin: identical
 // configuration and shared call/noise state, but every convolution runs the
 // per-call unplanned path.

@@ -140,6 +140,23 @@ func (lp *LayerPlan) BatchExact() bool { return detectorNoiseFree(lp.engine.Dete
 // single-sample Conv2D calls would.
 func (lp *LayerPlan) ReserveCalls(n uint64) uint64 { return lp.engine.calls.Add(n) - n }
 
+// Calls returns how many Conv2D call indices the engine has consumed so
+// far, reserved blocks included. Together with AlignCalls it lets a
+// multi-device scheduler keep several same-seed engines on one logical
+// call sequence.
+func (e *Engine) Calls() uint64 { return e.calls.Load() }
+
+// AlignCalls repositions the engine's call counter so the next consumed
+// call index block starts at next: the subsequent Conv2D call observes
+// index next+1, and the next ReserveCalls(n) returns next. Readout-noise
+// and fault-injection substreams are keyed by (seed, call index), so
+// aligning a device's counter to a shared logical frontier before running a
+// shard of samples reproduces exactly the substreams a single engine
+// serving the whole sequence would have drawn. Callers must serialize
+// AlignCalls with the engine work it positions (the device pool holds a
+// per-device lock across align+forward).
+func (e *Engine) AlignCalls(next uint64) { e.calls.Store(next) }
+
 // ForwardBatchCalls implements nn.BatchLayerPlan: one batch-major planned
 // forward pass with per-sample semantics. Sample i draws its readout-noise
 // substreams from call index first + i*stride; with indices reserved

@@ -1,0 +1,317 @@
+// Device health: the per-device state machine (live → quarantined →
+// probed → readmitted), the EWMA latency score the scheduler ranks devices
+// by, and the background canary probe loop.
+//
+// State transitions:
+//
+//	live ──(QuarantineThreshold consecutive shard faults)──▶ quarantined
+//	quarantined ──(background canary probe succeeds)──▶ live (readmitted)
+//
+// Quarantined devices leave the scheduling rotation immediately; a device
+// is only quarantined after its in-flight shard has completed (faults are
+// observed at shard completion), and the probe additionally takes the
+// device's run lock, so readmission always happens on a drained device. A
+// probe aligns the device to the pool's current call frontier and replays a
+// cached canary sample; a permanently dead device (outage fault) keeps
+// failing its probes and never flaps back in.
+package pool
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+type deviceState int
+
+const (
+	stateLive deviceState = iota
+	stateQuarantined
+)
+
+func (s deviceState) String() string {
+	if s == stateQuarantined {
+		return "quarantined"
+	}
+	return "live"
+}
+
+// ewmaAlpha weights the newest shard latency in the health score.
+const ewmaAlpha = 0.2
+
+// device is one pool slot: a registry-opened engine with its compiled plan
+// and health accounting.
+type device struct {
+	id   int
+	spec string
+	plan *nn.NetworkPlan
+
+	// run serializes counter alignment and execution on the physical
+	// device; the probe loop takes it too, so readmission drains first.
+	run sync.Mutex
+
+	// Guarded by DevicePool.mu.
+	state        deviceState
+	busy         bool
+	consecFaults int
+	ewmaNs       float64
+	lastErr      error
+
+	// Monotonic counters (atomic: read by DeviceHealth without the lock).
+	shards    atomic.Uint64
+	samples   atomic.Uint64
+	faults    atomic.Uint64
+	probesN   atomic.Uint64
+	readmitsN atomic.Uint64
+	busyNanos atomic.Int64
+}
+
+// score ranks devices for scheduling: lower is healthier. Latency EWMA
+// scaled up by recent consecutive faults; an unmeasured device scores 0 and
+// is tried first.
+func (d *device) score() float64 { return d.ewmaNs * float64(1+d.consecFaults) }
+
+// acquire blocks until a live, idle device outside tried can be reserved,
+// preferring the healthiest score. nil means no live device outside tried
+// exists (so the shard's retry loop must stop) or the pool closed.
+func (p *DevicePool) acquire(tried map[*device]bool) *device {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil
+		}
+		var best *device
+		candidates := false
+		for _, d := range p.devs {
+			if d.state != stateLive || tried[d] {
+				continue
+			}
+			candidates = true
+			if d.busy {
+				continue
+			}
+			if best == nil || d.score() < best.score() {
+				best = d
+			}
+		}
+		if best != nil {
+			best.busy = true
+			return best
+		}
+		if !candidates {
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// acquireHinted reserves hint when it is live and idle, falling back to
+// the scored acquire. ForwardBatch stripes a request's shards across
+// distinct devices via hints instead of reserving them up front (which
+// could deadlock concurrent multi-shard requests); a hint lost to a
+// concurrent request just degrades to the dynamic path.
+func (p *DevicePool) acquireHinted(hint *device, tried map[*device]bool) *device {
+	if hint != nil {
+		p.mu.Lock()
+		if !p.closed && hint.state == stateLive && !hint.busy && !tried[hint] {
+			hint.busy = true
+			p.mu.Unlock()
+			return hint
+		}
+		p.mu.Unlock()
+	}
+	return p.acquire(tried)
+}
+
+// stripeOrder snapshots the live devices healthiest-first — the dispatch
+// hints ForwardBatch stripes its shards across. Without striping, the
+// greedy scored acquire piles consecutive shards onto whichever device's
+// freshly-updated score dips lowest whenever shard executions serialize
+// (a starved host, or more shards than free devices).
+func (p *DevicePool) stripeOrder(nShards int) []*device {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var live []*device
+	for _, d := range p.devs {
+		if d.state == stateLive {
+			live = append(live, d)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].score() < live[j].score() })
+	if len(live) > nShards {
+		live = live[:nShards]
+	}
+	return live
+}
+
+// acquireIdle is the hedge path's non-blocking acquire: the healthiest
+// live idle device outside tried, or nil.
+func (p *DevicePool) acquireIdle(tried map[*device]bool) *device {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	var best *device
+	for _, d := range p.devs {
+		if d.state != stateLive || tried[d] || d.busy {
+			continue
+		}
+		if best == nil || d.score() < best.score() {
+			best = d
+		}
+	}
+	if best != nil {
+		best.busy = true
+	}
+	return best
+}
+
+// noteShard records one completed shard attempt on d: frees the device,
+// updates the health score, and runs the quarantine transition.
+func (p *DevicePool) noteShard(d *device, samples int, elapsed time.Duration, err error) {
+	d.shards.Add(1)
+	d.busyNanos.Add(int64(elapsed))
+	p.mu.Lock()
+	d.busy = false
+	ns := float64(elapsed)
+	if d.ewmaNs == 0 {
+		d.ewmaNs = ns
+	} else {
+		d.ewmaNs += ewmaAlpha * (ns - d.ewmaNs)
+	}
+	if err == nil {
+		d.consecFaults = 0
+		d.lastErr = nil
+		d.samples.Add(uint64(samples))
+		p.ring[p.ringI] = ns
+		p.ringI = (p.ringI + 1) % latencyRingSize
+		if p.ringN < latencyRingSize {
+			p.ringN++
+		}
+	} else {
+		d.faults.Add(1)
+		d.consecFaults++
+		d.lastErr = err
+		if d.state == stateLive && d.consecFaults >= p.opts.QuarantineThreshold {
+			d.state = stateQuarantined
+			p.quarantines.Add(1)
+		}
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// probeLoop periodically replays the canary sample on every quarantined
+// device and readmits the ones that answer cleanly.
+func (p *DevicePool) probeLoop() {
+	defer close(p.probeDone)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.opts.after(p.opts.ProbeInterval):
+			p.probeQuarantined()
+		}
+	}
+}
+
+func (p *DevicePool) probeQuarantined() {
+	p.mu.Lock()
+	canary := p.canary
+	var targets []*device
+	for _, d := range p.devs {
+		if d.state == stateQuarantined {
+			targets = append(targets, d)
+		}
+	}
+	p.mu.Unlock()
+	if canary == nil {
+		return
+	}
+	for _, d := range targets {
+		p.probe(d, canary)
+	}
+}
+
+// probe replays the canary on a quarantined device, aligned to the pool's
+// current call frontier (the probe does not advance it — the same indices
+// will key the device's next real shard, and draws are pure functions of
+// their keys). Taking the run lock drains any in-flight shard first.
+func (p *DevicePool) probe(d *device, canary *tensor.Tensor) {
+	d.run.Lock()
+	d.plan.AlignEngineCalls(p.calls.Load())
+	_, err := d.plan.ForwardBatch(canary)
+	d.run.Unlock()
+	p.probes.Add(1)
+	d.probesN.Add(1)
+	p.mu.Lock()
+	if err == nil {
+		if d.state == stateQuarantined {
+			d.state = stateLive
+			d.consecFaults = 0
+			d.lastErr = nil
+			d.readmitsN.Add(1)
+			p.readmits.Add(1)
+			p.cond.Broadcast()
+		}
+	} else {
+		d.lastErr = err
+	}
+	p.mu.Unlock()
+}
+
+// DeviceHealth is one pool device's point-in-time health row.
+type DeviceHealth struct {
+	// ID is the device's pool slot; Spec its canonical backend spec.
+	ID   int
+	Spec string
+	// State is "live" or "quarantined".
+	State string
+	// EWMALatency is the exponentially-weighted shard latency the
+	// scheduler scores the device by; ConsecFaults the current
+	// consecutive-fault run feeding the quarantine threshold.
+	EWMALatency  time.Duration
+	ConsecFaults int
+	// Shards/Samples/Faults count dispatched shard attempts, successfully
+	// served samples, and faulted shards; Probes/Readmits the quarantine
+	// machinery's activity on this device.
+	Shards, Samples, Faults, Probes, Readmits uint64
+	// Busy is the cumulative time the device spent executing shards — the
+	// per-device occupancy the modeled pool throughput is derived from.
+	Busy time.Duration
+	// LastError is the most recent shard or probe error ("" when clean).
+	LastError string
+}
+
+// DeviceHealth returns one row per device, in slot order.
+func (p *DevicePool) DeviceHealth() []DeviceHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rows := make([]DeviceHealth, len(p.devs))
+	for i, d := range p.devs {
+		row := DeviceHealth{
+			ID:           d.id,
+			Spec:         d.spec,
+			State:        d.state.String(),
+			EWMALatency:  time.Duration(d.ewmaNs),
+			ConsecFaults: d.consecFaults,
+			Shards:       d.shards.Load(),
+			Samples:      d.samples.Load(),
+			Faults:       d.faults.Load(),
+			Probes:       d.probesN.Load(),
+			Readmits:     d.readmitsN.Load(),
+			Busy:         time.Duration(d.busyNanos.Load()),
+		}
+		if d.lastErr != nil {
+			row.LastError = d.lastErr.Error()
+		}
+		rows[i] = row
+	}
+	return rows
+}

@@ -1,0 +1,91 @@
+package pool
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"photofourier/internal/nn"
+)
+
+func TestParseSpec(t *testing.T) {
+	o, err := ParseSpec("pool?hedge=true,quarantine=2,probe=10ms,maxshards=3,devices=accelerator?workers=1|accelerator?fault=shot:1e-3;outage:40,faultseed=7|reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Hedge || o.QuarantineThreshold != 2 || o.ProbeInterval != 10*time.Millisecond || o.MaxShards != 3 {
+		t.Fatalf("params: %+v", o)
+	}
+	want := []string{
+		"accelerator?workers=1",
+		"accelerator?fault=shot:1e-3;outage:40,faultseed=7", // ',' and ';' survive inside a device spec
+		"reference",
+	}
+	if len(o.Specs) != len(want) {
+		t.Fatalf("specs %v, want %v", o.Specs, want)
+	}
+	for i := range want {
+		if o.Specs[i] != want[i] {
+			t.Errorf("spec %d: %q, want %q", i, o.Specs[i], want[i])
+		}
+	}
+}
+
+func TestParseSpecReplication(t *testing.T) {
+	o, err := ParseSpec("pool?devices=accelerator?workers=1*3|reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Specs) != 4 {
+		t.Fatalf("specs %v, want 3 accelerators + 1 reference", o.Specs)
+	}
+	for i := 0; i < 3; i++ {
+		if o.Specs[i] != "accelerator?workers=1" {
+			t.Fatalf("spec %d: %q", i, o.Specs[i])
+		}
+	}
+	if o.Specs[3] != "reference" {
+		t.Fatalf("spec 3: %q", o.Specs[3])
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"accelerator",                      // not a pool spec
+		"pool",                             // no devices
+		"pool?hedge=true",                  // no devices
+		"pool?devices=",                    // empty device list
+		"pool?devices=a||b",                // empty entry
+		"pool?devices=accelerator*0",       // bad replication
+		"pool?bogus=1,devices=accelerator", // unknown parameter
+		"pool?hedge,devices=accelerator",   // not key=value
+		"pool?probe=xyz,devices=reference", // bad duration
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); !errors.Is(err, ErrBadPool) {
+			t.Errorf("ParseSpec(%q) err %v, want ErrBadPool", spec, err)
+		}
+	}
+}
+
+func TestOpenPool(t *testing.T) {
+	net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+	p, err := Open(net, "pool?quarantine=1,devices=accelerator?workers=1*2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 2 || p.Live() != 2 {
+		t.Fatalf("size=%d live=%d, want 2/2", p.Size(), p.Live())
+	}
+	if p.Spec() != "pool?quarantine=1,devices=accelerator?workers=1*2" {
+		t.Fatalf("spec %q not preserved", p.Spec())
+	}
+	if _, err := p.ForwardBatch(poolBatch(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// IsPoolSpec steers the CLI between pool and single-engine paths.
+	if !IsPoolSpec("pool?devices=reference") || IsPoolSpec("accelerator") {
+		t.Fatal("IsPoolSpec misclassified")
+	}
+}

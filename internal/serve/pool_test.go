@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"photofourier/internal/nn"
+	"photofourier/internal/pool"
+)
+
+func poolSession(t *testing.T, spec string, opts Options) (*pool.DevicePool, *Session) {
+	t.Helper()
+	net := nn.SmallCNN([2]int{4, 8}, 10, 99)
+	p, err := pool.Open(net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	s, err := NewExecutor(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return p, s
+}
+
+// TestPoolBackedSession: a Session accepts a DevicePool as its executor —
+// concurrent Infers micro-batch onto the pool, Health gains per-device
+// rows, and batch invariance comes from the pool's devices.
+func TestPoolBackedSession(t *testing.T) {
+	_, s := poolSession(t, "pool?quarantine=1,devices=accelerator?workers=1*2", Options{MaxBatch: 4})
+	if !s.BatchInvariant() {
+		t.Fatal("noise-free pool session must be batch-invariant")
+	}
+	const samples = 12
+	var wg sync.WaitGroup
+	for i := 0; i < samples; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Infer(context.Background(), sample(int64(i))); err != nil {
+				t.Errorf("Infer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	h := s.Health()
+	if h.Samples != samples {
+		t.Fatalf("served %d of %d", h.Samples, samples)
+	}
+	if len(h.Devices) != 2 {
+		t.Fatalf("Health has %d device rows, want 2: %+v", len(h.Devices), h.Devices)
+	}
+	for _, row := range h.Devices {
+		if row.State != "live" {
+			t.Fatalf("healthy device row %+v", row)
+		}
+	}
+}
+
+// TestPoolSessionDegradesBatchCeiling: when half the pool dies, the
+// session's effective batch ceiling scales down with the live fraction
+// (graceful degradation), and the dead device shows quarantined in Health.
+func TestPoolSessionDegradesBatchCeiling(t *testing.T) {
+	_, s := poolSession(t,
+		"pool?quarantine=1,probe=1h,devices=accelerator?workers=1|accelerator?workers=1,fault=outage:1,faultseed=1",
+		Options{MaxBatch: 8})
+	for i := 0; i < 8; i++ {
+		if _, err := s.Infer(context.Background(), sample(int64(i))); err != nil {
+			t.Fatalf("Infer %d: %v", i, err)
+		}
+	}
+	h := s.Health()
+	if h.EffectiveMaxBatch != 4 {
+		t.Fatalf("effective batch %d with 1/2 devices live, want 4", h.EffectiveMaxBatch)
+	}
+	quarantined := 0
+	for _, row := range h.Devices {
+		if row.State == "quarantined" {
+			quarantined++
+		}
+	}
+	if quarantined != 1 {
+		t.Fatalf("want exactly one quarantined device row: %+v", h.Devices)
+	}
+}
+
+// TestPoolSessionFailsOverWhenExhausted: a pool with zero live devices
+// surfaces ErrPoolExhausted to the session's recovery ladder, which serves
+// every request from the standby backend.
+func TestPoolSessionFailsOverWhenExhausted(t *testing.T) {
+	_, s := poolSession(t,
+		"pool?quarantine=1,probe=1h,devices=accelerator?workers=1,fault=outage:1,faultseed=1*2",
+		Options{MaxBatch: 2, Failover: "reference", BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	for i := 0; i < 8; i++ {
+		if _, err := s.Infer(context.Background(), sample(int64(i))); err != nil {
+			t.Fatalf("Infer %d: %v", i, err)
+		}
+	}
+	h := s.Health()
+	if h.Failovers == 0 {
+		t.Fatalf("exhausted pool did not fail over: %+v", h)
+	}
+	if h.RecoveryExhausted != 0 {
+		t.Fatalf("requests failed despite standby: %+v", h)
+	}
+	if !h.Ready {
+		t.Fatal("session with a usable standby must stay Ready")
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"photofourier/internal/backend"
 	"photofourier/internal/nn"
+	"photofourier/internal/pool"
 	"photofourier/internal/tensor"
 )
 
@@ -46,7 +47,7 @@ func (s *Session) runPrimary(x *tensor.Tensor, batch []request) (logits *tensor.
 		if attempt > 0 {
 			s.retriesN.Add(1)
 		}
-		out, ferr := s.plan.ForwardBatch(x)
+		out, ferr := s.exec.ForwardBatch(x)
 		if ferr == nil {
 			s.notePrimaryOK()
 			return out, nil, true
@@ -97,7 +98,7 @@ func earliestDeadline(batch []request) (t time.Time, has bool) {
 // primary plan.
 func (s *Session) breakerOpen() bool {
 	until := s.breakerUntil.Load()
-	return until != 0 && time.Now().UnixNano() < until
+	return until != 0 && s.now().UnixNano() < until
 }
 
 // notePrimaryOK resets the breaker and, after a clean streak, grows the
@@ -130,7 +131,7 @@ func (s *Session) notePrimaryFail() {
 	s.okStreak.Store(0)
 	if int(s.consecFail.Add(1)) >= s.opts.BreakerThreshold {
 		s.consecFail.Store(0)
-		s.breakerUntil.Store(time.Now().Add(s.opts.BreakerCooldown).UnixNano())
+		s.breakerUntil.Store(s.now().Add(s.opts.BreakerCooldown).UnixNano())
 		s.breakerTrips.Add(1)
 	}
 }
@@ -154,15 +155,36 @@ func (s *Session) shrinkBatch() {
 	}
 }
 
-// maxBatch is the current effective batch ceiling (MaxBatch, shrunk under
-// repeated failure, grown back on clean streaks).
-func (s *Session) maxBatch() int { return int(s.effBatch.Load()) }
+// batchScaler is the optional executor interface for graceful degradation:
+// a device pool scales the batch ceiling by its live-device fraction.
+type batchScaler interface {
+	EffectiveBatch(configured int) int
+}
+
+// maxBatch is the current effective batch ceiling: MaxBatch, shrunk under
+// repeated failure and grown back on clean streaks by the recovery ladder,
+// then capped by the executor's live capacity when it reports one.
+func (s *Session) maxBatch() int {
+	eb := int(s.effBatch.Load())
+	if sc, ok := s.exec.(batchScaler); ok {
+		if lim := sc.EffectiveBatch(eb); lim < eb {
+			eb = lim
+		}
+	}
+	if eb < 1 {
+		eb = 1
+	}
+	return eb
+}
 
 // standbyPlan lazily compiles the plan's source network onto the standby
 // backend spec, once per session (sticky, including the error).
 func (s *Session) standbyPlan() (*nn.NetworkPlan, error) {
 	if s.opts.Failover == "" {
 		return nil, fmt.Errorf("serve: no failover backend configured")
+	}
+	if s.net == nil {
+		return nil, fmt.Errorf("serve: no source network to recompile a standby from")
 	}
 	s.foMu.Lock()
 	defer s.foMu.Unlock()
@@ -260,8 +282,9 @@ func (s *Session) reply(batch []request, logits *tensor.Tensor) {
 // recovery accounting.
 type Health struct {
 	// Ready reports whether the session can serve a request right now:
-	// it is open, and either the primary breaker is closed or a failover
-	// backend stands by.
+	// it is open, and either the primary breaker is closed or a usable
+	// failover backend stands by (a standby whose open/compile failed does
+	// not count).
 	Ready bool
 	// BreakerOpen reports whether the primary circuit breaker is open.
 	BreakerOpen bool
@@ -283,6 +306,17 @@ type Health struct {
 	BreakerTrips uint64
 	// RecoveryExhausted counts requests that failed every rung.
 	RecoveryExhausted uint64
+	// FailoverSpec echoes Options.Failover ("" when failover is off).
+	FailoverSpec string
+	// FailoverError surfaces the standby's sticky open/compile error ("":
+	// standby usable or failover off). Health materializes the lazy
+	// standby plan on first call, so a failover that cannot actually
+	// compile is visible here before the breaker ever trips, not only
+	// wrapped into per-request errors.
+	FailoverError string
+	// Devices has one row per pool device when the session's executor is
+	// a device pool (nil for single-engine sessions).
+	Devices []pool.DeviceHealth
 }
 
 // Health returns the session's readiness and recovery counters.
@@ -291,8 +325,21 @@ func (s *Session) Health() Health {
 	closed := s.closed
 	s.mu.RUnlock()
 	open := s.breakerOpen()
-	return Health{
-		Ready:             !closed && (!open || s.opts.Failover != ""),
+	foOK := false
+	var foErr string
+	if s.opts.Failover != "" {
+		// Materialize the lazy standby once so its open/compile error is
+		// visible here, not only after the breaker trips mid-request.
+		if _, err := s.standbyPlan(); err != nil {
+			foErr = err.Error()
+		} else {
+			foOK = true
+		}
+	}
+	h := Health{
+		Ready:             !closed && (!open || foOK),
+		FailoverSpec:      s.opts.Failover,
+		FailoverError:     foErr,
 		BreakerOpen:       open,
 		EffectiveMaxBatch: s.maxBatch(),
 		Batches:           s.batches.Load(),
@@ -304,16 +351,21 @@ func (s *Session) Health() Health {
 		BreakerTrips:      s.breakerTrips.Load(),
 		RecoveryExhausted: s.exhausted.Load(),
 	}
+	if dh, ok := s.exec.(interface{ DeviceHealth() []pool.DeviceHealth }); ok {
+		h.Devices = dh.DeviceHealth()
+	}
+	return h
 }
 
 // validateFailover checks a failover spec at New time: the spec must open,
-// and the plan must know its source network to recompile from.
-func validateFailover(plan *nn.NetworkPlan, spec string) error {
+// and the executor must know its source network to recompile from (a plan
+// compiled by Network.Compile, or a pool).
+func validateFailover(net *nn.Network, spec string) error {
 	if spec == "" {
 		return nil
 	}
-	if plan.Source() == nil {
-		return fmt.Errorf("%w: Failover %q needs a plan compiled by Network.Compile (no source network to recompile)", ErrBadOptions, spec)
+	if net == nil {
+		return fmt.Errorf("%w: Failover %q needs an executor that knows its source network (Network.Compile plan or device pool)", ErrBadOptions, spec)
 	}
 	if _, err := backend.Open(spec); err != nil {
 		return fmt.Errorf("%w: Failover spec %q: %v", ErrBadOptions, spec, err)

@@ -174,6 +174,142 @@ func TestRecoveryExhausted(t *testing.T) {
 	}
 }
 
+// fakeClock is a deterministic clock for the breaker path: an atomic
+// offset over a fixed base, installable as Session.now before the first
+// request.
+type fakeClock struct {
+	base   time.Time
+	offset atomic.Int64
+}
+
+func (c *fakeClock) now() time.Time { return c.base.Add(time.Duration(c.offset.Load())) }
+
+func (c *fakeClock) advance(d time.Duration) { c.offset.Add(int64(d)) }
+
+// TestBreakerDeterministicClock drives the breaker state machine directly
+// against an injected clock — no sleeps: trip at the threshold, stay open
+// through the cooldown, close exactly after it, and reset on success.
+func TestBreakerDeterministicClock(t *testing.T) {
+	s := newSession(t, testPlan(t, nil), Options{BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	defer s.Close()
+	clk := &fakeClock{base: time.Unix(1_700_000_000, 0)}
+	s.now = clk.now
+
+	if s.breakerOpen() {
+		t.Fatal("breaker open on a fresh session")
+	}
+	s.notePrimaryFail()
+	if s.breakerOpen() {
+		t.Fatal("breaker tripped below threshold")
+	}
+	s.notePrimaryFail()
+	if !s.breakerOpen() {
+		t.Fatal("breaker did not trip at threshold")
+	}
+	if h := s.Health(); !h.BreakerOpen || h.Ready {
+		t.Fatalf("health under open breaker without failover: %+v", h)
+	}
+	clk.advance(59 * time.Second)
+	if !s.breakerOpen() {
+		t.Fatal("breaker closed before the cooldown elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if s.breakerOpen() {
+		t.Fatal("breaker still open after the cooldown")
+	}
+	// One more failure below threshold must not re-trip...
+	s.notePrimaryFail()
+	if s.breakerOpen() {
+		t.Fatal("single post-cooldown failure re-tripped the breaker")
+	}
+	// ...and a success resets the consecutive count entirely.
+	s.notePrimaryOK()
+	s.notePrimaryFail()
+	if s.breakerOpen() {
+		t.Fatal("breaker open after success reset one failure")
+	}
+	if h := s.Health(); h.BreakerTrips != 1 {
+		t.Fatalf("trips %d, want 1", h.BreakerTrips)
+	}
+}
+
+// TestBreakerCooldownExpiryServesPrimary is the end-to-end deterministic
+// cooldown test: a primary that fails long enough to trip the breaker is
+// not attempted while the breaker is open (no failover configured), and is
+// attempted — and serves — once the injected clock passes the cooldown.
+func TestBreakerCooldownExpiryServesPrimary(t *testing.T) {
+	eng := &flakyEngine{failFrom: 0, failTo: 2} // first two calls fail
+	s := newSession(t, testPlan(t, eng), Options{
+		MaxBatch:         1,
+		Retries:          1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+	})
+	defer s.Close()
+	clk := &fakeClock{base: time.Unix(1_700_000_000, 0)}
+	s.now = clk.now // before the first Infer: the runner reads it afterwards
+
+	if _, err := s.Infer(context.Background(), sample(1)); !errors.Is(err, ErrRecoveryExhausted) {
+		t.Fatalf("err %v, want ErrRecoveryExhausted", err)
+	}
+	if !s.Health().BreakerOpen {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	callsAfterTrip := eng.calls.Load()
+	if _, err := s.Infer(context.Background(), sample(2)); !errors.Is(err, ErrRecoveryExhausted) {
+		t.Fatalf("open-breaker err %v, want ErrRecoveryExhausted", err)
+	}
+	if got := eng.calls.Load(); got != callsAfterTrip {
+		t.Fatalf("primary attempted %d calls while the breaker was open", got-callsAfterTrip)
+	}
+	clk.advance(2 * time.Minute)
+	if _, err := s.Infer(context.Background(), sample(3)); err != nil {
+		t.Fatalf("post-cooldown Infer: %v", err)
+	}
+	h := s.Health()
+	if h.BreakerOpen || h.BreakerTrips != 1 || !h.Ready {
+		t.Fatalf("post-recovery health: %+v", h)
+	}
+}
+
+// TestHealthSurfacesFailoverState pins satellite 1: Health materializes the
+// lazy standby once and reports its spec and sticky error, and a broken
+// standby no longer counts toward readiness under an open breaker.
+func TestHealthSurfacesFailoverState(t *testing.T) {
+	s := newSession(t, testPlan(t, nil), Options{Failover: "reference"})
+	defer s.Close()
+	h := s.Health()
+	if h.FailoverSpec != "reference" || h.FailoverError != "" {
+		t.Fatalf("healthy standby: %+v", h)
+	}
+	s.foMu.Lock()
+	materialized := s.foPlan != nil
+	s.foMu.Unlock()
+	if !materialized {
+		t.Fatal("Health did not materialize the lazy standby plan")
+	}
+
+	// A sticky standby error becomes visible in Health and disqualifies
+	// the standby from readiness while the breaker is open.
+	s2 := newSession(t, testPlan(t, nil), Options{Failover: "reference", BreakerCooldown: time.Hour})
+	defer s2.Close()
+	s2.foMu.Lock()
+	s2.foErr = fmt.Errorf("serve: compiling failover plan on %q: boom", "reference")
+	s2.foMu.Unlock()
+	h2 := s2.Health()
+	if h2.FailoverError == "" {
+		t.Fatalf("sticky standby error invisible in Health: %+v", h2)
+	}
+	if !h2.Ready {
+		t.Fatal("closed breaker keeps the session ready regardless of standby")
+	}
+	s2.breakerUntil.Store(time.Now().Add(time.Hour).UnixNano())
+	h3 := s2.Health()
+	if !h3.BreakerOpen || h3.Ready {
+		t.Fatalf("open breaker + broken standby must not be Ready: %+v", h3)
+	}
+}
+
 // TestChaosHammerConcurrent is the chaos acceptance scenario: shot
 // misfires plus a mid-run device outage, many concurrent clients, standby
 // configured — every single Infer must complete.

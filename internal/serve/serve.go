@@ -162,12 +162,28 @@ type reply struct {
 	err  error
 }
 
+// Executor is what a Session drives: anything that can run one NCHW batch
+// with per-sample semantics. A compiled *nn.NetworkPlan is the canonical
+// executor; a pool.DevicePool is the multi-device one. Optional interfaces
+// refine the session's behavior when the executor implements them:
+//
+//	BatchInvariant() bool         — co-batching invisibility (else false)
+//	Source() *nn.Network          — enables Options.Failover recompilation
+//	EffectiveBatch(int) int       — live-capacity batch ceiling (pool)
+//	DeviceHealth() []pool.DeviceHealth — per-device Health rows (pool)
+type Executor interface {
+	ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error)
+}
+
 // Session is the micro-batching front-end. It is safe for concurrent Infer
 // calls; one background runner assembles batches and drives the shared
-// NetworkPlan.
+// executor.
 type Session struct {
-	plan *nn.NetworkPlan
+	exec Executor
 	opts Options
+
+	// now is the breaker/batching clock, time.Now outside tests.
+	now func() time.Time
 
 	// batchInvariant caches the engine-capability judgment: with
 	// per-sample batch execution, only noisy substrates can give a sample
@@ -215,19 +231,42 @@ func New(plan *nn.NetworkPlan, opts Options) (*Session, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("%w: nil plan", ErrBadOptions)
 	}
+	caps := nn.CapabilitiesOf(plan.Engine())
+	return startSession(plan, !caps.Noisy, plan.Source(), opts)
+}
+
+// NewExecutor starts a session over any Executor — notably a device pool.
+// Batch invariance and failover support come from the executor's optional
+// interfaces (see Executor).
+func NewExecutor(exec Executor, opts Options) (*Session, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("%w: nil executor", ErrBadOptions)
+	}
+	invariant := false
+	if bi, ok := exec.(interface{ BatchInvariant() bool }); ok {
+		invariant = bi.BatchInvariant()
+	}
+	var net *nn.Network
+	if src, ok := exec.(interface{ Source() *nn.Network }); ok {
+		net = src.Source()
+	}
+	return startSession(exec, invariant, net, opts)
+}
+
+func startSession(exec Executor, invariant bool, net *nn.Network, opts Options) (*Session, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	if err := validateFailover(plan, opts.Failover); err != nil {
+	if err := validateFailover(net, opts.Failover); err != nil {
 		return nil, err
 	}
-	caps := nn.CapabilitiesOf(plan.Engine())
 	s := &Session{
-		plan:           plan,
+		exec:           exec,
 		opts:           opts.withDefaults(),
-		batchInvariant: !caps.Noisy,
+		now:            time.Now,
+		batchInvariant: invariant,
 		done:           make(chan struct{}),
-		net:            plan.Source(),
+		net:            net,
 	}
 	s.effBatch.Store(int32(s.opts.MaxBatch))
 	s.reqs = make(chan request, s.opts.Queue)
@@ -325,7 +364,7 @@ func (s *Session) run() {
 			continue
 		}
 		batch := []request{first}
-		deadline := time.Now().Add(s.opts.MaxDelay)
+		deadline := s.now().Add(s.opts.MaxDelay)
 		for len(batch) < s.maxBatch() {
 			req, ok, open := s.next(deadline)
 			if !open {
@@ -369,7 +408,7 @@ func (s *Session) next(deadline time.Time) (req request, ok, open bool) {
 		return r, chOpen, chOpen
 	default:
 	}
-	wait := time.Until(deadline)
+	wait := deadline.Sub(s.now())
 	if wait <= 0 {
 		return request{}, false, true
 	}

@@ -2,9 +2,11 @@ package tiling
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 
 	"photofourier/internal/fault"
+	"photofourier/internal/jtc"
 	"photofourier/internal/tensor"
 )
 
@@ -83,6 +85,115 @@ func TestQuarantineSchedulesAroundDeadSlots(t *testing.T) {
 		for s := 0; s < tc.n; s++ {
 			if covered[s] != wantRows {
 				t.Errorf("%+v: sample %d covers %d of %d output rows", tc, s, covered[s], wantRows)
+			}
+		}
+	}
+}
+
+// TestQuarantineBatchPackingBitIdentical: the golden composition check for
+// slot quarantine × aperture packing. A quarantined plan's batch executor
+// must produce results bit-identical to healthy per-sample planned
+// convolutions (dead slots reshape the shot schedule, never the math), its
+// packed schedule must keep every segment off the dead slots, and the shot
+// accounting must follow the quarantined plan's own packed count.
+func TestQuarantineBatchPackingBitIdentical(t *testing.T) {
+	cases := []struct {
+		h, w, k, nconv int
+		pad            tensor.PadMode
+		n              int
+		dead           []int
+	}{
+		{8, 8, 3, 256, tensor.Same, 5, []int{1, 2}},
+		{12, 12, 3, 128, tensor.Valid, 4, []int{3}},
+		{16, 16, 3, 512, tensor.Same, 8, []int{4, 5, 6}},
+	}
+	const nk = 3
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range cases {
+		healthy, err := NewPlan(tc.h, tc.w, tc.k, tc.nconv, tc.pad, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := NewPlanAvoiding(tc.h, tc.w, tc.k, tc.nconv, tc.pad, false, tc.dead)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		planes := make([][][]float64, tc.n)
+		for b := range planes {
+			planes[b] = make([][]float64, tc.h)
+			for r := range planes[b] {
+				planes[b][r] = make([]float64, tc.w)
+				for c := range planes[b][r] {
+					planes[b][r][c] = rng.NormFloat64()
+				}
+			}
+		}
+		kernels := make([][][]float64, nk)
+		hkps := make([]*KernelPlan, nk)
+		qkps := make([]*KernelPlan, nk)
+		for j := range kernels {
+			kernels[j] = make([][]float64, tc.k)
+			for r := range kernels[j] {
+				kernels[j][r] = make([]float64, tc.k)
+				for c := range kernels[j][r] {
+					kernels[j][r][c] = rng.NormFloat64()
+				}
+			}
+			if hkps[j], err = healthy.PlanKernel(kernels[j]); err != nil {
+				t.Fatal(err)
+			}
+			if qkps[j], err = q.PlanKernel(kernels[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Oracle: healthy plan, per-sample planned convolutions.
+		want := make([][]float64, tc.n*nk)
+		for b := 0; b < tc.n; b++ {
+			for j := 0; j < nk; j++ {
+				want[b*nk+j] = make([]float64, healthy.OutH*healthy.OutW)
+				if err := healthy.Conv2DPlannedAccum(planes[b], hkps[j], want[b*nk+j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Quarantined plan, batch executor over the packed schedule.
+		accs := make([][]float64, tc.n*nk)
+		for i := range accs {
+			accs[i] = make([]float64, q.OutH*q.OutW)
+		}
+		op := &BatchConvOperands{Pos: planes, KPos: qkps}
+		op.Accs[0] = accs
+		shots0 := jtc.Shots()
+		if err := q.Conv2DPlannedAccumBatch(op); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if got, wantShots := jtc.Shots()-shots0, int64(q.PackedShots(tc.n)*nk); got != wantShots {
+			t.Errorf("%+v: batch recorded %d shots, quarantined packing predicts %d", tc, got, wantShots)
+		}
+		for i := range accs {
+			for e := range accs[i] {
+				if accs[i][e] != want[i][e] {
+					t.Fatalf("%+v: sample %d kernel %d element %d: quarantined batch %v != healthy per-sample %v",
+						tc, i/nk, i%nk, e, accs[i][e], want[i][e])
+				}
+			}
+		}
+		// The packed schedule the batch ran on keeps off the dead slots.
+		bp, err := q.PlanBatch(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadSet := map[int]bool{}
+		for _, d := range tc.dead {
+			deadSet[d] = true
+		}
+		for _, sh := range bp.Schedule() {
+			for _, seg := range sh.Segments {
+				for s := seg.Slot; s < seg.Slot+seg.Slots; s++ {
+					if deadSet[s] {
+						t.Fatalf("%+v: packed segment %+v crosses dead slot %d", tc, seg, s)
+					}
+				}
 			}
 		}
 	}

@@ -11,7 +11,9 @@
 //   - functional inference: registry-opened engines run real CNN
 //     convolutions through the paper's row-tiling algorithm and the full
 //     quantized/temporally-accumulated accelerator model, and
-//     Network.Compile + InferenceSession serve them;
+//     Network.Compile + InferenceSession serve them; OpenDevicePool
+//     shards batches bit-identically across replicated devices with
+//     health scoring, quarantine/probe/readmit, and hedged re-dispatch;
 //   - architecture evaluation: CG/NG/Baseline configurations with
 //     cycle/energy/area models for every workload in the paper;
 //   - experiments: regeneration of every table and figure.
@@ -29,6 +31,7 @@ import (
 	"photofourier/internal/nets"
 	"photofourier/internal/nn"
 	"photofourier/internal/optics"
+	"photofourier/internal/pool"
 	"photofourier/internal/serve"
 	"photofourier/internal/tensor"
 	"photofourier/internal/tiling"
@@ -134,6 +137,12 @@ var (
 	// session's recovery ladder (retry, split, failover); the chain still
 	// matches ErrDeviceFault when an injected fault was the root cause.
 	ErrRecoveryExhausted = serve.ErrRecoveryExhausted
+	// ErrPoolExhausted: a DevicePool request found zero live devices
+	// (every device quarantined); the chain matches ErrDeviceFault when
+	// injected faults caused the quarantines.
+	ErrPoolExhausted = pool.ErrPoolExhausted
+	// ErrBadPool: malformed pool spec or invalid pool options.
+	ErrBadPool = pool.ErrBadPool
 )
 
 // Accelerator configurations (paper Sec. V).
@@ -221,6 +230,17 @@ type (
 	SessionOptions = serve.Options
 	// Prediction is the per-sample result of one served inference.
 	Prediction = serve.Prediction
+	// DevicePool shards batched inference by sample across N
+	// registry-opened devices, bit-identically to a single engine, with
+	// per-device health scoring, quarantine/probe/readmit, and hedged
+	// re-dispatch of straggler shards (see DESIGN.md's pool section).
+	DevicePool = pool.DevicePool
+	// PoolOptions configures a DevicePool (device specs, shard cap,
+	// quarantine threshold, probe interval, hedging policy).
+	PoolOptions = pool.Options
+	// PoolDeviceHealth is one pool device's point-in-time health row, as
+	// surfaced by DevicePool.DeviceHealth and InferenceSession.Health.
+	PoolDeviceHealth = pool.DeviceHealth
 )
 
 // NewInferenceSession starts a micro-batching inference session over a
@@ -228,6 +248,29 @@ type (
 // yield an error matching ErrBadOptions.
 func NewInferenceSession(plan *NetworkPlan, opts SessionOptions) (*InferenceSession, error) {
 	return serve.New(plan, opts)
+}
+
+// NewPoolInferenceSession starts a micro-batching inference session whose
+// executor is a DevicePool instead of a single compiled plan: requests are
+// sharded across the pool's live devices, the session's effective batch
+// ceiling degrades with the live fraction, and Health carries per-device
+// rows.
+func NewPoolInferenceSession(p *DevicePool, opts SessionOptions) (*InferenceSession, error) {
+	return serve.NewExecutor(p, opts)
+}
+
+// OpenDevicePool builds a device pool from a pool spec string:
+//
+//	pool?key=val,...,devices=spec|spec*N|...
+//
+// e.g. "pool?quarantine=2,hedge=true,devices=accelerator?workers=1*4".
+// devices= must come last (device specs may themselves contain ',' and
+// ';'); a *N suffix replicates one device spec. Prefix keys: maxshards,
+// quarantine, probe, hedge, hedgedelay, hedgefactor, minhedge. Malformed
+// specs yield ErrBadPool; device specs are opened through the backend
+// registry, so unknown names yield ErrUnknownBackend.
+func OpenDevicePool(net *Network, spec string) (*DevicePool, error) {
+	return pool.Open(net, spec)
 }
 
 // TilingPlan describes how one 2D convolution maps to 1D JTC shots.

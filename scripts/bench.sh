@@ -13,23 +13,44 @@
 #                 tiling.KernelTileTransforms() deltas recorded per sample,
 #                 so packing wins show up as shot-count reductions, not
 #                 just ns/op (PR 5)
+#   BENCH_7.json  device-pool sharded inference (DevicePool.ForwardBatch):
+#                 batch-32 SmallCNN across pool sizes {1,2,4,8} on the
+#                 tiled spec, plus a 4-device pool with one device on a
+#                 permanent outage. The scaling claim is made on the
+#                 modeled-ns/sample metric (serial device cost x largest
+#                 scheduled share — device parallelism modeled, scheduling
+#                 real), because on a starved host wall-clock serializes
+#                 the shards and cannot show device parallelism (PR 7)
 #
-# Usage: scripts/bench.sh [snapshot...]     # e.g. scripts/bench.sh 5
-#   default regenerates only the newest snapshot (5); pass "2 3 5" or "all"
-#   to regenerate older ones too.
+# Usage: scripts/bench.sh [snapshot...]     # e.g. scripts/bench.sh 7
+#   default regenerates only the newest snapshot (7); pass "2 3 5 7" or
+#   "all" to regenerate older ones too.
 #   BENCHTIME=5s scripts/bench.sh           # longer sampling
 #   SPEC="accelerator-noisy?nta=8" scripts/bench.sh 3   # engine spec for the
 #       net-level snapshot (recorded in the JSON; default "accelerator")
 #   TILEDSPEC="accelerator?tiled=true" scripts/bench.sh 5   # spec for the
 #       BENCH_5 shot-accounting pass
-#   OUT2=/tmp/b2.json OUT3=/tmp/b3.json OUT5=/tmp/b5.json scripts/bench.sh all
+#   POOLSPEC="accelerator?tiled=true,workers=1" scripts/bench.sh 7   # the
+#       per-device spec the BENCH_7 pool replicates
+#   OUT2=/tmp/b2.json OUT3=/tmp/b3.json OUT5=/tmp/b5.json OUT7=/tmp/b7.json \
+#       scripts/bench.sh all
 set -eu
 cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-2s}"
 spec="${SPEC:-accelerator}"
 tiledspec="${TILEDSPEC:-accelerator?tiled=true}"
-targets="${*:-5}"
-[ "$targets" = "all" ] && targets="2 3 5"
+poolspec="${POOLSPEC:-accelerator?tiled=true,workers=1}"
+targets="${*:-7}"
+[ "$targets" = "all" ] && targets="2 3 5 7"
+
+# fault_of extracts the fault= injector parameter of an engine spec ("" when
+# the spec is fault-free) — every snapshot records it as fault_spec.
+fault_of() {
+	case "$1" in
+	*fault=*) f="${1#*fault=}" && printf '%s' "${f%%,*}" ;;
+	*) printf '' ;;
+	esac
+}
 
 want() {
 	for t in $targets; do
@@ -88,7 +109,8 @@ if want 3; then
 		-benchmem -benchtime "$benchtime" .)
 	printf '%s\n' "$raw"
 
-	printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v spec="$spec" '
+	printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v spec="$spec" \
+		-v fault="$(fault_of "$spec")" '
 	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 	/^BenchmarkNet(Inference|Evaluate)\// {
 		split($1, parts, "/")
@@ -111,6 +133,8 @@ if want 3; then
 		printf "  \"id\": \"BENCH_3\",\n"
 		printf "  \"benchmark\": \"whole-network compiled inference (SmallCNN 3x32x32): NetworkPlan + InferenceSession vs uncompiled per-sample\",\n"
 		printf "  \"engine_spec\": \"%s\",\n", spec
+		printf "  \"pool_size\": 1,\n"
+		printf "  \"fault_spec\": \"%s\",\n", fault
 		printf "  \"cpu\": \"%s\",\n", cpu
 		printf "  \"benchtime\": \"%s\",\n", benchtime
 		printf "  \"forward\": {\n"
@@ -155,7 +179,8 @@ if want 5; then
 		printf '%s\n' "$raw"
 		printf 'SHOTS %s\n' ""
 		printf '%s\n' "$rawshots"
-	} | awk -v benchtime="$benchtime" -v spec="$spec" -v tiledspec="$tiledspec" -v bench3="$bench3" '
+	} | awk -v benchtime="$benchtime" -v spec="$spec" -v tiledspec="$tiledspec" \
+		-v bench3="$bench3" -v fault="$(fault_of "$spec")" '
 	/^SHOTS/ { shots_section = 1; next }
 	/^cpu:/ { if (!cpu) { sub(/^cpu: */, ""); cpu = $0 } }
 	/^BenchmarkNetForwardBatch\// {
@@ -187,6 +212,8 @@ if want 5; then
 		printf "  \"id\": \"BENCH_5\",\n"
 		printf "  \"benchmark\": \"batch-major per-sample-exact inference (NetworkPlan.ForwardBatch): SmallCNN + AlexNetS, batch {1,8,32}\",\n"
 		printf "  \"engine_spec\": \"%s\",\n", spec
+		printf "  \"pool_size\": 1,\n"
+		printf "  \"fault_spec\": \"%s\",\n", fault
 		printf "  \"tiled_spec\": \"%s\",\n", tiledspec
 		printf "  \"cpu\": \"%s\",\n", cpu
 		printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -224,6 +251,57 @@ if want 5; then
 				net, tshots[k1], tshots[k8], 1 - tshots[k8] / tshots[k1], tkt[k8]
 		}
 		printf "\n  }\n"
+		printf "}\n"
+	}' >"$out"
+	echo "wrote $out"
+fi
+
+if want 7; then
+	out="${OUT7:-BENCH_7.json}"
+	raw=$(PF_BENCH_POOL_DEVICE="$poolspec" go test -run '^$' \
+		-bench '^BenchmarkPoolForwardBatch$' \
+		-benchmem -benchtime "$benchtime" .)
+	printf '%s\n' "$raw"
+
+	printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v poolspec="$poolspec" '
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^BenchmarkPoolForwardBatch\// {
+		split($1, parts, "/")
+		wl = parts[2]
+		sub(/-[0-9]+$/, "", wl)
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") v_ns = $i
+			else if ($(i+1) == "modeled-ns/sample") v_mod = $i
+			else if ($(i+1) == "live-devices") v_live = $i
+			else if ($(i+1) == "B/op") v_b = $i
+			else if ($(i+1) == "allocs/op") v_al = $i
+		}
+		ns[wl] = v_ns; mod[wl] = v_mod; live[wl] = v_live
+		bytes[wl] = v_b; allocs[wl] = v_al
+		if (!(wl in seen)) { order[++n] = wl; seen[wl] = 1 }
+	}
+	function size_of(wl) { sub(/^pool/, "", wl); sub(/-outage$/, "", wl); return wl + 0 }
+	END {
+		printf "{\n"
+		printf "  \"id\": \"BENCH_7\",\n"
+		printf "  \"benchmark\": \"device-pool sharded inference (DevicePool.ForwardBatch): SmallCNN batch 32 at pool sizes {1,2,4,8} + 4-device pool with one permanent outage\",\n"
+		printf "  \"device_spec\": \"%s\",\n", poolspec
+		printf "  \"batch\": 32,\n"
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"metric_note\": \"modeled_ns_per_sample = serial per-device cost x largest sample share the pool scheduler assigned to any device; wall-clock shard execution serializes on a single-CPU host, so ns_per_op cannot show device parallelism\",\n"
+		printf "  \"pools\": {\n"
+		for (i = 1; i <= n; i++) {
+			wl = order[i]
+			fault = (wl ~ /outage/) ? "outage:1" : ""
+			printf "    \"%s\": {\"pool_size\": %d, \"fault_spec\": \"%s\", \"live_devices\": %d, \"ns_per_op\": %s, \"wall_ns_per_sample\": %.0f, \"modeled_ns_per_sample\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+				wl, size_of(wl), fault, live[wl] + 0, ns[wl], ns[wl] / 32, mod[wl], bytes[wl], allocs[wl], (i < n) ? "," : ""
+		}
+		printf "  },\n"
+		printf "  \"modeled_speedup_pool2_vs_pool1\": %.2f,\n", mod["pool1"] / mod["pool2"]
+		printf "  \"modeled_speedup_pool4_vs_pool1\": %.2f,\n", mod["pool1"] / mod["pool4"]
+		printf "  \"modeled_speedup_pool8_vs_pool1\": %.2f,\n", mod["pool1"] / mod["pool8"]
+		printf "  \"outage_modeled_speedup_vs_pool1\": %.2f\n", mod["pool1"] / mod["pool4-outage"]
 		printf "}\n"
 	}' >"$out"
 	echo "wrote $out"
