@@ -1,0 +1,45 @@
+package photofourier
+
+import (
+	"math/rand"
+	"testing"
+
+	"photofourier/internal/backend"
+	"photofourier/internal/nn"
+	"photofourier/internal/tensor"
+)
+
+// TestForwardBatchSteadyStateAllocs pins the allocation-free steady state of
+// the batch-major tiled path: after one warm-up batch has populated the
+// geometry caches and scratch pools, a ForwardBatch of SmallCNN at batch 8
+// must stay within a handful of allocations — the returned logits tensor the
+// caller retains (struct, shape, data) plus the per-call batch context.
+// Workers are pinned to 1 so the measurement excludes goroutine machinery
+// and is deterministic across hosts.
+func TestForwardBatchSteadyStateAllocs(t *testing.T) {
+	const maxAllocs = 8
+	e, err := backend.Open("accelerator?tiled=true,workers=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.SmallCNN([2]int{8, 16}, 10, 7)
+	plan, err := net.Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Parallelism = 1
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.New(8, 3, 32, 32)
+	x.RandN(rng, 1)
+	if _, err := plan.ForwardBatch(x); err != nil { // warm geometry + pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := plan.ForwardBatch(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxAllocs {
+		t.Errorf("ForwardBatch steady state allocates %.1f/op, want <= %d", allocs, maxAllocs)
+	}
+}

@@ -3,18 +3,32 @@
 // per-package hand-rolled sync.Pool helpers with one implementation.
 package buf
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool recycles []T scratch buffers. The zero value is ready to use; a
 // Pool must not be copied after first use.
-type Pool[T any] struct{ p sync.Pool }
+//
+// Slices travel through the underlying sync.Pool inside *[]T boxes; the
+// boxes themselves are recycled through a second sync.Pool so a steady-state
+// Get/Put cycle performs zero heap allocations (a naive Put(&s) would box
+// the header on every call).
+type Pool[T any] struct {
+	p     sync.Pool
+	boxes sync.Pool
+}
 
 // Get returns a slice of length n, reusing a pooled allocation when its
 // capacity suffices. Contents are unspecified; use GetZeroed for cleared
 // scratch.
 func (pl *Pool[T]) Get(n int) []T {
 	if v := pl.p.Get(); v != nil {
-		s := *(v.(*[]T))
+		b := v.(*[]T)
+		s := *b
+		*b = nil
+		pl.boxes.Put(b)
 		if cap(s) >= n {
 			return s[:n]
 		}
@@ -32,7 +46,12 @@ func (pl *Pool[T]) GetZeroed(n int) []T {
 
 // Put recycles s for a future Get.
 func (pl *Pool[T]) Put(s []T) {
-	pl.p.Put(&s)
+	b, _ := pl.boxes.Get().(*[]T)
+	if b == nil {
+		b = new([]T)
+	}
+	*b = s
+	pl.p.Put(b)
 }
 
 // SizedPool recycles []T buffers across heterogeneous sizes: each distinct
@@ -41,22 +60,39 @@ func (pl *Pool[T]) Put(s []T) {
 // reuses an exact-fit buffer for each instead of thrashing one mixed pool.
 // The zero value is ready to use; a SizedPool is safe for concurrent use and
 // must not be copied after first use.
+//
+// The bucket map is copy-on-write: a workload's size set stabilizes after
+// warm-up, so steady-state Get/Put resolve their bucket through one atomic
+// load with no lock and no allocation. The mutex serializes writers only
+// while a new size is being added.
 type SizedPool[T any] struct {
 	mu      sync.Mutex
-	buckets map[int]*Pool[T]
+	buckets atomic.Pointer[map[int]*Pool[T]]
 }
 
 func (sp *SizedPool[T]) bucket(n int) *Pool[T] {
+	if m := sp.buckets.Load(); m != nil {
+		if b := (*m)[n]; b != nil {
+			return b
+		}
+	}
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
-	if sp.buckets == nil {
-		sp.buckets = make(map[int]*Pool[T])
+	old := sp.buckets.Load()
+	if old != nil {
+		if b := (*old)[n]; b != nil {
+			return b
+		}
 	}
-	b := sp.buckets[n]
-	if b == nil {
-		b = &Pool[T]{}
-		sp.buckets[n] = b
+	next := make(map[int]*Pool[T], 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
 	}
+	b := &Pool[T]{}
+	next[n] = b
+	sp.buckets.Store(&next)
 	return b
 }
 

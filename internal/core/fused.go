@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"photofourier/internal/tensor"
 )
@@ -37,11 +38,17 @@ func newPsumSet(present [numTerms]bool, groups, size int) *psumSet {
 
 func (ps *psumSet) release() {
 	for t, bufs := range ps.terms {
-		for _, b := range bufs {
-			putFloats(b)
+		if bufs == nil {
+			continue
 		}
+		for i, b := range bufs {
+			putFloats(b)
+			bufs[i] = nil
+		}
+		putViews(bufs)
 		ps.terms[t] = nil
 	}
+	psumSetPool.Put(ps)
 }
 
 // fusedSignedGroupedConv2D computes, for each channel group and each present
@@ -459,15 +466,23 @@ func axpy3MixedZ(dp, dn, p0, p1, p2, n0, n1, n2 []float64, c0, c1, c2 float64) {
 	}
 }
 
+// psumSetPool recycles the set structs; the buffers and view tables inside
+// cycle through floatPool/viewsPool.
+var psumSetPool sync.Pool
+
 // newPsumSetUncleared is newPsumSet without the zero fill, for sweeps whose
 // first pass stores instead of accumulating (store-first batch sweep).
 func newPsumSetUncleared(present [numTerms]bool, groups, size int) *psumSet {
-	ps := &psumSet{}
+	ps, _ := psumSetPool.Get().(*psumSet)
+	if ps == nil {
+		ps = &psumSet{}
+	}
 	for t := range ps.terms {
 		if !present[t] {
+			ps.terms[t] = nil
 			continue
 		}
-		bufs := make([][]float64, groups)
+		bufs := getViews(groups)
 		for g := range bufs {
 			bufs[g] = getFloats(size)
 		}

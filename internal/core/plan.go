@@ -58,6 +58,37 @@ type LayerPlan struct {
 
 	mu   sync.Mutex
 	geos map[geoKey]*layerGeo
+
+	// Cached operating-group tables (read-only once built): groups mirrors
+	// groupRanges(cin, NTA) for the NTA observed at last use, chanGroups the
+	// per-channel detector granularity. Rebuilt under mu when NTA changes.
+	groupsNTA  int
+	groups     [][2]int
+	chanGroups [][2]int
+}
+
+// cachedGroups returns groupRanges(lp.cin, nta) without allocating in steady
+// state; the table is rebuilt only when the engine's NTA changed since the
+// previous call. Callers must treat the result as read-only.
+func (lp *LayerPlan) cachedGroups(nta int) [][2]int {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	if lp.groups == nil || lp.groupsNTA != nta {
+		lp.groups = groupRanges(lp.cin, nta)
+		lp.groupsNTA = nta
+	}
+	return lp.groups
+}
+
+// channelGroups is cachedGroups for the per-channel detector granularity
+// (one group per input channel).
+func (lp *LayerPlan) channelGroups() [][2]int {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	if lp.chanGroups == nil {
+		lp.chanGroups = groupRanges(lp.cin, 1)
+	}
+	return lp.chanGroups
 }
 
 type geoKey struct{ h, w int }
@@ -206,12 +237,12 @@ func (lp *LayerPlan) runDirect(x, out *tensor.Tensor, callIdx uint64) error {
 	present[termNegPos] = xneg != nil && lp.wpos != nil
 	present[termNegNeg] = xneg != nil && lp.wneg != nil
 
-	groups := groupRanges(cin, e.NTA)
+	groups := lp.cachedGroups(e.NTA)
 	detGroups := groups
 	perChannel := e.Detector.PerChannel()
 	if perChannel {
 		// One sweep group per channel so Detect sees each channel.
-		detGroups = groupRanges(cin, 1)
+		detGroups = lp.channelGroups()
 	}
 	workers := resolveWorkers(e.Parallelism)
 	ps := newPsumSet(present, len(detGroups), size)
@@ -234,8 +265,12 @@ func (lp *LayerPlan) runDirect(x, out *tensor.Tensor, callIdx uint64) error {
 			merged = pooled
 		}
 		err := e.readoutAccumulate(callIdx, term, merged, out.Data, cin, workers)
-		for _, b := range pooled {
-			putFloats(b)
+		if pooled != nil {
+			for i, b := range pooled {
+				putFloats(b)
+				pooled[i] = nil
+			}
+			putViews(pooled)
 		}
 		if err != nil {
 			return err
@@ -262,7 +297,7 @@ func (lp *LayerPlan) runTiled(x, out *tensor.Tensor, callIdx uint64) error {
 	if err != nil {
 		return err
 	}
-	groups := groupRanges(cin, e.NTA)
+	groups := lp.cachedGroups(e.NTA)
 	workers := resolveWorkers(e.Parallelism)
 	specs := [numTerms]struct {
 		x   *tensor.Tensor
@@ -432,7 +467,7 @@ func (e *Engine) detectBuffers(bufs [][]float64, workers int) error {
 // mergeGroups sums per-channel detected charges into operating groups
 // (pooled buffers), in the same order the unplanned path merges them.
 func mergeGroups(per [][]float64, groups [][2]int) [][]float64 {
-	out := make([][]float64, len(groups))
+	out := getViews(len(groups))
 	for gi, g := range groups {
 		acc := getFloats(len(per[g[0]]))
 		copy(acc, per[g[0]])

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"photofourier/internal/nn"
 	"photofourier/internal/quant"
@@ -55,23 +56,42 @@ func newPadGeom(h, w, k int, pad tensor.PadMode) padGeom {
 
 // batchParts holds the per-sample sign-split quantized activations of one
 // batch in padded layout, with per-sample presence flags (the same
-// partPresence rule the single-sample path applies per call).
+// partPresence rule the single-sample path applies per call). The struct
+// and every slice it owns are pooled; callers release() when done.
 type batchParts struct {
-	pos, neg []float64 // n*cin*srcPlane padded planes; nil when absent in every sample
-	hasPos   []bool
-	hasNeg   []bool
+	pos, neg       []float64 // nil when absent in every sample; alias posBuf/negBuf
+	posBuf, negBuf []float64 // n*cin*srcPlane padded planes (owned backing)
+	hasPos         []bool
+	hasNeg         []bool
+}
+
+var batchPartsPool sync.Pool
+
+func (bp *batchParts) release() {
+	putFloats(bp.posBuf)
+	putFloats(bp.negBuf)
+	boolPool.Put(bp.hasPos)
+	boolPool.Put(bp.hasNeg)
+	*bp = batchParts{}
+	batchPartsPool.Put(bp)
 }
 
 // quantizeBatchPadded quantizes every sample independently (per-sample
 // MaxAbs and quantizer, exactly like quantizePartsPooled on a single-sample
 // tensor) and writes the sign parts into zero-padded planes.
-func quantizeBatchPadded(x *tensor.Tensor, bits int, g padGeom) (*batchParts, func(), error) {
+func quantizeBatchPadded(x *tensor.Tensor, bits int, g padGeom) (*batchParts, error) {
 	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	total := n * cin * g.srcPlane
+	bp, _ := batchPartsPool.Get().(*batchParts)
+	if bp == nil {
+		bp = &batchParts{}
+	}
 	posBuf, negBuf := getFloatsZeroed(total), getFloatsZeroed(total)
-	bp := &batchParts{hasPos: make([]bool, n), hasNeg: make([]bool, n)}
+	bp.posBuf, bp.negBuf = posBuf, negBuf
+	bp.hasPos, bp.hasNeg = boolPool.Get(n), boolPool.Get(n)
 	anyPos, anyNeg := false, false
 	per := cin * h * w
+	var ql quant.Linear // stack-resident; one value reused across samples
 	for b := 0; b < n; b++ {
 		sample := x.Data[b*per : (b+1)*per]
 		var q *quant.Linear
@@ -89,12 +109,12 @@ func quantizeBatchPadded(x *tensor.Tensor, bits int, g padGeom) (*batchParts, fu
 				maxAbs = 1
 			}
 			var err error
-			q, err = quant.NewLinear(bits, maxAbs)
+			ql, err = quant.LinearOf(bits, maxAbs)
 			if err != nil {
-				putFloats(posBuf)
-				putFloats(negBuf)
-				return nil, nil, err
+				bp.release()
+				return nil, err
 			}
+			q = &ql
 		}
 		hasPos, hasNeg := false, false
 		for ic := 0; ic < cin; ic++ {
@@ -120,11 +140,7 @@ func quantizeBatchPadded(x *tensor.Tensor, bits int, g padGeom) (*batchParts, fu
 	if anyNeg {
 		bp.neg = negBuf
 	}
-	release := func() {
-		putFloats(posBuf)
-		putFloats(negBuf)
-	}
-	return bp, release, nil
+	return bp, nil
 }
 
 // BatchExact reports whether ForwardBatchCalls reproduces the per-sample
@@ -186,7 +202,11 @@ func (lp *LayerPlan) ForwardBatchCalls(x *tensor.Tensor, first, stride uint64) (
 	if oh < 1 || ow < 1 {
 		return nil, fmt.Errorf("core: batch conv empty output for %v k=%d", x.Shape, lp.k)
 	}
-	out := tensor.New(n, lp.cout, oh, ow)
+	// Pooled and zeroed: the readout paths ACCUMULATE signed terms into the
+	// output, so recycled contents must not leak in. The caller owns the
+	// tensor; release-aware callers (the nn batch runner) return it with
+	// tensor.PutScratch.
+	out := tensor.GetScratchZeroed(n, lp.cout, oh, ow)
 	// Outage is monotonic in the call index, so the batch's largest reserved
 	// call decides for every sample at once.
 	if n > 0 {
@@ -215,7 +235,15 @@ func (lp *LayerPlan) ForwardBatchCalls(x *tensor.Tensor, first, stride uint64) (
 		}
 	}
 	if lp.stride > 1 {
-		return tensor.Decimate2D(out, lp.stride)
+		s := lp.stride
+		dec := tensor.GetScratch(n, lp.cout, (oh+s-1)/s, (ow+s-1)/s)
+		if err := tensor.Decimate2DInto(dec, out, s); err != nil {
+			tensor.PutScratch(dec)
+			tensor.PutScratch(out)
+			return nil, err
+		}
+		tensor.PutScratch(out)
+		return dec, nil
 	}
 	return out, nil
 }
@@ -228,11 +256,11 @@ func (lp *LayerPlan) runDirectBatch(x, out *tensor.Tensor, first, stride uint64)
 	n, cin := x.Shape[0], x.Shape[1]
 	oh, ow := out.Shape[2], out.Shape[3]
 	g := newPadGeom(x.Shape[2], x.Shape[3], lp.k, lp.pad)
-	bp, release, err := quantizeBatchPadded(x, lp.cfg.dacBits, g)
+	bp, err := quantizeBatchPadded(x, lp.cfg.dacBits, g)
 	if err != nil {
 		return err
 	}
-	defer release()
+	defer bp.release()
 
 	var present [numTerms]bool
 	present[termPosPos] = bp.pos != nil && lp.wpos != nil
@@ -240,11 +268,11 @@ func (lp *LayerPlan) runDirectBatch(x, out *tensor.Tensor, first, stride uint64)
 	present[termNegPos] = bp.neg != nil && lp.wpos != nil
 	present[termNegNeg] = bp.neg != nil && lp.wneg != nil
 
-	groups := groupRanges(cin, e.NTA)
+	groups := lp.cachedGroups(e.NTA)
 	detGroups := groups
 	perChannel := e.Detector.PerChannel()
 	if perChannel {
-		detGroups = groupRanges(cin, 1)
+		detGroups = lp.channelGroups()
 	}
 	workers := resolveWorkers(e.Parallelism)
 	size := n * lp.cout * g.dstPlane
@@ -255,15 +283,11 @@ func (lp *LayerPlan) runDirectBatch(x, out *tensor.Tensor, first, stride uint64)
 	}
 
 	noise := e.ReadoutNoise > 0 && e.ADCBits > 0
-	cviews := make([][]float64, len(groups))
+	cviews := getViews(len(groups))
 	for gi := range cviews {
 		cviews[gi] = getFloats(lp.cout * oh * ow)
 	}
-	defer func() {
-		for _, v := range cviews {
-			putFloats(v)
-		}
-	}()
+	defer releaseViewBuffers(cviews)
 	for term := 0; term < numTerms; term++ {
 		bufs := ps.terms[term]
 		if bufs == nil {
@@ -326,8 +350,12 @@ func (lp *LayerPlan) runDirectBatch(x, out *tensor.Tensor, first, stride uint64)
 				}
 			}
 		}
-		for _, buf := range pooled {
-			putFloats(buf)
+		if pooled != nil {
+			for i, buf := range pooled {
+				putFloats(buf)
+				pooled[i] = nil
+			}
+			putViews(pooled)
 		}
 	}
 	return nil

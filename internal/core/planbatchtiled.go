@@ -2,10 +2,154 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 
+	"photofourier/internal/buf"
 	"photofourier/internal/tensor"
 	"photofourier/internal/tiling"
 )
+
+// Pooled scratch for the batch-major tiled sweep: kernel-plan tables, the
+// per-sample row-view tables, and the operand struct itself all recycle
+// across calls so the steady state allocates nothing.
+var (
+	kernelPlanPool    buf.Pool[*tiling.KernelPlan]
+	rowTabPool        buf.Pool[[][]float64]
+	batchOperandsPool sync.Pool
+)
+
+// accTableFor builds one term's (sample, kernel) → accumulator-plane table
+// over group gi; absent samples stay nil (skipped by the executor). The
+// table comes from the views pool; callers release it with putViews.
+func accTableFor(ps *psumSet, bp *batchParts, term, gi, n, cout, plane int) [][]float64 {
+	bufs := ps.terms[term]
+	if bufs == nil {
+		return nil
+	}
+	accs := getViewsZeroed(n * cout)
+	partHas := bp.hasPos
+	if term == termNegPos || term == termNegNeg {
+		partHas = bp.hasNeg
+	}
+	for b := 0; b < n; b++ {
+		if !partHas[b] {
+			continue
+		}
+		for oc := 0; oc < cout; oc++ {
+			off := (b*cout + oc) * plane
+			accs[b*cout+oc] = bufs[gi][off : off+plane]
+		}
+	}
+	return accs
+}
+
+// rowTableFor builds the per-sample row-view tables of one activation part:
+// all[b] is an h-row window into the flat pooled backing, nil when the
+// sample lacks the part. Returns the table and its backing for release.
+func rowTableFor(part []float64, has []bool, n, h int) ([][][]float64, [][]float64) {
+	if part == nil {
+		return nil, nil
+	}
+	flat := getViews(n * h)
+	all := rowTabPool.GetZeroed(n)
+	for b := 0; b < n; b++ {
+		if has[b] {
+			all[b] = flat[b*h : (b+1)*h]
+		}
+	}
+	return all, flat
+}
+
+// bindSampleRows repoints every present sample's row views at channel ic of
+// part.
+func bindSampleRows(all [][][]float64, part []float64, ic, n, cin, h, w int) [][][]float64 {
+	if all == nil {
+		return nil
+	}
+	for b := 0; b < n; b++ {
+		rows := all[b]
+		if rows == nil {
+			continue
+		}
+		base := (b*cin + ic) * h * w
+		for r := 0; r < h; r++ {
+			rows[r] = part[base+r*w : base+(r+1)*w]
+		}
+	}
+	return all
+}
+
+// tiledBatchGroup runs one operating group's full batch-major sweep: pooled
+// row/kernel/accumulator tables are bound, every input channel of the group
+// walks the batched executor, and the scratch returns to its pools
+// (abandoned to the GC on the exceptional error paths).
+func (lp *LayerPlan) tiledBatchGroup(bp *batchParts, geo *layerGeo, ps *psumSet, g [2]int, gi, n, cin, h, w, oh, ow int) error {
+	rowsPos, rowsPosFlat := rowTableFor(bp.pos, bp.hasPos, n, h)
+	rowsNeg, rowsNegFlat := rowTableFor(bp.neg, bp.hasNeg, n, h)
+	var kbufPos, kbufNeg []*tiling.KernelPlan
+	if geo.kpos != nil {
+		kbufPos = kernelPlanPool.Get(lp.cout)
+	}
+	if geo.kneg != nil {
+		kbufNeg = kernelPlanPool.Get(lp.cout)
+	}
+	op, _ := batchOperandsPool.Get().(*tiling.BatchConvOperands)
+	if op == nil {
+		op = &tiling.BatchConvOperands{}
+	}
+	op.KPos, op.KNeg = kbufPos, kbufNeg
+	op.Accs[0] = accTableFor(ps, bp, termPosPos, gi, n, lp.cout, oh*ow)
+	op.Accs[1] = accTableFor(ps, bp, termPosNeg, gi, n, lp.cout, oh*ow)
+	op.Accs[2] = accTableFor(ps, bp, termNegPos, gi, n, lp.cout, oh*ow)
+	op.Accs[3] = accTableFor(ps, bp, termNegNeg, gi, n, lp.cout, oh*ow)
+	for ic := g[0]; ic < g[1]; ic++ {
+		op.Pos = bindSampleRows(rowsPos, bp.pos, ic, n, cin, h, w)
+		op.Neg = bindSampleRows(rowsNeg, bp.neg, ic, n, cin, h, w)
+		if kbufPos != nil {
+			for oc := 0; oc < lp.cout; oc++ {
+				kbufPos[oc] = geo.kpos[oc*cin+ic]
+			}
+		}
+		if kbufNeg != nil {
+			for oc := 0; oc < lp.cout; oc++ {
+				kbufNeg[oc] = geo.kneg[oc*cin+ic]
+			}
+		}
+		if err := geo.tp.Conv2DPlannedAccumBatch(op); err != nil {
+			return err
+		}
+	}
+	for i, accs := range op.Accs {
+		if accs != nil {
+			clear(accs)
+			putViews(accs)
+			op.Accs[i] = nil
+		}
+	}
+	if rowsPosFlat != nil {
+		clear(rowsPosFlat)
+		putViews(rowsPosFlat)
+		clear(rowsPos)
+		rowTabPool.Put(rowsPos)
+	}
+	if rowsNegFlat != nil {
+		clear(rowsNegFlat)
+		putViews(rowsNegFlat)
+		clear(rowsNeg)
+		rowTabPool.Put(rowsNeg)
+	}
+	if kbufPos != nil {
+		clear(kbufPos)
+		kernelPlanPool.Put(kbufPos)
+	}
+	if kbufNeg != nil {
+		clear(kbufNeg)
+		kernelPlanPool.Put(kbufNeg)
+	}
+	*op = tiling.BatchConvOperands{}
+	batchOperandsPool.Put(op)
+	return nil
+}
 
 // runTiledBatch is the batch-major full-fidelity path: every distinct
 // (sample, channel, shot, activation part) signal is transformed to the
@@ -25,16 +169,16 @@ func (lp *LayerPlan) runTiledBatch(x, out *tensor.Tensor, first, stride uint64) 
 	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := out.Shape[2], out.Shape[3]
 	flat := padGeom{h: h, w: w, sd: w, srcRows: h, srcPlane: h * w}
-	bp, release, err := quantizeBatchPadded(x, lp.cfg.dacBits, flat)
+	bp, err := quantizeBatchPadded(x, lp.cfg.dacBits, flat)
 	if err != nil {
 		return err
 	}
-	defer release()
+	defer bp.release()
 	geo, err := lp.geometry(h, w)
 	if err != nil {
 		return err
 	}
-	groups := groupRanges(cin, e.NTA)
+	groups := lp.cachedGroups(e.NTA)
 	workers := resolveWorkers(e.Parallelism)
 	size := n * lp.cout * oh * ow
 
@@ -46,104 +190,27 @@ func (lp *LayerPlan) runTiledBatch(x, out *tensor.Tensor, first, stride uint64) 
 	ps := newPsumSet(present, len(groups), size)
 	defer ps.release()
 
-	// Accumulator tables: term t, sample b, kernel oc map to the (b, oc)
-	// plane of that term's group buffer; absent samples stay nil (skipped).
-	accFor := func(term, gi int) [][]float64 {
-		bufs := ps.terms[term]
-		if bufs == nil {
-			return nil
-		}
-		accs := make([][]float64, n*lp.cout)
-		partHas := bp.hasPos
-		if term == termNegPos || term == termNegNeg {
-			partHas = bp.hasNeg
-		}
-		for b := 0; b < n; b++ {
-			if !partHas[b] {
-				continue
-			}
-			for oc := 0; oc < lp.cout; oc++ {
-				off := (b*lp.cout + oc) * oh * ow
-				accs[b*lp.cout+oc] = bufs[gi][off : off+oh*ow]
-			}
-		}
-		return accs
-	}
-
-	rowsFor := func(part []float64, has []bool) [][][]float64 {
-		if part == nil {
-			return nil
-		}
-		all := make([][][]float64, n)
-		for b := 0; b < n; b++ {
-			if !has[b] {
-				continue
-			}
-			all[b] = make([][]float64, h)
-		}
-		return all
-	}
-	bindRows := func(all [][][]float64, part []float64, ic int) [][][]float64 {
-		if all == nil {
-			return nil
-		}
-		for b := 0; b < n; b++ {
-			if all[b] == nil {
-				continue
-			}
-			base := (b*cin + ic) * h * w
-			for r := 0; r < h; r++ {
-				all[b][r] = part[base+r*w : base+(r+1)*w]
-			}
-		}
-		return all
-	}
-
 	// Groups are the sweep's parallel axis: each group's partial-sum
 	// buffers are disjoint, and the shot→kernel→sample arena reuse inside
 	// Conv2DPlannedAccumBatch stays intact per group (chunking output
 	// channels instead would re-transform signals per chunk). Row and
-	// kernel scratch is per work item.
-	if err := parallelFor(len(groups), workers, func(gi int) error {
-		g := groups[gi]
-		rowsPos := rowsFor(bp.pos, bp.hasPos)
-		rowsNeg := rowsFor(bp.neg, bp.hasNeg)
-		var kbufPos, kbufNeg []*tiling.KernelPlan
-		if geo.kpos != nil {
-			kbufPos = make([]*tiling.KernelPlan, lp.cout)
-		}
-		if geo.kneg != nil {
-			kbufNeg = make([]*tiling.KernelPlan, lp.cout)
-		}
-		op := &tiling.BatchConvOperands{KPos: kbufPos, KNeg: kbufNeg}
-		op.Accs[0] = accFor(termPosPos, gi)
-		op.Accs[1] = accFor(termPosNeg, gi)
-		op.Accs[2] = accFor(termNegPos, gi)
-		op.Accs[3] = accFor(termNegNeg, gi)
-		for ic := g[0]; ic < g[1]; ic++ {
-			op.Pos = bindRows(rowsPos, bp.pos, ic)
-			op.Neg = bindRows(rowsNeg, bp.neg, ic)
-			if kbufPos != nil {
-				for oc := 0; oc < lp.cout; oc++ {
-					kbufPos[oc] = geo.kpos[oc*cin+ic]
-				}
-			}
-			if kbufNeg != nil {
-				for oc := 0; oc < lp.cout; oc++ {
-					kbufNeg[oc] = geo.kneg[oc*cin+ic]
-				}
-			}
-			if err := geo.tp.Conv2DPlannedAccumBatch(op); err != nil {
+	// kernel scratch is per work item, drawn from pools. The serial case
+	// loops directly so the dispatch closure never materializes.
+	if workers <= 1 || len(groups) == 1 {
+		for gi := range groups {
+			if err := lp.tiledBatchGroup(bp, geo, ps, groups[gi], gi, n, cin, h, w, oh, ow); err != nil {
 				return err
 			}
 		}
-		return nil
+	} else if err := parallelFor(len(groups), workers, func(gi int) error {
+		return lp.tiledBatchGroup(bp, geo, ps, groups[gi], gi, n, cin, h, w, oh, ow)
 	}); err != nil {
 		return err
 	}
 
 	noise := e.ReadoutNoise > 0 && e.ADCBits > 0
-	views := make([][]float64, len(groups))
+	views := getViews(len(groups))
+	defer putViews(views)
 	for term := 0; term < numTerms; term++ {
 		bufs := ps.terms[term]
 		if bufs == nil {

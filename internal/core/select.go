@@ -55,3 +55,25 @@ var floatPool buf.Pool[float64]
 func getFloats(n int) []float64       { return floatPool.Get(n) }
 func getFloatsZeroed(n int) []float64 { return floatPool.GetZeroed(n) }
 func putFloats(s []float64)           { floatPool.Put(s) }
+
+// viewsPool recycles the slice-of-views tables (accumulator maps, group
+// views, row pointers) the batch-major paths rebuild every call.
+var viewsPool buf.Pool[[]float64]
+
+func getViews(n int) [][]float64       { return viewsPool.Get(n) }
+func getViewsZeroed(n int) [][]float64 { return viewsPool.GetZeroed(n) }
+func putViews(s [][]float64)           { viewsPool.Put(s) }
+
+// boolPool recycles per-sample presence flags.
+var boolPool buf.Pool[bool]
+
+// releaseViewBuffers returns every pooled buffer a view table points at,
+// then the table itself — the defer-friendly release for tables built as
+// getViews + per-entry getFloats.
+func releaseViewBuffers(views [][]float64) {
+	for i, v := range views {
+		putFloats(v)
+		views[i] = nil
+	}
+	putViews(views)
+}

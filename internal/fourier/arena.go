@@ -36,6 +36,20 @@ func SpectrumArenaOver(re, im []float64, bins int) (*SpectrumArena, error) {
 	return &SpectrumArena{bins: bins, re: re, im: im}, nil
 }
 
+// Reset repoints the arena at new backing planes (same rules as
+// SpectrumArenaOver), letting a pooled arena value be reused across batches
+// without reallocating the struct.
+func (a *SpectrumArena) Reset(re, im []float64, bins int) error {
+	if bins < 1 {
+		return fmt.Errorf("fourier: arena bins %d must be >= 1", bins)
+	}
+	if len(re) != len(im) || len(re)%bins != 0 {
+		return fmt.Errorf("fourier: arena planes %d/%d must be equal multiples of %d bins", len(re), len(im), bins)
+	}
+	a.bins, a.re, a.im = bins, re, im
+	return nil
+}
+
 // Slots returns the arena's slot count.
 func (a *SpectrumArena) Slots() int { return len(a.re) / a.bins }
 

@@ -1,0 +1,437 @@
+package fourier
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// batchSizes is the size axis of the lockstep-vs-scalar matrix: degenerate
+// 1, the n==2 special case, power-of-two radix-2 paths (with and without the
+// final odd stage), and non-power-of-two Bluestein lengths.
+var batchSizes = []int{1, 2, 4, 8, 16, 64, 128, 3, 5, 12, 100}
+
+// batchCounts is the slot-count axis: singleton, a ragged tail one short of
+// a full group, exactly one group, and several groups plus a ragged tail.
+var batchCounts = []int{1, LockstepWidth - 1, LockstepWidth, 3*LockstepWidth + 1}
+
+func randComplexRows(rng *rand.Rand, count, n int) [][]complex128 {
+	rows := make([][]complex128, count)
+	for i := range rows {
+		row := make([]complex128, n)
+		for k := range row {
+			row[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func cloneComplexRows(rows [][]complex128) [][]complex128 {
+	out := make([][]complex128, len(rows))
+	for i, row := range rows {
+		if row == nil {
+			continue
+		}
+		c := make([]complex128, len(row))
+		copy(c, row)
+		out[i] = c
+	}
+	return out
+}
+
+// TestTransformBatchBitIdentity checks the batched complex transforms
+// (radix-2 and Bluestein, forward and inverse) against per-row scalar
+// transforms across the size x slot-count matrix. Comparison is bitwise:
+// lockstep must run the identical per-lane floating-point sequence.
+func TestTransformBatchBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range batchSizes {
+		for _, count := range batchCounts {
+			for _, inverse := range []bool{false, true} {
+				rows := randComplexRows(rng, count, n)
+				if count > 2 {
+					rows[1] = nil // skipped rows must not disturb lane packing
+				}
+				want := cloneComplexRows(rows)
+				got := cloneComplexRows(rows)
+				if IsPow2(n) {
+					p, err := PlanFor(n)
+					if err != nil {
+						t.Fatalf("PlanFor(%d): %v", n, err)
+					}
+					for _, row := range want {
+						if row == nil {
+							continue
+						}
+						if inverse {
+							_ = p.Inverse(row)
+						} else {
+							_ = p.Transform(row)
+						}
+					}
+					if inverse {
+						err = p.InverseBatch(got)
+					} else {
+						err = p.TransformBatch(got)
+					}
+					if err != nil {
+						t.Fatalf("n=%d count=%d inverse=%v: %v", n, count, inverse, err)
+					}
+				} else {
+					bp, err := BluesteinPlanFor(n)
+					if err != nil {
+						t.Fatalf("BluesteinPlanFor(%d): %v", n, err)
+					}
+					for _, row := range want {
+						if row == nil {
+							continue
+						}
+						if inverse {
+							_ = bp.Inverse(row)
+						} else {
+							_ = bp.Transform(row)
+						}
+					}
+					if inverse {
+						err = bp.InverseBatch(got)
+					} else {
+						err = bp.TransformBatch(got)
+					}
+					if err != nil {
+						t.Fatalf("n=%d count=%d inverse=%v: %v", n, count, inverse, err)
+					}
+				}
+				for i := range want {
+					if (want[i] == nil) != (got[i] == nil) {
+						t.Fatalf("n=%d count=%d inverse=%v row %d nil mismatch", n, count, inverse, i)
+					}
+					for k := range want[i] {
+						wr, gr := real(want[i][k]), real(got[i][k])
+						wi, gi := imag(want[i][k]), imag(got[i][k])
+						if math.Float64bits(wr) != math.Float64bits(gr) || math.Float64bits(wi) != math.Float64bits(gi) {
+							t.Fatalf("n=%d count=%d inverse=%v row %d bin %d: scalar %v batch %v (bits %x/%x vs %x/%x)",
+								n, count, inverse, i, k, want[i][k], got[i][k],
+								math.Float64bits(wr), math.Float64bits(wi), math.Float64bits(gr), math.Float64bits(gi))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRealPlanBitIdentity checks BatchRealPlan.Transform/Inverse
+// against RealPlan.Transform/Inverse bit-for-bit, including short (zero-
+// padded, odd-length) signals.
+func TestBatchRealPlanBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, m := range []int{2, 4, 16, 128, 1024} {
+		bp, err := NewBatchRealPlan(m)
+		if err != nil {
+			t.Fatalf("NewBatchRealPlan(%d): %v", m, err)
+		}
+		rp, _ := RealPlanFor(m)
+		for _, count := range batchCounts {
+			signals := make([][]float64, count)
+			for i := range signals {
+				ln := 1 + rng.Intn(m)
+				if i%3 == 0 {
+					ln = m
+				}
+				sig := make([]float64, ln)
+				for j := range sig {
+					sig[j] = rng.NormFloat64()
+				}
+				signals[i] = sig
+			}
+			if count > 2 {
+				signals[2] = nil
+			}
+			specsWant := make([][]complex128, count)
+			specsGot := make([][]complex128, count)
+			for i := range signals {
+				if signals[i] == nil {
+					continue
+				}
+				specsWant[i] = make([]complex128, rp.hm+1)
+				specsGot[i] = make([]complex128, rp.hm+1)
+				if err := rp.Transform(signals[i], specsWant[i]); err != nil {
+					t.Fatalf("scalar transform: %v", err)
+				}
+			}
+			if err := bp.Transform(signals, specsGot); err != nil {
+				t.Fatalf("batch transform m=%d count=%d: %v", m, count, err)
+			}
+			for i := range specsWant {
+				for k := range specsWant[i] {
+					if math.Float64bits(real(specsWant[i][k])) != math.Float64bits(real(specsGot[i][k])) ||
+						math.Float64bits(imag(specsWant[i][k])) != math.Float64bits(imag(specsGot[i][k])) {
+						t.Fatalf("m=%d count=%d signal %d bin %d: scalar %v batch %v", m, count, i, k, specsWant[i][k], specsGot[i][k])
+					}
+				}
+			}
+			// Inverse: scalar clobbers its spectrum, so give it a copy.
+			outsWant := make([][]float64, count)
+			outsGot := make([][]float64, count)
+			for i := range specsWant {
+				if specsWant[i] == nil {
+					continue
+				}
+				outLen := len(signals[i])
+				outsWant[i] = make([]float64, outLen)
+				outsGot[i] = make([]float64, outLen)
+				clob := append([]complex128(nil), specsWant[i]...)
+				if err := rp.Inverse(clob, outsWant[i]); err != nil {
+					t.Fatalf("scalar inverse: %v", err)
+				}
+			}
+			if err := bp.Inverse(specsGot, outsGot); err != nil {
+				t.Fatalf("batch inverse m=%d count=%d: %v", m, count, err)
+			}
+			for i := range outsWant {
+				for j := range outsWant[i] {
+					if math.Float64bits(outsWant[i][j]) != math.Float64bits(outsGot[i][j]) {
+						t.Fatalf("m=%d count=%d signal %d sample %d: scalar %v batch %v", m, count, i, j, outsWant[i][j], outsGot[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLockstepConvBitIdentity checks the arena-level lockstep APIs
+// (TransformSlotsSoA, ConvolveSlotsSoAInto, ConvolveLanesSoA) against the
+// scalar TransformSignalSoA/ConvolveSoAInto path bit-for-bit, across
+// kernel/signal geometries that exercise degenerate (m==1) and general
+// plans, with mixed kernels per lockstep group.
+func TestLockstepConvBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cases := []struct{ kLen, maxSig int }{
+		{1, 1},   // m == 1 degenerate
+		{1, 2},   // m == 2, inner plan n == 1
+		{3, 6},   // m == 8
+		{5, 60},  // m == 64
+		{9, 120}, // m == 128
+	}
+	for _, tc := range cases {
+		kernel := make([]float64, tc.kLen)
+		for i := range kernel {
+			kernel[i] = rng.NormFloat64()
+		}
+		kernel2 := make([]float64, tc.kLen)
+		for i := range kernel2 {
+			kernel2[i] = rng.NormFloat64()
+		}
+		cp, err := NewConvPlan(kernel, tc.maxSig)
+		if err != nil {
+			t.Fatalf("NewConvPlan: %v", err)
+		}
+		cp2, err := NewConvPlan(kernel2, tc.maxSig)
+		if err != nil {
+			t.Fatalf("NewConvPlan: %v", err)
+		}
+		for _, count := range batchCounts {
+			sigLen := 1 + rng.Intn(tc.maxSig)
+			signals := make([][]float64, count)
+			for i := range signals {
+				sig := make([]float64, sigLen)
+				for j := range sig {
+					sig[j] = rng.NormFloat64()
+				}
+				signals[i] = sig
+			}
+			if count > 3 {
+				signals[3] = nil
+			}
+			want := NewSpectrumArena(count, cp.SpectrumLen())
+			got := NewSpectrumArena(count, cp.SpectrumLen())
+			for i, sig := range signals {
+				if sig == nil {
+					continue
+				}
+				if err := cp.TransformSignalSoA(want, i, sig); err != nil {
+					t.Fatalf("scalar TransformSignalSoA: %v", err)
+				}
+			}
+			if err := cp.TransformSlotsSoA(got, signals); err != nil {
+				t.Fatalf("TransformSlotsSoA kLen=%d maxSig=%d count=%d: %v", tc.kLen, tc.maxSig, count, err)
+			}
+			for i := range signals {
+				wr, wi := want.Slot(i)
+				gr, gi := got.Slot(i)
+				for k := range wr {
+					if math.Float64bits(wr[k]) != math.Float64bits(gr[k]) || math.Float64bits(wi[k]) != math.Float64bits(gi[k]) {
+						t.Fatalf("kLen=%d maxSig=%d count=%d slot %d bin %d: scalar (%v,%v) batch (%v,%v)",
+							tc.kLen, tc.maxSig, count, i, k, wr[k], wi[k], gr[k], gi[k])
+					}
+				}
+			}
+			// Inverse via one kernel across many slots.
+			outLen := cp.OutLen(sigLen)
+			slots := make([]int, 0, count)
+			for i, sig := range signals {
+				if sig != nil {
+					slots = append(slots, i)
+				}
+			}
+			dstBatch := make([]float64, len(slots)*outLen)
+			if err := cp.ConvolveSlotsSoAInto(dstBatch, outLen, got, slots, sigLen); err != nil {
+				t.Fatalf("ConvolveSlotsSoAInto: %v", err)
+			}
+			dstScalar := make([]float64, outLen)
+			for li, slot := range slots {
+				full, err := cp.ConvolveSoAInto(dstScalar, want, slot, sigLen)
+				if err != nil {
+					t.Fatalf("scalar ConvolveSoAInto: %v", err)
+				}
+				for j := range full {
+					if math.Float64bits(full[j]) != math.Float64bits(dstBatch[li*outLen+j]) {
+						t.Fatalf("kLen=%d maxSig=%d count=%d slot %d sample %d: scalar %v batch %v",
+							tc.kLen, tc.maxSig, count, slot, j, full[j], dstBatch[li*outLen+j])
+					}
+				}
+			}
+			// Mixed-kernel lanes: alternate two kernels over the slots.
+			lanes := make([]ConvLane, 0, len(slots))
+			for li, slot := range slots {
+				plan := cp
+				if li%2 == 1 {
+					plan = cp2
+				}
+				re, im := got.Slot(slot)
+				lanes = append(lanes, ConvLane{Plan: plan, SpecRe: re, SpecIm: im, Dst: make([]float64, outLen)})
+			}
+			if err := ConvolveLanesSoA(sigLen, lanes); err != nil {
+				t.Fatalf("ConvolveLanesSoA: %v", err)
+			}
+			for li, slot := range slots {
+				plan := cp
+				if li%2 == 1 {
+					plan = cp2
+				}
+				full, err := plan.ConvolveSoAInto(dstScalar, want, slot, sigLen)
+				if err != nil {
+					t.Fatalf("scalar ConvolveSoAInto: %v", err)
+				}
+				for j := range full {
+					if math.Float64bits(full[j]) != math.Float64bits(lanes[li].Dst[j]) {
+						t.Fatalf("mixed lanes kLen=%d count=%d slot %d sample %d: scalar %v batch %v",
+							tc.kLen, count, slot, j, full[j], lanes[li].Dst[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRealPlanConcurrent hammers one shared BatchRealPlan from many
+// goroutines (run under -race in CI): the plan is stateless, so concurrent
+// lockstep transforms must neither race nor disturb each other's results.
+func TestBatchRealPlanConcurrent(t *testing.T) {
+	const m = 256
+	bp, err := NewBatchRealPlan(m)
+	if err != nil {
+		t.Fatalf("NewBatchRealPlan: %v", err)
+	}
+	rp, _ := RealPlanFor(m)
+	rng := rand.New(rand.NewSource(11))
+	signals := make([][]float64, LockstepWidth+3)
+	refs := make([][]complex128, len(signals))
+	for i := range signals {
+		sig := make([]float64, m)
+		for j := range sig {
+			sig[j] = rng.NormFloat64()
+		}
+		signals[i] = sig
+		refs[i] = make([]complex128, rp.hm+1)
+		if err := rp.Transform(sig, refs[i]); err != nil {
+			t.Fatalf("scalar transform: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			specs := make([][]complex128, len(signals))
+			for i := range specs {
+				specs[i] = make([]complex128, rp.hm+1)
+			}
+			for iter := 0; iter < 50; iter++ {
+				if err := bp.Transform(signals, specs); err != nil {
+					errs <- err
+					return
+				}
+				for i := range specs {
+					for k := range specs[i] {
+						if specs[i][k] != refs[i][k] {
+							errs <- errMismatch(i, k)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkLockstepIrfft compares the lockstep inverse convolution path
+// against per-slot scalar ConvolveSoAInto at the conv-path geometry the
+// tiled executors run (one kernel, LockstepWidth samples).
+func BenchmarkLockstepIrfft(b *testing.B) {
+	const maxSig = 1000
+	kernel := make([]float64, 7)
+	for i := range kernel {
+		kernel[i] = float64(i) + 0.5
+	}
+	cp, err := NewConvPlan(kernel, maxSig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	signals := make([][]float64, LockstepWidth)
+	for i := range signals {
+		sig := make([]float64, maxSig)
+		for j := range sig {
+			sig[j] = rng.NormFloat64()
+		}
+		signals[i] = sig
+	}
+	a := NewSpectrumArena(LockstepWidth, cp.SpectrumLen())
+	if err := cp.TransformSlotsSoA(a, signals); err != nil {
+		b.Fatal(err)
+	}
+	outLen := cp.OutLen(maxSig)
+	slots := make([]int, LockstepWidth)
+	for i := range slots {
+		slots[i] = i
+	}
+	b.Run("scalar", func(b *testing.B) {
+		dst := make([]float64, outLen)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range slots {
+				if _, err := cp.ConvolveSoAInto(dst, a, s, maxSig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("lockstep", func(b *testing.B) {
+		dst := make([]float64, LockstepWidth*outLen)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := cp.ConvolveSlotsSoAInto(dst, outLen, a, slots, maxSig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -310,11 +310,12 @@ func (rp *RealPlan) irfft(spec []complex128, out []float64) {
 	}
 }
 
-// complexPool recycles transform scratch. Slices of mixed capacity share one
-// pool; a drawn slice too small for the request is simply dropped and a fresh
-// one allocated, which keeps the steady state (one dominant length per
-// workload) allocation-free.
-var complexPool buf.Pool[complex128]
+// complexPool recycles transform scratch, bucketed by size: a network whose
+// layers cycle through several transform lengths (e.g. 512-point conv tiles
+// interleaved with 64-point Bluestein inner transforms) reuses an exact-fit
+// buffer for each length instead of thrashing one mixed pool, where a small
+// slice drawn for a large request is dropped and reallocated.
+var complexPool buf.SizedPool[complex128]
 
 // getComplex returns a scratch slice of length n. Recycled slices are NOT
 // zeroed — the convolution hot path overwrites every entry, so callers that

@@ -126,7 +126,7 @@ func (p *NetworkPlan) runStepsBatch(steps []planStep, x *tensor.Tensor, own, bat
 		}
 		if out != cur {
 			if curOwn && owns {
-				p.pool.Put(cur.Data)
+				tensor.PutScratch(cur)
 			}
 			curOwn = owns
 		}
@@ -158,7 +158,7 @@ func (s *residualStep) runBatch(p *NetworkPlan, x *tensor.Tensor, batch bool, bc
 		return nil, fmt.Errorf("nn: residual shapes %v vs %v: %w", main.Shape, side.Shape, err)
 	}
 	if sideOwn {
-		p.pool.Put(side.Data)
+		tensor.PutScratch(side)
 	}
 	return main, nil
 }
@@ -184,7 +184,7 @@ func (p *NetworkPlan) forwardPerSample(x *tensor.Tensor) (*tensor.Tensor, error)
 		rowLen := res.Size()
 		copy(out.Data[b*rowLen:(b+1)*rowLen], res.Data)
 		if resOwn {
-			p.pool.Put(res.Data)
+			tensor.PutScratch(res)
 		}
 	}
 	return out, nil

@@ -7,7 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"photofourier/internal/buf"
 	"photofourier/internal/tensor"
 )
 
@@ -84,8 +83,6 @@ type NetworkPlan struct {
 	convs      []convSnapshot
 	layerPlans []LayerPlan
 	batchPlans []BatchLayerPlan
-
-	pool buf.SizedPool[float64]
 
 	geoMu sync.Mutex
 	geos  map[geoKey][]StepShape
@@ -222,7 +219,7 @@ func (p *NetworkPlan) runSteps(steps []planStep, x *tensor.Tensor, own bool) (*t
 			// treated as plan-owned (mutable/poolable). Compiled steps only
 			// alias their input when running in place on an owned buffer.
 			if curOwn && s.ownsOutput() {
-				p.pool.Put(cur.Data)
+				tensor.PutScratch(cur)
 			}
 			curOwn = s.ownsOutput()
 		}
@@ -232,13 +229,11 @@ func (p *NetworkPlan) runSteps(steps []planStep, x *tensor.Tensor, own bool) (*t
 }
 
 // newTensor returns a pooled tensor with unspecified contents; every step
-// writes each output element, so no zeroing is needed.
+// writes each output element, so no zeroing is needed. Scratch comes from
+// the process-wide tensor pool so intermediates produced here and layer
+// outputs produced by the engine recycle through the same free lists.
 func (p *NetworkPlan) newTensor(shape ...int) *tensor.Tensor {
-	n := 1
-	for _, d := range shape {
-		n *= d
-	}
-	return &tensor.Tensor{Shape: append([]int(nil), shape...), Data: p.pool.Get(n)}
+	return tensor.GetScratch(shape...)
 }
 
 func (p *NetworkPlan) workers() int {
@@ -246,6 +241,14 @@ func (p *NetworkPlan) workers() int {
 		return p.Parallelism
 	}
 	return runtime.NumCPU()
+}
+
+// serial reports whether per-sample work will run inline on the caller's
+// goroutine. Hot steps branch on it to call their sample body in a plain
+// loop — the forSamples dispatch closure never materializes, keeping the
+// single-worker steady state allocation-free.
+func (p *NetworkPlan) serial(n int) bool {
+	return n <= 1 || p.workers() <= 1
 }
 
 // forSamples runs fn(b) for every sample index on the plan's worker pool.
@@ -510,17 +513,27 @@ func (reluStep) run(p *NetworkPlan, x *tensor.Tensor, own bool) (*tensor.Tensor,
 	}
 	n := x.Shape[0]
 	per := len(x.Data) / n
-	return out, p.forSamples(n, func(b int) error {
-		src := x.Data[b*per : (b+1)*per]
-		dst := out.Data[b*per : (b+1)*per]
-		for i, v := range src {
-			if v < 0 {
-				v = 0
-			}
-			dst[i] = v
+	if p.serial(n) {
+		for b := 0; b < n; b++ {
+			reluSample(x, out, b, per)
 		}
+		return out, nil
+	}
+	return out, p.forSamples(n, func(b int) error {
+		reluSample(x, out, b, per)
 		return nil
 	})
+}
+
+func reluSample(x, out *tensor.Tensor, b, per int) {
+	src := x.Data[b*per : (b+1)*per]
+	dst := out.Data[b*per : (b+1)*per]
+	for i, v := range src {
+		if v < 0 {
+			v = 0
+		}
+		dst[i] = v
+	}
 }
 
 // maxPoolStep mirrors MaxPool.Forward's inference loops per sample.
@@ -557,55 +570,66 @@ func (s *maxPoolStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Ten
 		return nil, fmt.Errorf("nn: compiled maxpool empty output for %v", x.Shape)
 	}
 	out := p.newTensor(n, c, oh, ow)
-	return out, p.forSamples(n, func(b int) error {
-		for ch := 0; ch < c; ch++ {
-			inBase := (b*c + ch) * h * w
-			outBase := (b*c + ch) * oh * ow
-			if s.k == 2 && s.stride == 2 {
-				// The ubiquitous 2x2/2 window: two source rows per output
-				// row, four comparisons per element, no window loops. The
-				// running max seeds at -Inf exactly like the generic loop,
-				// so the selected values are identical (incl. NaN inputs).
-				for oy := 0; oy < oh; oy++ {
-					r0 := x.Data[inBase+2*oy*w:][:w]
-					r1 := x.Data[inBase+(2*oy+1)*w:][:w]
-					dst := out.Data[outBase+oy*ow:][:ow]
-					for ox := range dst {
-						v := math.Inf(-1)
-						if r0[2*ox] > v {
-							v = r0[2*ox]
-						}
-						if r0[2*ox+1] > v {
-							v = r0[2*ox+1]
-						}
-						if r1[2*ox] > v {
-							v = r1[2*ox]
-						}
-						if r1[2*ox+1] > v {
-							v = r1[2*ox+1]
-						}
-						dst[ox] = v
-					}
-				}
-				continue
-			}
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					best := math.Inf(-1)
-					for ky := 0; ky < s.k; ky++ {
-						row := inBase + (oy*s.stride+ky)*w + ox*s.stride
-						for kx := 0; kx < s.k; kx++ {
-							if v := x.Data[row+kx]; v > best {
-								best = v
-							}
-						}
-					}
-					out.Data[outBase+oy*ow+ox] = best
-				}
-			}
+	if p.serial(n) {
+		for b := 0; b < n; b++ {
+			s.sample(x, out, b, c, h, w, oh, ow)
 		}
+		return out, nil
+	}
+	return out, p.forSamples(n, func(b int) error {
+		s.sample(x, out, b, c, h, w, oh, ow)
 		return nil
 	})
+}
+
+// sample runs the pooling window loops of one batch sample.
+func (s *maxPoolStep) sample(x, out *tensor.Tensor, b, c, h, w, oh, ow int) {
+	for ch := 0; ch < c; ch++ {
+		inBase := (b*c + ch) * h * w
+		outBase := (b*c + ch) * oh * ow
+		if s.k == 2 && s.stride == 2 {
+			// The ubiquitous 2x2/2 window: two source rows per output
+			// row, four comparisons per element, no window loops. The
+			// running max seeds at -Inf exactly like the generic loop,
+			// so the selected values are identical (incl. NaN inputs).
+			for oy := 0; oy < oh; oy++ {
+				r0 := x.Data[inBase+2*oy*w:][:w]
+				r1 := x.Data[inBase+(2*oy+1)*w:][:w]
+				dst := out.Data[outBase+oy*ow:][:ow]
+				for ox := range dst {
+					v := math.Inf(-1)
+					if r0[2*ox] > v {
+						v = r0[2*ox]
+					}
+					if r0[2*ox+1] > v {
+						v = r0[2*ox+1]
+					}
+					if r1[2*ox] > v {
+						v = r1[2*ox]
+					}
+					if r1[2*ox+1] > v {
+						v = r1[2*ox+1]
+					}
+					dst[ox] = v
+				}
+			}
+			continue
+		}
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := math.Inf(-1)
+				for ky := 0; ky < s.k; ky++ {
+					row := inBase + (oy*s.stride+ky)*w + ox*s.stride
+					for kx := 0; kx < s.k; kx++ {
+						if v := x.Data[row+kx]; v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[outBase+oy*ow+ox] = best
+			}
+		}
+	}
 }
 
 // gapStep mirrors tensor.GlobalAvgPool2D per sample.
@@ -630,17 +654,27 @@ func (gapStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tensor, er
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	out := p.newTensor(n, c)
 	area := float64(h * w)
-	return out, p.forSamples(n, func(b int) error {
-		for ch := 0; ch < c; ch++ {
-			base := (b*c + ch) * h * w
-			var sum float64
-			for i := 0; i < h*w; i++ {
-				sum += x.Data[base+i]
-			}
-			out.Data[b*c+ch] = sum / area
+	if p.serial(n) {
+		for b := 0; b < n; b++ {
+			gapSample(x, out, b, c, h, w, area)
 		}
+		return out, nil
+	}
+	return out, p.forSamples(n, func(b int) error {
+		gapSample(x, out, b, c, h, w, area)
 		return nil
 	})
+}
+
+func gapSample(x, out *tensor.Tensor, b, c, h, w int, area float64) {
+	for ch := 0; ch < c; ch++ {
+		base := (b*c + ch) * h * w
+		var sum float64
+		for i := 0; i < h*w; i++ {
+			sum += x.Data[base+i]
+		}
+		out.Data[b*c+ch] = sum / area
+	}
 }
 
 // denseStep mirrors DenseLayer.Forward (flatten + tensor.Dense arithmetic)
@@ -676,18 +710,28 @@ func (s *denseStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Tenso
 	}
 	weight, bias := s.d.Weight.W, s.d.Bias.W.Data
 	out := p.newTensor(n, outDim)
-	return out, p.forSamples(n, func(b int) error {
-		xrow := x.Data[b*in : (b+1)*in]
-		for o := 0; o < outDim; o++ {
-			wrow := weight.Data[o*in : (o+1)*in]
-			sum := bias[o]
-			for i, v := range xrow {
-				sum += v * wrow[i]
-			}
-			out.Data[b*outDim+o] = sum
+	if p.serial(n) {
+		for b := 0; b < n; b++ {
+			denseSample(x, out, weight, bias, b, in, outDim)
 		}
+		return out, nil
+	}
+	return out, p.forSamples(n, func(b int) error {
+		denseSample(x, out, weight, bias, b, in, outDim)
 		return nil
 	})
+}
+
+func denseSample(x, out, weight *tensor.Tensor, bias []float64, b, in, outDim int) {
+	xrow := x.Data[b*in : (b+1)*in]
+	for o := 0; o < outDim; o++ {
+		wrow := weight.Data[o*in : (o+1)*in]
+		sum := bias[o]
+		for i, v := range xrow {
+			sum += v * wrow[i]
+		}
+		out.Data[b*outDim+o] = sum
+	}
 }
 
 // residualStep runs the compiled body and shortcut chains against the same
@@ -735,7 +779,7 @@ func (s *residualStep) run(p *NetworkPlan, x *tensor.Tensor, _ bool) (*tensor.Te
 		return nil, fmt.Errorf("nn: residual shapes %v vs %v: %w", main.Shape, side.Shape, err)
 	}
 	if sideOwn {
-		p.pool.Put(side.Data)
+		tensor.PutScratch(side)
 	}
 	return main, nil
 }

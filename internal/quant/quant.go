@@ -31,13 +31,30 @@ func NewUnsigned(bits int, maxVal float64) (*Linear, error) {
 }
 
 func newLinear(bits int, maxAbs float64, unsigned bool) (*Linear, error) {
-	if bits < 1 || bits > 32 {
-		return nil, fmt.Errorf("quant: bits %d out of range [1,32]", bits)
-	}
-	if !(maxAbs > 0) || math.IsInf(maxAbs, 1) || math.IsNaN(maxAbs) {
-		return nil, fmt.Errorf("quant: full scale %g must be positive and finite", maxAbs)
+	if err := validateLinear(bits, maxAbs); err != nil {
+		return nil, err
 	}
 	return &Linear{Bits: bits, Max: maxAbs, Unsigned: unsigned}, nil
+}
+
+func validateLinear(bits int, maxAbs float64) error {
+	if bits < 1 || bits > 32 {
+		return fmt.Errorf("quant: bits %d out of range [1,32]", bits)
+	}
+	if !(maxAbs > 0) || math.IsInf(maxAbs, 1) || math.IsNaN(maxAbs) {
+		return fmt.Errorf("quant: full scale %g must be positive and finite", maxAbs)
+	}
+	return nil
+}
+
+// LinearOf is NewLinear returning the quantizer by value — for hot per-sample
+// paths that keep a stack-resident quantizer instead of allocating one per
+// call.
+func LinearOf(bits int, maxAbs float64) (Linear, error) {
+	if err := validateLinear(bits, maxAbs); err != nil {
+		return Linear{}, err
+	}
+	return Linear{Bits: bits, Max: maxAbs}, nil
 }
 
 // Levels returns the number of representable levels.

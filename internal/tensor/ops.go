@@ -153,6 +153,33 @@ func Decimate2D(t *Tensor, stride int) (*Tensor, error) {
 	oh := (h + stride - 1) / stride
 	ow := (w + stride - 1) / stride
 	out := New(n, c, oh, ow)
+	decimate2DInto(out, t, stride)
+	return out, nil
+}
+
+// Decimate2DInto writes the stride-decimated view of NCHW tensor t into out,
+// whose shape must already be the decimated geometry — the allocation-free
+// core of Decimate2D for callers managing their own (e.g. pooled) outputs.
+func Decimate2DInto(out, t *Tensor, stride int) error {
+	if t.Rank() != 4 || out.Rank() != 4 {
+		return fmt.Errorf("tensor: Decimate2DInto wants NCHW, got %v -> %v", t.Shape, out.Shape)
+	}
+	if stride < 1 {
+		return fmt.Errorf("tensor: Decimate2DInto stride %d < 1", stride)
+	}
+	n, c, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	oh := (h + stride - 1) / stride
+	ow := (w + stride - 1) / stride
+	if out.Shape[0] != n || out.Shape[1] != c || out.Shape[2] != oh || out.Shape[3] != ow {
+		return fmt.Errorf("tensor: Decimate2DInto output %v, want [%d %d %d %d]", out.Shape, n, c, oh, ow)
+	}
+	decimate2DInto(out, t, stride)
+	return nil
+}
+
+func decimate2DInto(out, t *Tensor, stride int) {
+	n, c, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	oh, ow := out.Shape[2], out.Shape[3]
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			inBase := (b*c + ch) * h * w
@@ -164,5 +191,4 @@ func Decimate2D(t *Tensor, stride int) (*Tensor, error) {
 			}
 		}
 	}
-	return out, nil
 }

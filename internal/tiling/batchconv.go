@@ -2,6 +2,7 @@ package tiling
 
 import (
 	"fmt"
+	"sync"
 
 	"photofourier/internal/fourier"
 	"photofourier/internal/jtc"
@@ -111,10 +112,17 @@ func (p *Plan) Conv2DPlannedAccumBatch(op *BatchConvOperands) error {
 			maxSpec = sl
 		}
 	}
-	g := getFloats(p.NConv)
-	defer putFloats(g)
-	dst := getFloats(p.NConv + maxLk - 1)
-	defer putFloats(dst)
+	sc := getBatchScratch()
+	defer putBatchScratch(sc)
+	sc.dstStride = p.NConv + maxLk - 1
+	sc.dst = getFloats(fourier.LockstepWidth * sc.dstStride)
+	defer putFloats(sc.dst)
+	sc.sigBuf = getFloats(n * p.NConv)
+	defer putFloats(sc.sigBuf)
+	if cap(sc.sigs) < n {
+		sc.sigs = make([][]float64, n)
+	}
+	sc.sigs = sc.sigs[:n]
 	arenaRe := [2][]float64{getFloats(n * maxSpec), getFloats(n * maxSpec)}
 	arenaIm := [2][]float64{getFloats(n * maxSpec), getFloats(n * maxSpec)}
 	defer func() {
@@ -125,24 +133,32 @@ func (p *Plan) Conv2DPlannedAccumBatch(op *BatchConvOperands) error {
 	}()
 	// One arena view pair per accumulation pass, over the shared pooled
 	// backing (passes run sequentially, so slots are reused between them).
-	passArenas := make([][2]*fourier.SpectrumArena, len(ref.corrs))
+	passes := len(ref.corrs)
+	if cap(sc.arenas) < 2*passes {
+		sc.arenas = make([]fourier.SpectrumArena, 2*passes)
+	}
+	sc.arenas = sc.arenas[:2*passes]
+	if cap(sc.passArenas) < passes {
+		sc.passArenas = make([][2]*fourier.SpectrumArena, passes)
+	}
+	sc.passArenas = sc.passArenas[:passes]
 	for pass := range ref.corrs {
 		bins := ref.corrs[pass].SpectrumLen()
 		for i := 0; i < 2; i++ {
-			a, err := fourier.SpectrumArenaOver(arenaRe[i][:n*bins], arenaIm[i][:n*bins], bins)
-			if err != nil {
+			a := &sc.arenas[2*pass+i]
+			if err := a.Reset(arenaRe[i][:n*bins], arenaIm[i][:n*bins], bins); err != nil {
 				panic(err) // sizes are constructed to fit
 			}
-			passArenas[pass][i] = a
+			sc.passArenas[pass][i] = a
 		}
 	}
 	switch p.Mode {
 	case RowTiling:
-		err = p.batchRowTiled(op, ref, n, g, dst, passArenas)
+		err = p.batchRowTiled(op, ref, n, sc)
 	case PartialRowTiling:
-		err = p.batchPartial(op, ref, n, g, dst, passArenas)
+		err = p.batchPartial(op, ref, n, sc)
 	default:
-		err = p.batchPartitioned(op, ref, n, g, dst, passArenas)
+		err = p.batchPartitioned(op, ref, n, sc)
 	}
 	if err != nil {
 		return err
@@ -234,12 +250,66 @@ func (op *BatchConvOperands) rowsOf(pi, b int) [][]float64 {
 	return part[b]
 }
 
+// batchScratch pools every per-call buffer Conv2DPlannedAccumBatch needs
+// beyond the float planes, so a warmed batch executor runs a whole channel
+// convolution without heap allocation.
+type batchScratch struct {
+	dst       []float64   // LockstepWidth lanes of dstStride convolution output
+	dstStride int         // per-lane stride within dst
+	sigs      [][]float64 // per-sample shot-signal views (nil = sample absent)
+	sigBuf    []float64   // backing for sigs: n * NConv
+
+	arenas     []fourier.SpectrumArena     // 2*passes reusable arena values
+	passArenas [][2]*fourier.SpectrumArena // per-pass (pos, neg) arena views
+
+	// Lockstep flattening state for convolveShotKernels: one pending
+	// convolution lane plus its emit metadata per slot.
+	lanes    []fourier.ConvLane
+	laneAccs [][]float64
+	laneLks  []int
+	laneOuts []int
+}
+
+var batchScratchPool sync.Pool
+
+func getBatchScratch() *batchScratch {
+	sc, _ := batchScratchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{
+			lanes:    make([]fourier.ConvLane, fourier.LockstepWidth),
+			laneAccs: make([][]float64, fourier.LockstepWidth),
+			laneLks:  make([]int, fourier.LockstepWidth),
+			laneOuts: make([]int, fourier.LockstepWidth),
+		}
+	}
+	return sc
+}
+
+func putBatchScratch(sc *batchScratch) { batchScratchPool.Put(sc) }
+
+// flushConvLanes completes the nl pending lockstep lanes and emits each
+// result in queue order.
+func (sc *batchScratch) flushConvLanes(nl, sigLen int, emit func(acc, full []float64, lk int)) error {
+	if err := fourier.ConvolveLanesSoA(sigLen, sc.lanes[:nl]); err != nil {
+		return err
+	}
+	for s := 0; s < nl; s++ {
+		emit(sc.laneAccs[s], sc.lanes[s].Dst[:sc.laneOuts[s]], sc.laneLks[s])
+	}
+	return nil
+}
+
 // convolveShotKernels completes one shot for every (kernel, part, sample)
 // triple: the shot's arena spectra multiply each kernel spectrum and
-// scatter through emit. Loop order is kernel → part → sample; every
-// accumulator sees exactly one addition per shot, so inter-shot order (the
-// caller's) is what fixes bit-identity.
-func (p *Plan) convolveShotKernels(op *BatchConvOperands, n, pass, sigLen int, ar [2]*fourier.SpectrumArena, dst []float64, emit func(acc, full []float64, lk int)) error {
+// scatter through emit. The (term, kernel, sample) scan flattens into
+// lockstep groups of up to LockstepWidth lanes — mixing kernels and samples
+// freely, since every plan of one pass shares transform geometry — and each
+// group runs as ONE batched inverse transform. Emits fire in exactly the
+// scalar scan order; every accumulator sees exactly one addition per shot,
+// so inter-shot order (the caller's) is what fixes bit-identity, and each
+// lane's convolution is itself bit-identical to ConvolveSoAInto.
+func (p *Plan) convolveShotKernels(op *BatchConvOperands, sc *batchScratch, n, pass, sigLen int, ar [2]*fourier.SpectrumArena, emit func(acc, full []float64, lk int)) error {
+	nl := 0
 	for term := 0; term < 4; term++ {
 		accs := op.Accs[term]
 		if accs == nil {
@@ -253,6 +323,7 @@ func (p *Plan) convolveShotKernels(op *BatchConvOperands, n, pass, sigLen int, a
 		for j, kp := range kset {
 			cp := kp.corrs[pass]
 			lk := kp.lks[pass]
+			outLen := cp.OutLen(sigLen)
 			for b := 0; b < n; b++ {
 				if op.rowsOf(pi, b) == nil {
 					continue
@@ -261,20 +332,29 @@ func (p *Plan) convolveShotKernels(op *BatchConvOperands, n, pass, sigLen int, a
 				if acc == nil {
 					continue
 				}
-				full, err := cp.ConvolveSoAInto(dst, ar[pi], b, sigLen)
-				if err != nil {
-					return err
+				re, im := ar[pi].Slot(b)
+				sc.lanes[nl] = fourier.ConvLane{Plan: cp, SpecRe: re, SpecIm: im,
+					Dst: sc.dst[nl*sc.dstStride : nl*sc.dstStride+outLen]}
+				sc.laneAccs[nl], sc.laneLks[nl], sc.laneOuts[nl] = acc, lk, outLen
+				nl++
+				if nl == fourier.LockstepWidth {
+					if err := sc.flushConvLanes(nl, sigLen, emit); err != nil {
+						return err
+					}
+					nl = 0
 				}
-				emit(acc, full, lk)
 			}
 		}
+	}
+	if nl > 0 {
+		return sc.flushConvLanes(nl, sigLen, emit)
 	}
 	return nil
 }
 
-func (p *Plan) batchRowTiled(op *BatchConvOperands, ref *KernelPlan, n int, g, dst []float64, passArenas [][2]*fourier.SpectrumArena) error {
+func (p *Plan) batchRowTiled(op *BatchConvOperands, ref *KernelPlan, n int, sc *batchScratch) error {
 	refCorr := ref.corrs[0]
-	ar := passArenas[0]
+	ar := sc.passArenas[0]
 	colOff := p.padL
 	if p.ColumnPad && p.Pad == tensor.Same {
 		colOff = 0
@@ -285,15 +365,18 @@ func (p *Plan) batchRowTiled(op *BatchConvOperands, ref *KernelPlan, n int, g, d
 			for b := 0; b < n; b++ {
 				rows := op.rowsOf(pi, b)
 				if rows == nil {
+					sc.sigs[b] = nil
 					continue
 				}
+				g := sc.sigBuf[b*p.NConv : (b+1)*p.NConv]
 				p.tileRowsInto(g, rows, rOut0-p.padT, p.RowsPerShot)
-				if err := refCorr.TransformSignalSoA(ar[pi], b, g); err != nil {
-					return err
-				}
+				sc.sigs[b] = g
+			}
+			if err := refCorr.TransformSlotsSoA(ar[pi], sc.sigs); err != nil {
+				return err
 			}
 		}
-		err := p.convolveShotKernels(op, n, 0, len(g), ar, dst, func(acc, full []float64, lk int) {
+		err := p.convolveShotKernels(op, sc, n, 0, p.NConv, ar, func(acc, full []float64, lk int) {
 			p.scatterRowTiledShot(acc, full, lk, rOut0, colOff)
 		})
 		if err != nil {
@@ -303,7 +386,7 @@ func (p *Plan) batchRowTiled(op *BatchConvOperands, ref *KernelPlan, n int, g, d
 	return nil
 }
 
-func (p *Plan) batchPartial(op *BatchConvOperands, ref *KernelPlan, n int, g, dst []float64, passArenas [][2]*fourier.SpectrumArena) error {
+func (p *Plan) batchPartial(op *BatchConvOperands, ref *KernelPlan, n int, sc *batchScratch) error {
 	colOff := p.padL
 	if p.ColumnPad && p.Pad == tensor.Same {
 		colOff = 0
@@ -313,20 +396,23 @@ func (p *Plan) batchPartial(op *BatchConvOperands, ref *KernelPlan, n int, g, ds
 			j0 := pass * p.RowsPerShot
 			nRows := min(p.RowsPerShot, p.K-j0)
 			refCorr := ref.corrs[pass]
-			ar := passArenas[pass]
+			ar := sc.passArenas[pass]
 			for pi := 0; pi < 2; pi++ {
 				for b := 0; b < n; b++ {
 					rows := op.rowsOf(pi, b)
 					if rows == nil {
+						sc.sigs[b] = nil
 						continue
 					}
+					g := sc.sigBuf[b*p.NConv : (b+1)*p.NConv]
 					p.tileRowsInto(g, rows, r-p.padT+j0, nRows)
-					if err := refCorr.TransformSignalSoA(ar[pi], b, g); err != nil {
-						return err
-					}
+					sc.sigs[b] = g
+				}
+				if err := refCorr.TransformSlotsSoA(ar[pi], sc.sigs); err != nil {
+					return err
 				}
 			}
-			err := p.convolveShotKernels(op, n, pass, len(g), ar, dst, func(acc, full []float64, lk int) {
+			err := p.convolveShotKernels(op, sc, n, pass, p.NConv, ar, func(acc, full []float64, lk int) {
 				row := acc[r*p.OutW : (r+1)*p.OutW]
 				for c := 0; c < p.OutW; c++ {
 					idx := c - colOff + lk - 1
@@ -344,7 +430,7 @@ func (p *Plan) batchPartial(op *BatchConvOperands, ref *KernelPlan, n int, g, ds
 	return nil
 }
 
-func (p *Plan) batchPartitioned(op *BatchConvOperands, ref *KernelPlan, n int, seg, dst []float64, passArenas [][2]*fourier.SpectrumArena) error {
+func (p *Plan) batchPartitioned(op *BatchConvOperands, ref *KernelPlan, n int, sc *batchScratch) error {
 	step := p.NConv - p.K + 1
 	if step < 1 {
 		return fmt.Errorf("tiling: NConv %d cannot fit kernel %d with halo", p.NConv, p.K)
@@ -356,15 +442,17 @@ func (p *Plan) batchPartitioned(op *BatchConvOperands, ref *KernelPlan, n int, s
 				continue
 			}
 			refCorr := ref.corrs[j]
-			ar := passArenas[j]
+			ar := sc.passArenas[j]
 			for c0 := 0; c0 < p.OutW; c0 += step {
 				for pi := 0; pi < 2; pi++ {
 					for b := 0; b < n; b++ {
 						rows := op.rowsOf(pi, b)
 						if rows == nil {
+							sc.sigs[b] = nil
 							continue
 						}
 						in := rows[ri]
+						seg := sc.sigBuf[b*p.NConv : (b+1)*p.NConv]
 						for i := range seg {
 							ix := c0 - p.padL + i
 							if ix < 0 || ix >= p.W {
@@ -373,12 +461,13 @@ func (p *Plan) batchPartitioned(op *BatchConvOperands, ref *KernelPlan, n int, s
 								seg[i] = in[ix]
 							}
 						}
-						if err := refCorr.TransformSignalSoA(ar[pi], b, seg); err != nil {
-							return err
-						}
+						sc.sigs[b] = seg
+					}
+					if err := refCorr.TransformSlotsSoA(ar[pi], sc.sigs); err != nil {
+						return err
 					}
 				}
-				err := p.convolveShotKernels(op, n, j, len(seg), ar, dst, func(acc, full []float64, lk int) {
+				err := p.convolveShotKernels(op, sc, n, j, p.NConv, ar, func(acc, full []float64, lk int) {
 					row := acc[r*p.OutW : (r+1)*p.OutW]
 					for c := c0; c < min(c0+step, p.OutW); c++ {
 						row[c] += full[(c-c0)+p.K-1]

@@ -3,7 +3,7 @@ package tiling
 import (
 	"fmt"
 
-	"photofourier/internal/buf"
+	"photofourier/internal/fourier"
 	"photofourier/internal/jtc"
 	"photofourier/internal/tensor"
 )
@@ -58,18 +58,30 @@ func (p *Plan) Conv2DPlannedAccumMany(input [][]float64, kps []*KernelPlan, accs
 	}
 	g := getFloats(p.NConv)
 	defer putFloats(g)
-	dst := getFloats(p.NConv + maxLk - 1)
-	defer putFloats(dst)
-	spec := getComplexes(maxSpec)
-	defer putComplexes(spec)
+	sc := getBatchScratch()
+	defer putBatchScratch(sc)
+	sc.dstStride = p.NConv + maxLk - 1
+	sc.dst = getFloats(fourier.LockstepWidth * sc.dstStride)
+	defer putFloats(sc.dst)
+	// A one-slot arena holds each shot's spectrum in split planes so the
+	// kernel sweep can run as lockstep groups; the backing covers the widest
+	// pass and is repointed (Reset) at each pass's bin count.
+	arRe := getFloats(maxSpec)
+	defer putFloats(arRe)
+	arIm := getFloats(maxSpec)
+	defer putFloats(arIm)
+	if cap(sc.arenas) < 1 {
+		sc.arenas = make([]fourier.SpectrumArena, 1)
+	}
+	sc.arenas = sc.arenas[:1]
 	var err error
 	switch p.Mode {
 	case RowTiling:
-		err = p.convRowTiledAccMany(input, kps, accs, g, dst, spec)
+		err = p.convRowTiledAccMany(input, kps, accs, g, arRe, arIm, sc)
 	case PartialRowTiling:
-		err = p.convPartialAccMany(input, kps, accs, g, dst, spec)
+		err = p.convPartialAccMany(input, kps, accs, g, arRe, arIm, sc)
 	default:
-		err = p.convPartitionedAccMany(input, kps, accs, g, dst, spec)
+		err = p.convPartitionedAccMany(input, kps, accs, g, arRe, arIm, sc)
 	}
 	if err != nil {
 		return err
@@ -78,52 +90,90 @@ func (p *Plan) Conv2DPlannedAccumMany(input [][]float64, kps []*KernelPlan, accs
 	return nil
 }
 
-func (p *Plan) convRowTiledAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, g, dst []float64, spec []complex128) error {
+// convKernelsLockstep sweeps every kernel plan against the one-slot arena
+// spectrum in lockstep groups of up to LockstepWidth, emitting each kernel's
+// full correlation in j order (the scalar sweep order).
+func (p *Plan) convKernelsLockstep(kps []*KernelPlan, pass, sigLen int, a *fourier.SpectrumArena, sc *batchScratch, emit func(j int, full []float64)) error {
+	re, im := a.Slot(0)
+	nl := 0
+	flush := func() error {
+		if err := fourier.ConvolveLanesSoA(sigLen, sc.lanes[:nl]); err != nil {
+			return err
+		}
+		for s := 0; s < nl; s++ {
+			emit(sc.laneLks[s], sc.lanes[s].Dst[:sc.laneOuts[s]])
+		}
+		nl = 0
+		return nil
+	}
+	for j, kp := range kps {
+		cp := kp.corrs[pass]
+		outLen := cp.OutLen(sigLen)
+		sc.lanes[nl] = fourier.ConvLane{Plan: cp, SpecRe: re, SpecIm: im,
+			Dst: sc.dst[nl*sc.dstStride : nl*sc.dstStride+outLen]}
+		sc.laneLks[nl], sc.laneOuts[nl] = j, outLen
+		nl++
+		if nl == fourier.LockstepWidth {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if nl > 0 {
+		return flush()
+	}
+	return nil
+}
+
+func (p *Plan) convRowTiledAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, g, arRe, arIm []float64, sc *batchScratch) error {
 	ref := kps[0].corrs[0]
 	lk := kps[0].lks[0]
 	colOff := p.padL
 	if p.ColumnPad && p.Pad == tensor.Same {
 		colOff = 0
 	}
-	sp := spec[:ref.SpectrumLen()]
+	a := &sc.arenas[0]
+	bins := ref.SpectrumLen()
+	if err := a.Reset(arRe[:bins], arIm[:bins], bins); err != nil {
+		return err
+	}
 	for shot := 0; shot*p.Nor < p.OutH; shot++ {
 		rOut0 := shot * p.Nor
 		p.tileRowsInto(g, input, rOut0-p.padT, p.RowsPerShot)
-		if err := ref.TransformSignal(sp, g); err != nil {
+		if err := ref.TransformSignalSoA(a, 0, g); err != nil {
 			return err
 		}
-		for j, kp := range kps {
-			full, err := kp.corrs[0].ConvolveSpectrumInto(dst, sp, len(g))
-			if err != nil {
-				return err
-			}
+		err := p.convKernelsLockstep(kps, 0, len(g), a, sc, func(j int, full []float64) {
 			p.scatterRowTiledShot(accs[j], full, lk, rOut0, colOff)
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-func (p *Plan) convPartialAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, g, dst []float64, spec []complex128) error {
+func (p *Plan) convPartialAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, g, arRe, arIm []float64, sc *batchScratch) error {
 	colOff := p.padL
 	if p.ColumnPad && p.Pad == tensor.Same {
 		colOff = 0
 	}
+	a := &sc.arenas[0]
 	for r := 0; r < p.OutH; r++ {
 		for pass := range kps[0].corrs {
 			j0 := pass * p.RowsPerShot
 			nRows := min(p.RowsPerShot, p.K-j0)
 			p.tileRowsInto(g, input, r-p.padT+j0, nRows)
 			ref := kps[0].corrs[pass]
-			sp := spec[:ref.SpectrumLen()]
-			if err := ref.TransformSignal(sp, g); err != nil {
+			bins := ref.SpectrumLen()
+			if err := a.Reset(arRe[:bins], arIm[:bins], bins); err != nil {
+				return err
+			}
+			if err := ref.TransformSignalSoA(a, 0, g); err != nil {
 				return err
 			}
 			lk := kps[0].lks[pass]
-			for j, kp := range kps {
-				full, err := kp.corrs[pass].ConvolveSpectrumInto(dst, sp, len(g))
-				if err != nil {
-					return err
-				}
+			err := p.convKernelsLockstep(kps, pass, len(g), a, sc, func(j int, full []float64) {
 				row := accs[j][r*p.OutW : (r+1)*p.OutW]
 				for c := 0; c < p.OutW; c++ {
 					idx := c - colOff + lk - 1
@@ -132,17 +182,21 @@ func (p *Plan) convPartialAccMany(input [][]float64, kps []*KernelPlan, accs [][
 					}
 					row[c] += full[idx]
 				}
+			})
+			if err != nil {
+				return err
 			}
 		}
 	}
 	return nil
 }
 
-func (p *Plan) convPartitionedAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, seg, dst []float64, spec []complex128) error {
+func (p *Plan) convPartitionedAccMany(input [][]float64, kps []*KernelPlan, accs [][]float64, seg, arRe, arIm []float64, sc *batchScratch) error {
 	step := p.NConv - p.K + 1
 	if step < 1 {
 		return fmt.Errorf("tiling: NConv %d cannot fit kernel %d with halo", p.NConv, p.K)
 	}
+	a := &sc.arenas[0]
 	for r := 0; r < p.OutH; r++ {
 		for j := 0; j < p.K; j++ {
 			ri := r - p.padT + j
@@ -151,7 +205,10 @@ func (p *Plan) convPartitionedAccMany(input [][]float64, kps []*KernelPlan, accs
 			}
 			in := input[ri]
 			ref := kps[0].corrs[j]
-			sp := spec[:ref.SpectrumLen()]
+			bins := ref.SpectrumLen()
+			if err := a.Reset(arRe[:bins], arIm[:bins], bins); err != nil {
+				return err
+			}
 			for c0 := 0; c0 < p.OutW; c0 += step {
 				for i := range seg {
 					ix := c0 - p.padL + i
@@ -161,27 +218,20 @@ func (p *Plan) convPartitionedAccMany(input [][]float64, kps []*KernelPlan, accs
 						seg[i] = in[ix]
 					}
 				}
-				if err := ref.TransformSignal(sp, seg); err != nil {
+				if err := ref.TransformSignalSoA(a, 0, seg); err != nil {
 					return err
 				}
-				for ki, kp := range kps {
-					full, err := kp.corrs[j].ConvolveSpectrumInto(dst, sp, len(seg))
-					if err != nil {
-						return err
-					}
+				err := p.convKernelsLockstep(kps, j, len(seg), a, sc, func(ki int, full []float64) {
 					row := accs[ki][r*p.OutW : (r+1)*p.OutW]
 					for c := c0; c < min(c0+step, p.OutW); c++ {
 						row[c] += full[(c-c0)+p.K-1]
 					}
+				})
+				if err != nil {
+					return err
 				}
 			}
 		}
 	}
 	return nil
 }
-
-// complexPool recycles shot spectrum buffers for the many-kernel path.
-var complexPool buf.Pool[complex128]
-
-func getComplexes(n int) []complex128 { return complexPool.Get(n) }
-func putComplexes(s []complex128)     { complexPool.Put(s) }

@@ -13,6 +13,13 @@
 #                 tiling.KernelTileTransforms() deltas recorded per sample,
 #                 so packing wins show up as shot-count reductions, not
 #                 just ns/op (PR 5)
+#   BENCH_8.json  lockstep batched-FFT tiled inference (PR 8): the full
+#                 tiled path (spectrum-arena transforms + SoA convolve)
+#                 after the lockstep rewire — SmallCNN + AlexNetS at batch
+#                 {1,8,32} on the tiled spec with ns/sample, allocs/op,
+#                 shots/sample, and ktransforms/sample, plus the speedup
+#                 against the recorded pre-lockstep tiled baseline and the
+#                 kernel environment (GOAMD64, lockstep width, asm kernels)
 #   BENCH_7.json  device-pool sharded inference (DevicePool.ForwardBatch):
 #                 batch-32 SmallCNN across pool sizes {1,2,4,8} on the
 #                 tiled spec, plus a 4-device pool with one device on a
@@ -22,8 +29,8 @@
 #                 real), because on a starved host wall-clock serializes
 #                 the shards and cannot show device parallelism (PR 7)
 #
-# Usage: scripts/bench.sh [snapshot...]     # e.g. scripts/bench.sh 7
-#   default regenerates only the newest snapshot (7); pass "2 3 5 7" or
+# Usage: scripts/bench.sh [snapshot...]     # e.g. scripts/bench.sh 8
+#   default regenerates only the newest snapshot (8); pass "2 3 5 7 8" or
 #   "all" to regenerate older ones too.
 #   BENCHTIME=5s scripts/bench.sh           # longer sampling
 #   SPEC="accelerator-noisy?nta=8" scripts/bench.sh 3   # engine spec for the
@@ -40,8 +47,8 @@ benchtime="${BENCHTIME:-2s}"
 spec="${SPEC:-accelerator}"
 tiledspec="${TILEDSPEC:-accelerator?tiled=true}"
 poolspec="${POOLSPEC:-accelerator?tiled=true,workers=1}"
-targets="${*:-7}"
-[ "$targets" = "all" ] && targets="2 3 5 7"
+targets="${*:-8}"
+[ "$targets" = "all" ] && targets="2 3 5 7 8"
 
 # fault_of extracts the fault= injector parameter of an engine spec ("" when
 # the spec is fault-free) — every snapshot records it as fault_spec.
@@ -251,6 +258,80 @@ if want 5; then
 				net, tshots[k1], tshots[k8], 1 - tshots[k8] / tshots[k1], tkt[k8]
 		}
 		printf "\n  }\n"
+		printf "}\n"
+	}' >"$out"
+	echo "wrote $out"
+fi
+
+if want 8; then
+	out="${OUT8:-BENCH_8.json}"
+	raw=$(PF_BENCH_ENGINE="$tiledspec" go test -run '^$' \
+		-bench '^BenchmarkNetForwardBatch$' \
+		-benchmem -benchtime "$benchtime" .)
+	printf '%s\n' "$raw"
+
+	# Pre-lockstep tiled baseline on the reference host (PR 7 tree,
+	# accelerator?tiled=true, AlexNetS batch 8): 146977326 ns/op = 18372166
+	# ns/sample. Host-dependent; the speedup field is meaningful only on
+	# comparable hardware.
+	baseline=18372166
+	goamd64=$(go env GOAMD64)
+	[ -n "$goamd64" ] || goamd64=v1
+
+	printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v tiledspec="$tiledspec" \
+		-v baseline="$baseline" -v goamd64="$goamd64" \
+		-v fault="$(fault_of "$tiledspec")" '
+	/^cpu:/ { if (!cpu) { sub(/^cpu: */, ""); cpu = $0 } }
+	/^BenchmarkNetForwardBatch\// {
+		split($1, parts, "/")
+		net = parts[2]
+		wl = parts[3]
+		sub(/-[0-9]+$/, "", wl)
+		key = net "," wl
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") v_ns = $i
+			else if ($(i+1) == "shots/sample") v_sh = $i
+			else if ($(i+1) == "ktransforms/sample") v_kt = $i
+			else if ($(i+1) == "B/op") v_b = $i
+			else if ($(i+1) == "allocs/op") v_al = $i
+		}
+		ns[key] = v_ns; sh[key] = v_sh; kt[key] = v_kt
+		bytes[key] = v_b; allocs[key] = v_al
+		if (!(net in seenNet)) { netOrder[++nn2] = net; seenNet[net] = 1 }
+	}
+	END {
+		printf "{\n"
+		printf "  \"id\": \"BENCH_8\",\n"
+		printf "  \"benchmark\": \"lockstep batched-FFT tiled inference (NetworkPlan.ForwardBatch on the spectrum arena): SmallCNN + AlexNetS, batch {1,8,32}\",\n"
+		printf "  \"engine_spec\": \"%s\",\n", tiledspec
+		printf "  \"fault_spec\": \"%s\",\n", fault
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"kernel_env\": {\"goamd64\": \"%s\", \"lockstep_width\": 8, \"asm_kernels\": \"SSE2 packed 2-lane butterflies (fused first/pair/final2, bitrev swap, inv normalize, rfft/irfft recomb, gather-mul)\"},\n", goamd64
+		printf "  \"forward_batch\": {\n"
+		for (i = 1; i <= nn2; i++) {
+			net = netOrder[i]
+			printf "    \"%s\": {\n", net
+			first = 1
+			split("1 8 32", sizes, " ")
+			for (si = 1; si <= 3; si++) {
+				bsz = sizes[si]
+				wl = "batch" bsz
+				key = net "," wl
+				if (!(key in ns)) continue
+				if (!first) printf ",\n"
+				first = 0
+				printf "      \"%s\": {\"ns_per_op\": %s, \"ns_per_sample\": %.0f, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"shots_per_sample\": %s, \"ktransforms_per_sample\": %s}", \
+					wl, ns[key], ns[key] / bsz, bytes[key], allocs[key], sh[key], kt[key]
+			}
+			printf "\n    }%s\n", (i < nn2) ? "," : ""
+		}
+		printf "  },\n"
+		printf "  \"baseline_tiled_alexnets_batch8_ns_per_sample\": %s,\n", baseline
+		if ("alexnets,batch8" in ns)
+			printf "  \"alexnets_batch8_speedup_vs_baseline\": %.2f,\n", baseline / (ns["alexnets,batch8"] / 8)
+		if ("smallcnn,batch8" in ns)
+			printf "  \"smallcnn_batch8_steady_state_allocs_per_op\": %s\n", allocs["smallcnn,batch8"]
 		printf "}\n"
 	}' >"$out"
 	echo "wrote $out"
