@@ -9,6 +9,8 @@
 //	photofourier -serve-bench          # compiled/batched inference throughput
 //	photofourier -serve-bench -engine "accelerator-noisy?nta=8"
 //	                                   # ... on a specific engine spec
+//	photofourier -sim device-outage    # fleet simulation with an SLO report
+//	photofourier -sim-list             # list named simulation scenarios
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"photofourier/internal/experiments"
+	"photofourier/internal/sim"
 )
 
 func main() {
@@ -35,10 +38,46 @@ func main() {
 	benchFailover := flag.String("serve-failover", "", "serve-bench standby backend spec (e.g. reference); skips the per-sample baseline modes")
 	benchRetries := flag.Int("serve-retries", 0, "serve-bench session primary retries (0 = default 2)")
 	benchBackoff := flag.Duration("serve-backoff", 0, "serve-bench session retry backoff base (0 = retry immediately)")
+	simName := flag.String("sim", "", "run a named fleet-simulation scenario and print its SLO report")
+	simList := flag.Bool("sim-list", false, "list fleet-simulation scenario names and exit")
+	simOut := flag.String("sim-out", "", "sim: write the per-bucket JSONL metrics timeline to this path")
+	simJSON := flag.Bool("sim-json", false, "sim: print the run summary as a single JSON line instead of the report")
+	simSeed := flag.Uint64("sim-seed", 0, "sim: override the scenario seed (0 = scenario default)")
+	simDuration := flag.Duration("sim-duration", 0, "sim: override the scenario duration (0 = scenario default)")
+	simPool := flag.Int("sim-pool", 0, "sim: override the fleet size, replicating the scenario's reference worker (0 = scenario default)")
+	simChaos := flag.Bool("sim-chaos", true, "sim: keep the scenario's fault injection (false strips all worker fault specs)")
+	simAdmission := flag.String("sim-admission", "", "sim: override the admission policy spec (accept-all | token-bucket?rate=,burst=)")
+	simBatching := flag.String("sim-batching", "", "sim: override the batching policy spec (fixed?delay= | adaptive?base=,min=,max=,setpoint=)")
+	simRouting := flag.String("sim-routing", "", "sim: override the routing policy spec (round-robin | least-loaded)")
+	simTrace := flag.String("sim-trace", "", "sim: replay a JSONL arrival trace ({\"at_ns\":..,\"tenant\":..} per line) as the workload, replacing the scenario's synthetic sources")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *simList {
+		fmt.Println(strings.Join(sim.Names(), "\n"))
+		return
+	}
+	if *simName != "" {
+		cfg := simConfig{
+			scenario:  *simName,
+			out:       *simOut,
+			trace:     *simTrace,
+			seed:      *simSeed,
+			duration:  *simDuration,
+			pool:      *simPool,
+			chaos:     *simChaos,
+			admission: *simAdmission,
+			batching:  *simBatching,
+			routing:   *simRouting,
+			jsonOut:   *simJSON,
+		}
+		if err := runSim(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *bench {

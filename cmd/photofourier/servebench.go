@@ -10,6 +10,7 @@ import (
 
 	"photofourier/internal/backend"
 	"photofourier/internal/fault"
+	"photofourier/internal/jtc"
 	"photofourier/internal/nn"
 	"photofourier/internal/pool"
 	"photofourier/internal/serve"
@@ -136,6 +137,7 @@ func serveBench(cfg serveBenchConfig) error {
 	defer session.Close()
 	ctx := context.Background()
 	var failed atomic.Uint64
+	shotRate := jtc.NewShotSampler()
 	batched, err := throughput("batched session", func() error {
 		var wg sync.WaitGroup
 		per := (samples + clients - 1) / clients
@@ -167,6 +169,9 @@ func serveBench(cfg serveBenchConfig) error {
 	} else {
 		fmt.Printf("%d micro-batches, mean width %.1f\n", session.Batches(),
 			float64(session.Samples())/float64(max(session.Batches(), 1)))
+	}
+	if shots, perSec := shotRate.Sample(); shots > 0 {
+		fmt.Printf("jtc shots: %d during batched session (%.0f shots/sec)\n", shots, perSec)
 	}
 	reportResilience(engine, session, int(failed.Load()), samples)
 	if n := failed.Load(); n > 0 {
@@ -213,6 +218,7 @@ func servePoolBench(cfg serveBenchConfig) error {
 
 	ctx := context.Background()
 	var failed atomic.Uint64
+	shotRate := jtc.NewShotSampler()
 	start := time.Now()
 	var wg sync.WaitGroup
 	per := (samples + clients - 1) / clients
@@ -237,11 +243,16 @@ func servePoolBench(cfg serveBenchConfig) error {
 		float64(samples)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
 	fmt.Printf("%d micro-batches, mean width %.1f\n", session.Batches(),
 		float64(session.Samples())/float64(max(session.Batches(), 1)))
+	if shots, perSec := shotRate.Sample(); shots > 0 {
+		fmt.Printf("jtc shots: %d during pooled session (%.0f shots/sec)\n", shots, perSec)
+	}
 
 	h := session.Health()
 	fmt.Printf("health: ready=%v breaker=%v eff-batch=%d retries=%d splits=%d failovers=%d trips=%d exhausted=%d\n",
 		h.Ready, h.BreakerOpen, h.EffectiveMaxBatch,
 		h.Retries, h.BatchSplits, h.Failovers, h.BreakerTrips, h.RecoveryExhausted)
+	fmt.Printf("queue: depth=%d admitted=%d completed=%d shed=%d\n",
+		h.QueueDepth, h.Admitted, h.Completed, h.Shed)
 	c := p.Counters()
 	fmt.Printf("pool: live=%d/%d requests=%d shards=%d hedges=%d hedge-wins=%d quarantines=%d readmits=%d probes=%d exhausted=%d\n",
 		p.Live(), p.Size(), c.Requests, c.Shards, c.Hedges, c.HedgeWins,

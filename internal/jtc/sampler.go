@@ -1,0 +1,49 @@
+// Shot-rate sampling: a small helper that turns the process-wide monotonic
+// shot counter into interval shots/s readings — the live counterpart of the
+// fleet simulator's modeled shots_per_sec metric, so real benchmark runs and
+// simulated scenarios report throughput in the same unit.
+package jtc
+
+import "time"
+
+// ShotSampler reads deltas of a monotonic shot counter over wall-clock
+// intervals. Not safe for concurrent use; give each reporting loop its own
+// sampler.
+type ShotSampler struct {
+	// read returns the monotonic counter (Shots by default); now is the
+	// clock (time.Now by default, injectable for tests).
+	read func() int64
+	now  func() time.Time
+
+	lastShots int64
+	lastAt    time.Time
+}
+
+// NewShotSampler starts a sampler over the process-wide Shots counter,
+// anchored at the current counter value and time: the first Sample reports
+// only shots fired after this call.
+func NewShotSampler() *ShotSampler {
+	return newShotSampler(Shots, time.Now)
+}
+
+func newShotSampler(read func() int64, now func() time.Time) *ShotSampler {
+	s := &ShotSampler{read: read, now: now}
+	s.lastShots = read()
+	s.lastAt = now()
+	return s
+}
+
+// Sample returns the shots fired since the previous Sample (or since
+// NewShotSampler) and the rate over that interval in shots/s, then re-anchors.
+// A zero-length interval reports rate 0 rather than dividing by zero.
+func (s *ShotSampler) Sample() (delta int64, perSec float64) {
+	shots := s.read()
+	at := s.now()
+	delta = shots - s.lastShots
+	if dt := at.Sub(s.lastAt).Seconds(); dt > 0 {
+		perSec = float64(delta) / dt
+	}
+	s.lastShots = shots
+	s.lastAt = at
+	return delta, perSec
+}

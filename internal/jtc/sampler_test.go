@@ -1,0 +1,42 @@
+package jtc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShotSampler(t *testing.T) {
+	var shots int64 = 1000
+	clock := time.Unix(0, 0)
+	s := newShotSampler(func() int64 { return shots }, func() time.Time { return clock })
+
+	// No shots, no time: both zero (and no divide-by-zero).
+	if d, r := s.Sample(); d != 0 || r != 0 {
+		t.Fatalf("idle sample = (%d, %g), want (0, 0)", d, r)
+	}
+
+	// 500 shots over 2 seconds = 250/s.
+	shots += 500
+	clock = clock.Add(2 * time.Second)
+	if d, r := s.Sample(); d != 500 || r != 250 {
+		t.Fatalf("sample = (%d, %g), want (500, 250)", d, r)
+	}
+
+	// Sampling re-anchors: the next interval only sees its own delta.
+	shots += 100
+	clock = clock.Add(500 * time.Millisecond)
+	if d, r := s.Sample(); d != 100 || r != 200 {
+		t.Fatalf("re-anchored sample = (%d, %g), want (100, 200)", d, r)
+	}
+}
+
+func TestShotSamplerLiveCounter(t *testing.T) {
+	s := NewShotSampler()
+	AddShots(42)
+	d, _ := s.Sample()
+	// Parallel tests may fire their own shots; the sampler must see at
+	// least ours and never lose the anchor.
+	if d < 42 {
+		t.Fatalf("delta %d, want >= 42", d)
+	}
+}

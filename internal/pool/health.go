@@ -70,10 +70,17 @@ type device struct {
 	busyNanos atomic.Int64
 }
 
-// score ranks devices for scheduling: lower is healthier. Latency EWMA
-// scaled up by recent consecutive faults; an unmeasured device scores 0 and
-// is tried first.
-func (d *device) score() float64 { return d.ewmaNs * float64(1+d.consecFaults) }
+// HealthScore is the pool's device-ranking function: lower is healthier.
+// Latency EWMA scaled up by recent consecutive faults; an unmeasured device
+// scores 0 and is tried first. Exported so schedulers outside the pool —
+// notably the fleet simulator's health-weighted routing policy — rank by
+// the exact same score the real dispatcher uses.
+func HealthScore(ewmaNs float64, consecFaults int) float64 {
+	return ewmaNs * float64(1+consecFaults)
+}
+
+// score ranks devices for scheduling (see HealthScore).
+func (d *device) score() float64 { return HealthScore(d.ewmaNs, d.consecFaults) }
 
 // acquire blocks until a live, idle device outside tried can be reserved,
 // preferring the healthiest score. nil means no live device outside tried
@@ -287,6 +294,12 @@ type DeviceHealth struct {
 	Busy time.Duration
 	// LastError is the most recent shard or probe error ("" when clean).
 	LastError string
+}
+
+// Score is the row's scheduling rank — HealthScore over the row's EWMA
+// latency and consecutive-fault run (lower is healthier).
+func (h DeviceHealth) Score() float64 {
+	return HealthScore(float64(h.EWMALatency), h.ConsecFaults)
 }
 
 // DeviceHealth returns one row per device, in slot order.

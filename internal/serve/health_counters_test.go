@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"photofourier/internal/tensor"
+)
+
+// gatedExecutor blocks each ForwardBatch until released, so tests can pin
+// the runner mid-batch and control exactly when queued requests are drained.
+type gatedExecutor struct {
+	entered chan struct{} // one send per ForwardBatch entry
+	gate    chan struct{} // one receive per ForwardBatch call
+}
+
+func (g *gatedExecutor) ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
+	g.entered <- struct{}{}
+	<-g.gate
+	out := tensor.New(x.Shape[0], 4)
+	return out, nil
+}
+
+// TestHealthAdmissionCounters pins the admission funnel exposed by Health:
+// QueueDepth reflects waiting requests, Admitted counts queue admissions,
+// Completed counts served requests, and Shed counts admitted requests that
+// were cancelled before execution. Admitted = Completed + Shed once the
+// session drains.
+func TestHealthAdmissionCounters(t *testing.T) {
+	g := &gatedExecutor{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	s, err := NewExecutor(g, Options{MaxBatch: 1, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := sample(1)
+	pinned := make(chan error, 1)
+	// First request: the runner picks it up and blocks in the gated
+	// executor; wait for the pin so the second request cannot overtake it.
+	go func() {
+		_, err := s.Infer(context.Background(), x)
+		pinned <- err
+	}()
+	<-g.entered
+
+	// Second request: admitted into the queue behind the pinned batch, then
+	// cancelled — the runner must shed it when it gets there.
+	shed := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, err := s.Infer(ctx, x)
+		shed <- err
+	}()
+
+	// Wait until the second request sits in the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	h := s.Health()
+	for (h.Admitted != 2 || h.QueueDepth != 1) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		h = s.Health()
+	}
+	if h.Admitted != 2 {
+		t.Fatalf("Admitted = %d, want 2", h.Admitted)
+	}
+	if h.QueueDepth != 1 {
+		t.Fatalf("QueueDepth = %d, want 1 (one pinned in-flight, one waiting)", h.QueueDepth)
+	}
+
+	cancel()
+	// A cancelled Infer returns immediately; the runner sheds the request
+	// when it reaches it.
+	if err := <-shed; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request err = %v", err)
+	}
+	g.gate <- struct{}{} // release the pinned batch
+	if err := <-pinned; err != nil {
+		t.Fatalf("pinned request err = %v", err)
+	}
+
+	for time.Now().Before(deadline) {
+		h = s.Health()
+		if h.Completed == 1 && h.Shed == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	h = s.Health()
+	if h.Completed != 1 || h.Samples != 1 {
+		t.Fatalf("Completed = %d (Samples %d), want 1", h.Completed, h.Samples)
+	}
+	if h.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", h.Shed)
+	}
+	if h.QueueDepth != 0 {
+		t.Fatalf("QueueDepth = %d after drain, want 0", h.QueueDepth)
+	}
+	if h.Admitted != h.Completed+h.Shed {
+		t.Fatalf("funnel broken: admitted %d != completed %d + shed %d", h.Admitted, h.Completed, h.Shed)
+	}
+}

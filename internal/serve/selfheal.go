@@ -210,7 +210,7 @@ func (s *Session) standbyPlan() (*nn.NetworkPlan, error) {
 func (s *Session) deliver(batch []request) {
 	live := batch[:0]
 	for _, req := range batch {
-		if !dropCancelled(req) {
+		if !s.dropCancelled(req) {
 			live = append(live, req)
 		}
 	}
@@ -245,6 +245,7 @@ func (s *Session) deliver(batch []request) {
 		}
 	}
 	s.exhausted.Add(uint64(len(batch)))
+	s.shedN.Add(uint64(len(batch)))
 	err := fmt.Errorf("%w: %w (failover: %v)", ErrRecoveryExhausted, perr, ferr)
 	for _, req := range batch {
 		req.reply <- reply{err: err}
@@ -294,6 +295,15 @@ type Health struct {
 	// Batches / Samples count successful executions (Session.Batches /
 	// Session.Samples).
 	Batches, Samples uint64
+	// QueueDepth is the number of admitted requests currently waiting in
+	// the session queue (not counting the batch being executed).
+	QueueDepth int
+	// Admitted counts requests accepted into the queue; Completed counts
+	// requests served a prediction (== Samples); Shed counts admitted
+	// requests that never produced one — cancelled before execution or
+	// recovery-exhausted. At any instant Admitted ≈ Completed + Shed +
+	// QueueDepth + in-flight.
+	Admitted, Completed, Shed uint64
 	// Retries counts primary forward re-attempts after transient errors.
 	Retries uint64
 	// PrimaryFailures counts primary attempt sequences that ended in error.
@@ -344,6 +354,10 @@ func (s *Session) Health() Health {
 		EffectiveMaxBatch: s.maxBatch(),
 		Batches:           s.batches.Load(),
 		Samples:           s.samples.Load(),
+		QueueDepth:        len(s.reqs),
+		Admitted:          s.admittedN.Load(),
+		Completed:         s.samples.Load(),
+		Shed:              s.shedN.Load(),
 		Retries:           s.retriesN.Load(),
 		PrimaryFailures:   s.primaryFails.Load(),
 		BatchSplits:       s.splits.Load(),

@@ -199,6 +199,14 @@ type Session struct {
 	batches atomic.Uint64
 	samples atomic.Uint64
 
+	// Admission funnel counters (see Health): admittedN counts requests
+	// accepted into the queue; shedN counts admitted requests that never
+	// produced a prediction (cancelled before execution, or recovery
+	// exhausted). Served samples are the samples counter above, so at any
+	// instant admitted ≈ completed + shed + queued + in-flight.
+	admittedN atomic.Uint64
+	shedN     atomic.Uint64
+
 	// Self-healing state (see selfheal.go). net is the plan's source
 	// network, kept so a failover plan can be recompiled onto the standby
 	// backend; the standby plan itself is built lazily and sticks (error
@@ -307,6 +315,7 @@ func (s *Session) Infer(ctx context.Context, x *tensor.Tensor) (*Prediction, err
 	// the read lock, so the send cannot panic.
 	select {
 	case s.reqs <- req:
+		s.admittedN.Add(1)
 		s.mu.RUnlock()
 	case <-ctx.Done():
 		s.mu.RUnlock()
@@ -360,7 +369,7 @@ func (s *Session) run() {
 			}
 			first = req
 		}
-		if dropCancelled(first) {
+		if s.dropCancelled(first) {
 			continue
 		}
 		batch := []request{first}
@@ -375,7 +384,7 @@ func (s *Session) run() {
 			if !ok {
 				break
 			}
-			if dropCancelled(req) {
+			if s.dropCancelled(req) {
 				continue
 			}
 			if !sameShape(req.x.Shape, first.x.Shape) {
@@ -389,11 +398,13 @@ func (s *Session) run() {
 }
 
 // dropCancelled answers an already-cancelled request with its context
-// error and reports whether it was dropped.
-func dropCancelled(req request) bool {
+// error and reports whether it was dropped. A drop counts as shed: the
+// request was admitted but never served.
+func (s *Session) dropCancelled(req request) bool {
 	select {
 	case <-req.ctx.Done():
 		req.reply <- reply{err: req.ctx.Err()}
+		s.shedN.Add(1)
 		return true
 	default:
 		return false
@@ -427,7 +438,7 @@ func (s *Session) next(deadline time.Time) (req request, ok, open bool) {
 func (s *Session) flushRemaining() {
 	var batch []request
 	for req := range s.reqs {
-		if dropCancelled(req) {
+		if s.dropCancelled(req) {
 			continue
 		}
 		if len(batch) > 0 && (!sameShape(req.x.Shape, batch[0].x.Shape) || len(batch) >= s.maxBatch()) {

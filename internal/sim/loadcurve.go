@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// LoadCurve is a smooth periodic load profile in [0,1] built from a handful
+// of random Fourier harmonics — the eipsim diurnal tenant-load generator,
+// adapted onto math/rand/v2. Harmonic n carries a random amplitude and
+// phase, weighted 1/n so low frequencies dominate (one big daily swell with
+// smaller ripples on top); the weighted sum is normalized by the maximum
+// possible magnitude, recentered to 0.5, and clamped to [0,1].
+//
+// The curve has period 1: At(x) evaluates the profile at fraction-of-day x,
+// and At(x+1) == At(x) up to sin rounding. With amplitudes drawn uniformly,
+// the clamp almost never engages and the mean over a full period stays near
+// 0.5 (every harmonic integrates to zero) — both properties are asserted by
+// the load-curve test suite.
+type LoadCurve struct {
+	amplitudes []float64
+	phases     []float64
+}
+
+// NewLoadCurve draws a curve with the given number of harmonics from r.
+// The fundamental's phase is halved, biasing curves toward a single daily
+// peak rather than a symmetric double swing.
+func NewLoadCurve(r *rand.Rand, harmonics int) LoadCurve {
+	c := LoadCurve{
+		amplitudes: make([]float64, harmonics),
+		phases:     make([]float64, harmonics),
+	}
+	for i := range c.amplitudes {
+		c.amplitudes[i] = r.Float64()
+		c.phases[i] = r.Float64()
+	}
+	if harmonics > 0 {
+		c.phases[0] /= 2
+	}
+	return c
+}
+
+// At evaluates the curve at x (period 1; x is the fraction of the diurnal
+// cycle). The result is clamped to [0,1].
+func (c LoadCurve) At(x float64) float64 {
+	var result, max float64
+	for i, a := range c.amplitudes {
+		n := float64(1 + i)
+		max += 1 / n
+		result += a * math.Sin(n*2*math.Pi*(x+c.phases[i])) / n
+	}
+	if max == 0 {
+		return 0.5
+	}
+	result = result/max + 0.5
+	if result < 0 {
+		result = 0
+	}
+	if result > 1 {
+		result = 1
+	}
+	return result
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func curve(seed uint64, harmonics int) LoadCurve {
+	return NewLoadCurve(rand.New(rand.NewPCG(seed, 0)), harmonics)
+}
+
+func TestLoadCurveDeterministic(t *testing.T) {
+	a := curve(42, 4)
+	b := curve(42, 4)
+	for i := 0; i < 1000; i++ {
+		x := float64(i) / 1000
+		if a.At(x) != b.At(x) {
+			t.Fatalf("same seed diverged at x=%g: %g vs %g", x, a.At(x), b.At(x))
+		}
+	}
+	c := curve(43, 4)
+	same := true
+	for i := 0; i < 1000 && same; i++ {
+		x := float64(i) / 1000
+		same = a.At(x) == c.At(x)
+	}
+	if same {
+		t.Fatal("different seeds produced an identical curve")
+	}
+}
+
+func TestLoadCurveClamped(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		c := curve(seed, 4)
+		for i := 0; i < 500; i++ {
+			x := float64(i) / 500
+			v := c.At(x)
+			if v < 0 || v > 1 {
+				t.Fatalf("seed %d: At(%g) = %g outside [0,1]", seed, x, v)
+			}
+		}
+	}
+}
+
+func TestLoadCurvePeriodOne(t *testing.T) {
+	c := curve(7, 4)
+	for i := 0; i < 200; i++ {
+		x := float64(i) / 200
+		if d := math.Abs(c.At(x) - c.At(x+1)); d > 1e-9 {
+			t.Fatalf("At(%g) and At(%g) differ by %g; curve should have period 1", x, x+1, d)
+		}
+	}
+}
+
+// TestLoadCurveDiurnalMean checks the diurnal shape: the curve is centered on
+// 0.5, so its mean over a full day stays near 0.5 (clamping skews individual
+// seeds, hence the tolerance), while single seeds still swing well away from
+// the mean (it is a load curve, not a constant).
+func TestLoadCurveDiurnalMean(t *testing.T) {
+	const steps = 2000
+	swings := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		c := curve(seed, 4)
+		sum, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+		for i := 0; i < steps; i++ {
+			v := c.At(float64(i) / steps)
+			sum += v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		mean := sum / steps
+		if math.Abs(mean-0.5) > 0.12 {
+			t.Fatalf("seed %d: day mean %g too far from 0.5", seed, mean)
+		}
+		if hi-lo > 0.2 {
+			swings++
+		}
+	}
+	if swings < 10 {
+		t.Fatalf("only %d/20 seeds swing by > 0.2 over the day; curves look flat", swings)
+	}
+}

@@ -1,0 +1,323 @@
+// Metrics: the measurement side of the simulator. The recorder folds every
+// event into fixed-duration time buckets and emits one JSON line per bucket
+// plus a final {"summary": ...} line. Everything is written through
+// encoding/json on structs (fixed field order) from deterministic
+// arithmetic, so a seeded run's output is byte-identical across runs.
+//
+// Percentile method (exact, not approximated): per bucket (and for the
+// whole run) the completed-request latencies are sorted ascending and the
+// q-quantile is the nearest-rank statistic — the ceil(q*N)-th smallest
+// sample, 1-based. Buckets with no completions report 0 for all
+// percentiles. Latency is completion time minus original arrival time
+// (sojourn: queueing + batching window + all service attempts including
+// re-dispatch after faults).
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// BucketRecord is one JSONL timeline line: everything that happened in
+// [TNs, TNs+bucket).
+type BucketRecord struct {
+	// TNs is the bucket's start in virtual nanoseconds.
+	TNs int64 `json:"t_ns"`
+	// Arrivals/Admitted/Shed count the admission funnel; Dropped counts
+	// admitted requests no live worker could take (or that ran out of
+	// re-dispatch attempts); Completed counts retired requests.
+	Arrivals  int64 `json:"arrivals"`
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Dropped   int64 `json:"dropped"`
+	Completed int64 `json:"completed"`
+	// P50/P99/P999 are nearest-rank latency percentiles over the bucket's
+	// completions, in ns (0 when the bucket completed nothing).
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+	// QueueDepth is the fleet's queued+in-flight samples sampled at the
+	// bucket's end; LiveWorkers/Quarantined the worker states at the same
+	// instant (carried forward for drain buckets past the horizon).
+	QueueDepth  int `json:"queue_depth"`
+	LiveWorkers int `json:"live_workers"`
+	Quarantined int `json:"quarantined"`
+	// Faults/Quarantines/Probes/Readmits count the health ladder's activity.
+	Faults      int64 `json:"faults"`
+	Quarantines int64 `json:"quarantines"`
+	Probes      int64 `json:"probes"`
+	Readmits    int64 `json:"readmits"`
+	// ShotsPerSec is the bucket's modeled JTC shot rate; ApertureUtil the
+	// fleet's mean aperture occupancy (busy-time fraction weighted by each
+	// worker's packing fill, over all workers).
+	ShotsPerSec  float64 `json:"shots_per_sec"`
+	ApertureUtil float64 `json:"aperture_util"`
+}
+
+// Summary is the run-level report, emitted as the JSONL trailer line
+// {"summary": ...} and returned by Run.
+type Summary struct {
+	Scenario   string `json:"scenario"`
+	Seed       uint64 `json:"seed"`
+	DurationNs int64  `json:"duration_ns"`
+	Workers    int    `json:"workers"`
+	Admission  string `json:"admission"`
+	Batching   string `json:"batching"`
+	Routing    string `json:"routing"`
+
+	Arrivals  int64 `json:"arrivals"`
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Dropped   int64 `json:"dropped"`
+	Completed int64 `json:"completed"`
+	// ShedRate is Shed/Arrivals (0 when nothing arrived).
+	ShedRate float64 `json:"shed_rate"`
+
+	// Whole-run nearest-rank latency percentiles, ns.
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+	// MaxQueueDepth is the deepest bucket-end queue sample.
+	MaxQueueDepth int `json:"max_queue_depth"`
+
+	// ShotsPerSec is total modeled shots over the scenario duration;
+	// MeanApertureUtil the duration-weighted fleet aperture occupancy.
+	ShotsPerSec      float64 `json:"shots_per_sec"`
+	MeanApertureUtil float64 `json:"mean_aperture_util"`
+
+	Faults      int64 `json:"faults"`
+	Quarantines int64 `json:"quarantines"`
+	Probes      int64 `json:"probes"`
+	Readmits    int64 `json:"readmits"`
+
+	// SLOP99Ns is the scenario's p99 ceiling; SLOOK reports whether the run
+	// met it: at least one completion, p99 within the ceiling, and no
+	// admitted request dropped.
+	SLOP99Ns int64 `json:"slo_p99_ns"`
+	SLOOK    bool  `json:"slo_ok"`
+	Buckets  int   `json:"buckets"`
+}
+
+// bucketAcc accumulates one bucket before emission.
+type bucketAcc struct {
+	arrivals, admitted, shed, dropped, completed int64
+	lats                                         []int64
+	shots                                        int64
+	busyNs                                       int64
+	busyUtilNs                                   float64
+	faults, quarantines, probes, readmits        int64
+	queueDepth                                   int
+	live, quar                                   int
+	sampled                                      bool
+}
+
+type recorder struct {
+	bucketNs int64
+	workers  int
+	buckets  []bucketAcc
+	maxDepth int
+	err      error
+}
+
+func newRecorder(bucketNs int64, workers int) *recorder {
+	return &recorder{bucketNs: bucketNs, workers: workers}
+}
+
+func (r *recorder) at(t int64) *bucketAcc {
+	i := int(t / r.bucketNs)
+	if i < 0 {
+		i = 0
+	}
+	for len(r.buckets) <= i {
+		r.buckets = append(r.buckets, bucketAcc{})
+	}
+	return &r.buckets[i]
+}
+
+func (r *recorder) arrival(t int64)  { r.at(t).arrivals++ }
+func (r *recorder) admitted(t int64) { r.at(t).admitted++ }
+func (r *recorder) shed(t int64)     { r.at(t).shed++ }
+func (r *recorder) dropped(t int64)  { r.at(t).dropped++ }
+
+func (r *recorder) completed(t, latNs int64) {
+	b := r.at(t)
+	b.completed++
+	b.lats = append(b.lats, latNs)
+}
+
+func (r *recorder) shots(t, n int64) { r.at(t).shots += n }
+
+func (r *recorder) busy(t, ns int64, util float64) {
+	b := r.at(t)
+	b.busyNs += ns
+	b.busyUtilNs += float64(ns) * util
+}
+
+func (r *recorder) fault(t int64)      { r.at(t).faults++ }
+func (r *recorder) quarantine(t int64) { r.at(t).quarantines++ }
+func (r *recorder) probe(t int64)      { r.at(t).probes++ }
+func (r *recorder) readmit(t int64)    { r.at(t).readmits++ }
+
+func (r *recorder) sample(t int64, depth, live, quar int) {
+	b := r.at(t)
+	b.queueDepth = depth
+	b.live, b.quar = live, quar
+	b.sampled = true
+	if depth > r.maxDepth {
+		r.maxDepth = depth
+	}
+}
+
+// percentile is the nearest-rank statistic over sorted ascending samples:
+// the ceil(q*N)-th smallest, 1-based. Zero samples report 0.
+func percentile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// summary emits the bucket timeline and trailer to w (nil discards) and
+// returns the run summary. Emission errors land in r.err.
+func (r *recorder) summary(sc Scenario, w io.Writer) Summary {
+	sum := Summary{
+		Scenario:   sc.Name,
+		Seed:       sc.Seed,
+		DurationNs: sc.Duration.Nanoseconds(),
+		Workers:    r.workers,
+		Admission:  sc.Admission,
+		Batching:   sc.Batching,
+		Routing:    sc.Routing,
+		SLOP99Ns:   sc.SLOP99.Nanoseconds(),
+		Buckets:    len(r.buckets),
+	}
+	var all []int64
+	var enc *json.Encoder
+	var bw *bufio.Writer
+	if w != nil {
+		bw = bufio.NewWriter(w)
+		enc = json.NewEncoder(bw)
+	}
+	var totalShots int64
+	var totalBusyUtil float64
+	live, quar := r.workers, 0
+	for i := range r.buckets {
+		b := &r.buckets[i]
+		sort.Slice(b.lats, func(x, y int) bool { return b.lats[x] < b.lats[y] })
+		if b.sampled {
+			live, quar = b.live, b.quar
+		}
+		rec := BucketRecord{
+			TNs:          int64(i) * r.bucketNs,
+			Arrivals:     b.arrivals,
+			Admitted:     b.admitted,
+			Shed:         b.shed,
+			Dropped:      b.dropped,
+			Completed:    b.completed,
+			P50Ns:        percentile(b.lats, 0.50),
+			P99Ns:        percentile(b.lats, 0.99),
+			P999Ns:       percentile(b.lats, 0.999),
+			QueueDepth:   b.queueDepth,
+			LiveWorkers:  live,
+			Quarantined:  quar,
+			Faults:       b.faults,
+			Quarantines:  b.quarantines,
+			Probes:       b.probes,
+			Readmits:     b.readmits,
+			ShotsPerSec:  float64(b.shots) / (float64(r.bucketNs) / 1e9),
+			ApertureUtil: b.busyUtilNs / (float64(r.bucketNs) * float64(r.workers)),
+		}
+		if enc != nil && r.err == nil {
+			r.err = enc.Encode(rec)
+		}
+		sum.Arrivals += b.arrivals
+		sum.Admitted += b.admitted
+		sum.Shed += b.shed
+		sum.Dropped += b.dropped
+		sum.Completed += b.completed
+		sum.Faults += b.faults
+		sum.Quarantines += b.quarantines
+		sum.Probes += b.probes
+		sum.Readmits += b.readmits
+		totalShots += b.shots
+		totalBusyUtil += b.busyUtilNs
+		all = append(all, b.lats...)
+	}
+	sort.Slice(all, func(x, y int) bool { return all[x] < all[y] })
+	sum.P50Ns = percentile(all, 0.50)
+	sum.P99Ns = percentile(all, 0.99)
+	sum.P999Ns = percentile(all, 0.999)
+	sum.MaxQueueDepth = r.maxDepth
+	if sum.Arrivals > 0 {
+		sum.ShedRate = float64(sum.Shed) / float64(sum.Arrivals)
+	}
+	if d := sum.DurationNs; d > 0 {
+		sum.ShotsPerSec = float64(totalShots) / (float64(d) / 1e9)
+		sum.MeanApertureUtil = totalBusyUtil / (float64(d) * float64(r.workers))
+	}
+	sum.SLOOK = sum.Completed > 0 && sum.Dropped == 0 && sum.P99Ns <= sum.SLOP99Ns
+	if enc != nil && r.err == nil {
+		r.err = enc.Encode(struct {
+			Summary Summary `json:"summary"`
+		}{sum})
+	}
+	if bw != nil && r.err == nil {
+		r.err = bw.Flush()
+	}
+	return sum
+}
+
+// ValidateJSONL re-parses an emitted metrics stream: every line must be a
+// JSON object, the last one must be the summary trailer, and the bucket
+// count must match the trailer's. It returns the number of bucket lines.
+func ValidateJSONL(r io.Reader) (buckets int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	sawSummary := false
+	var sum Summary
+	for sc.Scan() {
+		line++
+		if sawSummary {
+			return 0, fmt.Errorf("sim: line %d: content after the summary trailer", line)
+		}
+		var probe struct {
+			Summary *Summary `json:"summary"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return 0, fmt.Errorf("sim: line %d: %w", line, err)
+		}
+		if probe.Summary != nil {
+			sawSummary = true
+			sum = *probe.Summary
+			continue
+		}
+		var rec BucketRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return 0, fmt.Errorf("sim: line %d: %w", line, err)
+		}
+		buckets++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("sim: reading metrics: %w", err)
+	}
+	if !sawSummary {
+		return 0, fmt.Errorf("sim: metrics stream has no summary trailer")
+	}
+	if sum.Buckets != buckets {
+		return 0, fmt.Errorf("sim: summary reports %d buckets, stream has %d", sum.Buckets, buckets)
+	}
+	return buckets, nil
+}

@@ -1,0 +1,336 @@
+// Policies: the decision side of the simulator. Each axis — admission,
+// batching, routing — is an interface with at least two swappable
+// implementations, selected by a spec string in the scenario
+// ("token-bucket?rate=2200,burst=500" in the spirit of the backend
+// registry's engine specs). Policies must be pure functions of virtual time
+// and observed state: no wall clock, no private randomness — that is what
+// keeps runs byte-reproducible.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"photofourier/internal/pool"
+)
+
+// Admission decides whether an arrival enters the system or is shed.
+type Admission interface {
+	Name() string
+	// Admit sees the arrival time and the fleet's total queued+in-flight
+	// samples.
+	Admit(now int64, queued int) bool
+}
+
+// AcceptAll admits everything — the open-loop baseline.
+type AcceptAll struct{}
+
+func (AcceptAll) Name() string                     { return "accept-all" }
+func (AcceptAll) Admit(now int64, queued int) bool { return true }
+
+// TokenBucket sheds load beyond a sustained rate with a burst allowance:
+// tokens refill at Rate per second up to Burst, one arrival costs one
+// token, an empty bucket sheds. Refill is computed lazily from virtual
+// time, so the policy is deterministic.
+type TokenBucket struct {
+	Rate   float64 // tokens per second
+	Burst  float64 // bucket capacity
+	tokens float64
+	last   int64
+	primed bool
+}
+
+func (b *TokenBucket) Name() string {
+	return fmt.Sprintf("token-bucket?rate=%g,burst=%g", b.Rate, b.Burst)
+}
+
+func (b *TokenBucket) Admit(now int64, queued int) bool {
+	if !b.primed {
+		b.tokens = b.Burst
+		b.last = now
+		b.primed = true
+	}
+	b.tokens += float64(now-b.last) / 1e9 * b.Rate
+	b.last = now
+	if b.tokens > b.Burst {
+		b.tokens = b.Burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Batching decides how long the oldest queued request may wait for
+// co-batching before its worker closes the batch (a batch also closes
+// immediately at MaxBatch width).
+type Batching interface {
+	Name() string
+	// CloseDelay returns the co-batching window in virtual ns given the
+	// worker's current queue depth (>= 1).
+	CloseDelay(depth int) int64
+}
+
+// FixedDelay always waits the same window — serve.Options.MaxDelay's twin.
+type FixedDelay struct {
+	Delay time.Duration
+}
+
+func (d FixedDelay) Name() string               { return fmt.Sprintf("fixed?delay=%s", d.Delay) }
+func (d FixedDelay) CloseDelay(depth int) int64 { return d.Delay.Nanoseconds() }
+
+// AdaptiveDelay targets a queue-depth setpoint: at depth == Setpoint the
+// window is Base; shallower queues wait proportionally longer (collect more
+// co-batching), deeper queues close faster (drain the backlog), always
+// clamped to [Min, Max].
+type AdaptiveDelay struct {
+	Base     time.Duration
+	Min, Max time.Duration
+	Setpoint int
+}
+
+func (d AdaptiveDelay) Name() string {
+	return fmt.Sprintf("adaptive?base=%s,min=%s,max=%s,setpoint=%d", d.Base, d.Min, d.Max, d.Setpoint)
+}
+
+func (d AdaptiveDelay) CloseDelay(depth int) int64 {
+	if depth < 1 {
+		depth = 1
+	}
+	w := int64(float64(d.Base.Nanoseconds()) * float64(d.Setpoint) / float64(depth))
+	if min := d.Min.Nanoseconds(); w < min {
+		w = min
+	}
+	if max := d.Max.Nanoseconds(); w > max {
+		w = max
+	}
+	return w
+}
+
+// WorkerView is the routing policy's per-worker snapshot.
+type WorkerView struct {
+	ID   int
+	Live bool
+	// Queued and Inflight are the worker's waiting and executing sample
+	// counts.
+	Queued, Inflight int
+	// EWMANs and ConsecFaults feed the pool package's device health score.
+	EWMANs       float64
+	ConsecFaults int
+}
+
+// HealthScore is the worker's scheduling score — pool.HealthScore, the
+// exact ranking the device pool's dispatcher uses on real DeviceHealth
+// rows (lower is healthier; an unmeasured worker scores 0 and is tried
+// first).
+func (v WorkerView) HealthScore() float64 {
+	return pool.HealthScore(v.EWMANs, v.ConsecFaults)
+}
+
+// Routing picks the worker for one admitted (or re-dispatched) request.
+type Routing interface {
+	Name() string
+	// Route returns the chosen worker's ID, or -1 when no live worker
+	// exists.
+	Route(req *Request, workers []WorkerView) int
+}
+
+// RoundRobin rotates over live workers, blind to load and health.
+type RoundRobin struct {
+	next int
+}
+
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+func (r *RoundRobin) Route(req *Request, workers []WorkerView) int {
+	n := len(workers)
+	for i := 0; i < n; i++ {
+		w := workers[(r.next+i)%n]
+		if w.Live {
+			r.next = (w.ID + 1) % n
+			return w.ID
+		}
+	}
+	return -1
+}
+
+// LeastLoaded picks the live worker minimizing occupancy weighted by the
+// pool health score — the simulator twin of the device pool's
+// healthiest-first scored dispatch: (queued + in-flight + 1) x
+// (HealthScore + 1), ties to the lowest ID.
+type LeastLoaded struct{}
+
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+func (LeastLoaded) Route(req *Request, workers []WorkerView) int {
+	best, bestScore := -1, 0.0
+	for _, w := range workers {
+		if !w.Live {
+			continue
+		}
+		score := float64(w.Queued+w.Inflight+1) * (w.HealthScore() + 1)
+		if best < 0 || score < bestScore {
+			best, bestScore = w.ID, score
+		}
+	}
+	return best
+}
+
+// policyParams splits "name?k=v,k=v" into its name and key/value pairs.
+func policyParams(spec string) (name string, params map[string]string, err error) {
+	name, rest, has := strings.Cut(spec, "?")
+	params = map[string]string{}
+	if !has {
+		return name, params, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" || v == "" {
+			return "", nil, fmt.Errorf("sim: policy spec %q: parameter %q is not key=value", spec, kv)
+		}
+		params[k] = v
+	}
+	return name, params, nil
+}
+
+func paramFloat(params map[string]string, key string, def float64) (float64, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func paramDuration(params map[string]string, key string, def time.Duration) (time.Duration, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	return time.ParseDuration(v)
+}
+
+func paramInt(params map[string]string, key string, def int) (int, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func rejectUnknown(kind, spec string, params map[string]string, known ...string) error {
+	for k := range params {
+		found := false
+		for _, ok := range known {
+			if k == ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("sim: %s spec %q: unknown parameter %q", kind, spec, k)
+		}
+	}
+	return nil
+}
+
+// BuildAdmission parses an admission policy spec: "accept-all" or
+// "token-bucket?rate=F,burst=F" (rate defaults to 1000/s, burst to rate/10).
+func BuildAdmission(spec string) (Admission, error) {
+	name, params, err := policyParams(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "", "accept-all":
+		if err := rejectUnknown("admission", spec, params); err != nil {
+			return nil, err
+		}
+		return AcceptAll{}, nil
+	case "token-bucket":
+		if err := rejectUnknown("admission", spec, params, "rate", "burst"); err != nil {
+			return nil, err
+		}
+		rate, err := paramFloat(params, "rate", 1000)
+		if err != nil {
+			return nil, fmt.Errorf("sim: admission spec %q: %w", spec, err)
+		}
+		burst, err := paramFloat(params, "burst", rate/10)
+		if err != nil {
+			return nil, fmt.Errorf("sim: admission spec %q: %w", spec, err)
+		}
+		if rate <= 0 || burst < 1 {
+			return nil, fmt.Errorf("sim: admission spec %q: rate must be > 0 and burst >= 1", spec)
+		}
+		return &TokenBucket{Rate: rate, Burst: burst}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown admission policy %q (have accept-all, token-bucket)", spec)
+}
+
+// BuildBatching parses a batching policy spec: "fixed?delay=D" or
+// "adaptive?base=D,min=D,max=D,setpoint=N".
+func BuildBatching(spec string) (Batching, error) {
+	name, params, err := policyParams(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "", "fixed":
+		if err := rejectUnknown("batching", spec, params, "delay"); err != nil {
+			return nil, err
+		}
+		d, err := paramDuration(params, "delay", 2*time.Millisecond)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batching spec %q: %w", spec, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("sim: batching spec %q: delay must be >= 0", spec)
+		}
+		return FixedDelay{Delay: d}, nil
+	case "adaptive":
+		if err := rejectUnknown("batching", spec, params, "base", "min", "max", "setpoint"); err != nil {
+			return nil, err
+		}
+		base, err := paramDuration(params, "base", 2*time.Millisecond)
+		if err == nil {
+			var min, max time.Duration
+			min, err = paramDuration(params, "min", 250*time.Microsecond)
+			if err == nil {
+				max, err = paramDuration(params, "max", 8*time.Millisecond)
+				if err == nil {
+					var sp int
+					sp, err = paramInt(params, "setpoint", 6)
+					if err == nil {
+						if base <= 0 || min < 0 || max < min || sp < 1 {
+							return nil, fmt.Errorf("sim: batching spec %q: want base > 0, 0 <= min <= max, setpoint >= 1", spec)
+						}
+						return AdaptiveDelay{Base: base, Min: min, Max: max, Setpoint: sp}, nil
+					}
+				}
+			}
+		}
+		return nil, fmt.Errorf("sim: batching spec %q: %w", spec, err)
+	}
+	return nil, fmt.Errorf("sim: unknown batching policy %q (have fixed, adaptive)", spec)
+}
+
+// BuildRouting parses a routing policy spec: "round-robin" or
+// "least-loaded".
+func BuildRouting(spec string) (Routing, error) {
+	name, params, err := policyParams(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := rejectUnknown("routing", spec, params); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "round-robin":
+		return &RoundRobin{}, nil
+	case "", "least-loaded":
+		return LeastLoaded{}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown routing policy %q (have round-robin, least-loaded)", spec)
+}

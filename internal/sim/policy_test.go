@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketRefill(t *testing.T) {
+	b := &TokenBucket{Rate: 10, Burst: 2}
+	// Burst drains in two arrivals at t=0, third sheds.
+	if !b.Admit(0, 0) || !b.Admit(0, 0) {
+		t.Fatal("burst allowance not honored")
+	}
+	if b.Admit(0, 0) {
+		t.Fatal("empty bucket admitted")
+	}
+	// 10 tokens/s ⇒ one token back after 100ms.
+	if !b.Admit(100_000_000, 0) {
+		t.Fatal("bucket did not refill with virtual time")
+	}
+	if b.Admit(100_000_000, 0) {
+		t.Fatal("refill exceeded elapsed time")
+	}
+	// A long idle caps at Burst, not unbounded.
+	if !b.Admit(10_000_000_000, 0) || !b.Admit(10_000_000_000, 0) {
+		t.Fatal("bucket did not refill to burst")
+	}
+	if b.Admit(10_000_000_000, 0) {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+}
+
+func TestAdaptiveDelayMonotonic(t *testing.T) {
+	d := AdaptiveDelay{Base: 2 * time.Millisecond, Min: 250 * time.Microsecond, Max: 8 * time.Millisecond, Setpoint: 6}
+	if got := d.CloseDelay(6); got != (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("at setpoint: %d", got)
+	}
+	prev := d.CloseDelay(1)
+	for depth := 2; depth <= 64; depth++ {
+		w := d.CloseDelay(depth)
+		if w > prev {
+			t.Fatalf("window grew with depth: %d at depth %d > %d at depth %d", w, depth, prev, depth-1)
+		}
+		prev = w
+	}
+	if d.CloseDelay(1) != (8 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("shallow queue should clamp to max: %d", d.CloseDelay(1))
+	}
+	if d.CloseDelay(1000) != (250 * time.Microsecond).Nanoseconds() {
+		t.Fatalf("deep queue should clamp to min: %d", d.CloseDelay(1000))
+	}
+}
+
+func TestRoutingSkipsDeadWorkers(t *testing.T) {
+	views := []WorkerView{
+		{ID: 0, Live: false},
+		{ID: 1, Live: true, Queued: 5},
+		{ID: 2, Live: true, Queued: 1},
+	}
+	rr := &RoundRobin{}
+	if got := rr.Route(&Request{}, views); got != 1 {
+		t.Fatalf("round-robin first pick = %d, want 1 (skipping dead 0)", got)
+	}
+	if got := rr.Route(&Request{}, views); got != 2 {
+		t.Fatalf("round-robin second pick = %d, want 2", got)
+	}
+	if got := (LeastLoaded{}).Route(&Request{}, views); got != 2 {
+		t.Fatalf("least-loaded = %d, want 2 (shortest queue)", got)
+	}
+	dead := []WorkerView{{ID: 0, Live: false}}
+	if got := rr.Route(&Request{}, dead); got != -1 {
+		t.Fatalf("round-robin on dead fleet = %d, want -1", got)
+	}
+	if got := (LeastLoaded{}).Route(&Request{}, dead); got != -1 {
+		t.Fatalf("least-loaded on dead fleet = %d, want -1", got)
+	}
+}
+
+// TestLeastLoadedUsesHealthScore: equal queue depths, but one worker carries
+// a high fault-scaled latency score — the pool health score must break the
+// tie toward the healthy device.
+func TestLeastLoadedUsesHealthScore(t *testing.T) {
+	views := []WorkerView{
+		{ID: 0, Live: true, Queued: 2, EWMANs: 5e6, ConsecFaults: 3},
+		{ID: 1, Live: true, Queued: 2, EWMANs: 5e6, ConsecFaults: 0},
+	}
+	if got := (LeastLoaded{}).Route(&Request{}, views); got != 1 {
+		t.Fatalf("least-loaded = %d, want 1 (lower health score)", got)
+	}
+}
+
+func TestBuildPolicySpecs(t *testing.T) {
+	for _, spec := range []string{"", "accept-all", "token-bucket?rate=100,burst=10"} {
+		if _, err := BuildAdmission(spec); err != nil {
+			t.Fatalf("BuildAdmission(%q): %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"", "fixed?delay=1ms", "adaptive?base=2ms,min=250us,max=8ms,setpoint=6"} {
+		if _, err := BuildBatching(spec); err != nil {
+			t.Fatalf("BuildBatching(%q): %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"", "round-robin", "least-loaded"} {
+		if _, err := BuildRouting(spec); err != nil {
+			t.Fatalf("BuildRouting(%q): %v", spec, err)
+		}
+	}
+	for _, bad := range []string{
+		"bogus",
+		"token-bucket?rate=0",
+		"token-bucket?nope=1",
+		"token-bucket?rate",
+	} {
+		if _, err := BuildAdmission(bad); err == nil {
+			t.Fatalf("BuildAdmission(%q) accepted", bad)
+		}
+	}
+	for _, bad := range []string{"bogus", "fixed?delay=-1ms", "adaptive?setpoint=0", "fixed?x=1"} {
+		if _, err := BuildBatching(bad); err == nil {
+			t.Fatalf("BuildBatching(%q) accepted", bad)
+		}
+	}
+	for _, bad := range []string{"bogus", "round-robin?x=1"} {
+		if _, err := BuildRouting(bad); err == nil {
+			t.Fatalf("BuildRouting(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	if percentile(nil, 0.99) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	s := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 50},  // ceil(5) = 5th
+		{0.99, 100}, // ceil(9.9) = 10th
+		{0.10, 10},  // ceil(1) = 1st
+		{1.0, 100},
+	}
+	for _, c := range cases {
+		if got := percentile(s, c.q); got != c.want {
+			t.Fatalf("percentile(q=%g) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustNamed(t *testing.T, name string) Scenario {
+	t.Helper()
+	sc, err := Named(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestRunReproducible is the bit-reproducibility gate: the same seed and
+// scenario must produce byte-identical JSONL output, run to run. It uses the
+// headline chaos scenario so the fault/quarantine/probe paths are covered by
+// the determinism claim too.
+func TestRunReproducible(t *testing.T) {
+	var a, b bytes.Buffer
+	sc := mustNamed(t, "device-outage")
+	sc.Duration = 30 * time.Second
+	if _, err := Run(sc, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sc, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("run emitted no JSONL")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed + scenario produced different JSONL output")
+	}
+
+	sc.Seed++
+	var c bytes.Buffer
+	if _, err := Run(sc, &c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical JSONL output")
+	}
+}
+
+// TestDeviceOutageHeadline runs the full headline chaos scenario: 4 workers,
+// 32 diurnal tenants, one permanent mid-run outage. Every admitted request
+// must complete (quarantine re-routes the casualty's queue), the quarantine
+// must be visible in the metrics timeline, the dead device must stay out
+// (probes keep failing), and the run must meet its SLO.
+func TestDeviceOutageHeadline(t *testing.T) {
+	var buf bytes.Buffer
+	sum, err := Run(mustNamed(t, "device-outage"), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Arrivals == 0 || sum.Admitted != sum.Arrivals {
+		t.Fatalf("accept-all scenario shed traffic: %+v", sum)
+	}
+	if sum.Dropped != 0 {
+		t.Fatalf("%d admitted requests dropped; outage re-routing must complete everything", sum.Dropped)
+	}
+	if sum.Completed != sum.Admitted {
+		t.Fatalf("completed %d != admitted %d", sum.Completed, sum.Admitted)
+	}
+	if sum.Quarantines != 1 || sum.Faults < 1 {
+		t.Fatalf("want exactly 1 quarantine from the outage, got %d (faults %d)", sum.Quarantines, sum.Faults)
+	}
+	if sum.Readmits != 0 {
+		t.Fatalf("a permanently dead device was readmitted %d times", sum.Readmits)
+	}
+	if sum.Probes == 0 {
+		t.Fatal("no probes ran against the quarantined device")
+	}
+	if !sum.SLOOK {
+		t.Fatalf("headline scenario missed its SLO: p99 %v > %v", time.Duration(sum.P99Ns), time.Duration(sum.SLOP99Ns))
+	}
+
+	// The timeline must show the transition: full fleet live early, one
+	// worker quarantined later, and the quarantine event in some mid-run
+	// bucket (not the first, not the last).
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	nBuckets := len(lines) - 1 // trailer
+	quarBucket := -1
+	for i, ln := range lines[:nBuckets] {
+		if strings.Contains(ln, `"quarantines":1`) {
+			quarBucket = i
+		}
+	}
+	if quarBucket <= 0 || quarBucket >= nBuckets-1 {
+		t.Fatalf("quarantine bucket %d of %d is not mid-run", quarBucket, nBuckets)
+	}
+	if !strings.Contains(lines[0], `"live_workers":4`) {
+		t.Fatalf("first bucket should show 4 live workers: %s", lines[0])
+	}
+	if !strings.Contains(lines[nBuckets-1], `"live_workers":3`) || !strings.Contains(lines[nBuckets-1], `"quarantined":1`) {
+		t.Fatalf("last bucket should show 3 live + 1 quarantined: %s", lines[nBuckets-1])
+	}
+
+	if n, err := ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil || n != sum.Buckets {
+		t.Fatalf("ValidateJSONL: %d buckets, err %v (summary says %d)", n, err, sum.Buckets)
+	}
+}
+
+// TestFlakyDeviceReadmitted exercises the health ladder both ways: a device
+// misfiring 35% of its batches bounces into quarantine and is readmitted by
+// clean probes.
+func TestFlakyDeviceReadmitted(t *testing.T) {
+	sum, err := Run(mustNamed(t, "flaky-device"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Quarantines == 0 {
+		t.Fatal("flaky device never quarantined")
+	}
+	if sum.Readmits == 0 {
+		t.Fatal("flaky device never readmitted; probes should clear transient misfires")
+	}
+	if sum.Dropped != 0 {
+		t.Fatalf("%d requests dropped; re-dispatch should absorb transient faults", sum.Dropped)
+	}
+}
+
+// TestAdmissionPoliciesDiffer pins the policy axes' observable contract:
+// under the flash-crowd surge, accept-all sheds nothing but blows up p99,
+// while the token bucket sheds measurably and keeps p99 low.
+func TestAdmissionPoliciesDiffer(t *testing.T) {
+	base := mustNamed(t, "flash-crowd")
+
+	open := base
+	open.Admission = "accept-all"
+	openSum, err := Run(open, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bucket := base
+	bucket.Admission = "token-bucket?rate=2200,burst=500"
+	bucketSum, err := Run(bucket, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if openSum.ShedRate != 0 {
+		t.Fatalf("accept-all shed %.3f of traffic", openSum.ShedRate)
+	}
+	if bucketSum.ShedRate < 0.01 {
+		t.Fatalf("token bucket shed only %.4f during a 2.5x surge; want a measurable shed rate", bucketSum.ShedRate)
+	}
+	if bucketSum.P99Ns >= openSum.P99Ns {
+		t.Fatalf("shedding should buy latency: token-bucket p99 %v >= accept-all p99 %v",
+			time.Duration(bucketSum.P99Ns), time.Duration(openSum.P99Ns))
+	}
+}
+
+// TestBatchingPoliciesDiffer: a fat fixed batching window forces every
+// request to wait it out; the adaptive window collapses under depth and
+// undercuts it on p99.
+func TestBatchingPoliciesDiffer(t *testing.T) {
+	base := mustNamed(t, "steady")
+
+	fixed := base
+	fixed.Batching = "fixed?delay=8ms"
+	fixedSum, err := Run(fixed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adaptive := base
+	adaptive.Batching = "adaptive?base=2ms,min=250us,max=8ms,setpoint=6"
+	adaptiveSum, err := Run(adaptive, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if adaptiveSum.P99Ns >= fixedSum.P99Ns {
+		t.Fatalf("adaptive batching should undercut a fat fixed window: adaptive p99 %v >= fixed p99 %v",
+			time.Duration(adaptiveSum.P99Ns), time.Duration(fixedSum.P99Ns))
+	}
+}
+
+// TestRoutingPoliciesDiffer: on a fleet with one much slower device,
+// round-robin keeps feeding the straggler while health-weighted least-loaded
+// steers around it — measurably lower p99.
+func TestRoutingPoliciesDiffer(t *testing.T) {
+	sc := Scenario{
+		Name:        "hetero",
+		Seed:        11,
+		Duration:    30 * time.Second,
+		Bucket:      2 * time.Second,
+		PoissonRate: 700,
+		Workers:     homogeneousFleet(3),
+	}
+	sc.Workers[2].BatchBase = 20 * time.Millisecond
+	sc.Workers[2].PerSample = 5 * time.Millisecond
+
+	rr := sc
+	rr.Routing = "round-robin"
+	rrSum, err := Run(rr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ll := sc
+	ll.Routing = "least-loaded"
+	llSum, err := Run(ll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if llSum.P99Ns >= rrSum.P99Ns {
+		t.Fatalf("health-weighted routing should beat round-robin on a straggler fleet: least-loaded p99 %v >= round-robin p99 %v",
+			time.Duration(llSum.P99Ns), time.Duration(rrSum.P99Ns))
+	}
+}
+
+// TestTraceReplay drives the simulator purely from a recorded arrival log
+// and checks exact conservation: every trace entry arrives, is admitted, and
+// completes.
+func TestTraceReplay(t *testing.T) {
+	const n = 500
+	trace := make([]TraceArrival, n)
+	for i := range trace {
+		trace[i] = TraceArrival{AtNs: int64(i) * 2_000_000, Tenant: "replay"}
+	}
+	sc := Scenario{
+		Name:     "trace",
+		Seed:     1,
+		Duration: 5 * time.Second,
+		Bucket:   time.Second,
+		Workers:  homogeneousFleet(1),
+		Trace:    trace,
+	}
+	sum, err := Run(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Arrivals != n || sum.Completed != n || sum.Shed != 0 || sum.Dropped != 0 {
+		t.Fatalf("trace conservation: %+v", sum)
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	in := "{\"at_ns\":100,\"tenant\":\"a\"}\n\n{\"at_ns\":50}\n"
+	got, err := LoadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].AtNs != 100 || got[0].Tenant != "a" || got[1].AtNs != 50 {
+		t.Fatalf("LoadTrace = %+v", got)
+	}
+	if _, err := LoadTrace(strings.NewReader("{\"at_ns\":-1}\n")); err == nil {
+		t.Fatal("negative at_ns accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestValidateJSONLRejects(t *testing.T) {
+	if _, err := ValidateJSONL(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream should fail (no summary trailer)")
+	}
+	if _, err := ValidateJSONL(strings.NewReader("{\"t_ns\":0}\n")); err == nil {
+		t.Fatal("stream without a trailer should fail")
+	}
+	bad := "{\"t_ns\":0}\n{\"summary\":{\"buckets\":5}}\n"
+	if _, err := ValidateJSONL(strings.NewReader(bad)); err == nil {
+		t.Fatal("bucket-count mismatch should fail")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run(Scenario{Name: "x"}, nil); err == nil {
+		t.Fatal("zero-duration scenario accepted")
+	}
+	sc := Scenario{Name: "x", Duration: time.Second, PoissonRate: 1}
+	if _, err := Run(sc, nil); err == nil {
+		t.Fatal("workerless scenario accepted")
+	}
+	sc.Workers = homogeneousFleet(1)
+	sc.Admission = "bogus"
+	if _, err := Run(sc, nil); err == nil {
+		t.Fatal("unknown admission policy accepted")
+	}
+	sc.Admission = ""
+	sc.PoissonRate = 0
+	if _, err := Run(sc, nil); err == nil {
+		t.Fatal("sourceless scenario accepted")
+	}
+	if _, err := Named("no-such"); err == nil {
+		t.Fatal("unknown scenario name accepted")
+	}
+}
+
+func TestNamedScenariosAllRun(t *testing.T) {
+	for _, name := range Names() {
+		sc := mustNamed(t, name)
+		sc.Duration = 10 * time.Second
+		var buf bytes.Buffer
+		sum, err := Run(sc, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sum.Completed == 0 {
+			t.Fatalf("%s: completed nothing", name)
+		}
+		if _, err := ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -28,10 +28,17 @@
 #                 scheduled share — device parallelism modeled, scheduling
 #                 real), because on a starved host wall-clock serializes
 #                 the shards and cannot show device parallelism (PR 7)
+#   BENCH_9.json  fleet simulation (internal/sim, PR 9): the device-outage
+#                 headline scenario — 32 diurnal tenants on a 4-device pool
+#                 with one permanent mid-run outage — at pool {1,4}, outage
+#                 vs clean. Records each run summary (latency percentiles,
+#                 shed rate, shots/s, quarantine activity, SLO verdict);
+#                 fully deterministic (virtual clock, seeded), so the
+#                 snapshot is a reproducible artifact, not a sample
 #
 # Usage: scripts/bench.sh [snapshot...]     # e.g. scripts/bench.sh 8
-#   default regenerates only the newest snapshot (8); pass "2 3 5 7 8" or
-#   "all" to regenerate older ones too.
+#   default regenerates only snapshot 8; pass "2 3 5 7 8 9" or "all" to
+#   regenerate older ones too.
 #   BENCHTIME=5s scripts/bench.sh           # longer sampling
 #   SPEC="accelerator-noisy?nta=8" scripts/bench.sh 3   # engine spec for the
 #       net-level snapshot (recorded in the JSON; default "accelerator")
@@ -39,16 +46,42 @@
 #       BENCH_5 shot-accounting pass
 #   POOLSPEC="accelerator?tiled=true,workers=1" scripts/bench.sh 7   # the
 #       per-device spec the BENCH_7 pool replicates
+#   SIMDUR=30s scripts/bench.sh 9           # shorter virtual horizon for the
+#       BENCH_9 simulation runs (default: the scenario's 120s)
 #   OUT2=/tmp/b2.json OUT3=/tmp/b3.json OUT5=/tmp/b5.json OUT7=/tmp/b7.json \
-#       scripts/bench.sh all
+#       OUT9=/tmp/b9.json scripts/bench.sh all
 set -eu
 cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-2s}"
 spec="${SPEC:-accelerator}"
 tiledspec="${TILEDSPEC:-accelerator?tiled=true}"
 poolspec="${POOLSPEC:-accelerator?tiled=true,workers=1}"
-targets="${*:-8}"
-[ "$targets" = "all" ] && targets="2 3 5 7 8"
+
+usage() {
+	echo "usage: scripts/bench.sh [snapshot...]" >&2
+	echo "  snapshots: 2 3 5 7 8 9, or \"all\" (default: 8)" >&2
+	exit 2
+}
+
+# No args defaults to snapshot 8; an explicitly empty/blank argument is an
+# error, not a silent default.
+if [ "$#" -gt 0 ]; then
+	targets="$*"
+else
+	targets="8"
+fi
+[ "$targets" = "all" ] && targets="2 3 5 7 8 9"
+nvalid=0
+for t in $targets; do
+	case "$t" in
+	2 | 3 | 5 | 7 | 8 | 9) nvalid=$((nvalid + 1)) ;;
+	*)
+		echo "bench.sh: unknown snapshot \"$t\"" >&2
+		usage
+		;;
+	esac
+done
+[ "$nvalid" -gt 0 ] || usage
 
 # fault_of extracts the fault= injector parameter of an engine spec ("" when
 # the spec is fault-free) — every snapshot records it as fault_spec.
@@ -385,5 +418,55 @@ if want 7; then
 		printf "  \"outage_modeled_speedup_vs_pool1\": %.2f\n", mod["pool1"] / mod["pool4-outage"]
 		printf "}\n"
 	}' >"$out"
+	echo "wrote $out"
+fi
+
+if want 9; then
+	out="${OUT9:-BENCH_9.json}"
+	simdur="${SIMDUR:-}"
+	durflag=""
+	[ -n "$simdur" ] && durflag="-sim-duration $simdur"
+	# Three deterministic runs of the headline scenario: single clean worker,
+	# the full 4-worker fleet clean, and the fleet with its mid-run outage.
+	# $durflag is intentionally unquoted: empty expands to no flag.
+	# shellcheck disable=SC2086
+	pool1=$(go run ./cmd/photofourier -sim device-outage -sim-json -sim-pool 1 -sim-chaos=false $durflag)
+	# shellcheck disable=SC2086
+	clean4=$(go run ./cmd/photofourier -sim device-outage -sim-json -sim-chaos=false $durflag)
+	# shellcheck disable=SC2086
+	outage4=$(go run ./cmd/photofourier -sim device-outage -sim-json $durflag)
+	printf 'pool1 clean:  %s\n' "$pool1"
+	printf 'pool4 clean:  %s\n' "$clean4"
+	printf 'pool4 outage: %s\n' "$outage4"
+
+	# field NAME JSON — pull a scalar out of a one-line summary.
+	field() {
+		printf '%s' "$2" | awk -v key="\"$1\":" '{
+			i = index($0, key)
+			if (!i) { print 0; exit }
+			s = substr($0, i + length(key))
+			sub(/[,}].*/, "", s)
+			print s + 0
+		}'
+	}
+
+	p991=$(field p99_ns "$pool1")
+	p99c=$(field p99_ns "$clean4")
+	p99o=$(field p99_ns "$outage4")
+	{
+		printf '{\n'
+		printf '  "id": "BENCH_9",\n'
+		printf '  "benchmark": "fleet simulation (internal/sim): device-outage headline scenario, 32 diurnal tenants, pool {1,4}, outage vs clean",\n'
+		printf '  "scenario": "device-outage",\n'
+		printf '  "sim_duration_override": "%s",\n' "$simdur"
+		printf '  "pool1_clean": %s,\n' "$pool1"
+		printf '  "pool4_clean": %s,\n' "$clean4"
+		printf '  "pool4_outage": %s,\n' "$outage4"
+		awk -v p1="$p991" -v c="$p99c" -v o="$p99o" 'BEGIN {
+			printf "  \"pool4_vs_pool1_p99_speedup\": %.2f,\n", (c > 0) ? p1 / c : 0
+			printf "  \"outage_vs_clean_p99_ratio\": %.3f\n", (c > 0) ? o / c : 0
+		}'
+		printf '}\n'
+	} >"$out"
 	echo "wrote $out"
 fi
