@@ -50,6 +50,7 @@ func main() {
 	simBatching := flag.String("sim-batching", "", "sim: override the batching policy spec (fixed?delay= | adaptive?base=,min=,max=,setpoint=)")
 	simRouting := flag.String("sim-routing", "", "sim: override the routing policy spec (round-robin | least-loaded)")
 	simTrace := flag.String("sim-trace", "", "sim: replay a JSONL arrival trace ({\"at_ns\":..,\"tenant\":..} per line) as the workload, replacing the scenario's synthetic sources")
+	simCalibrate := flag.String("sim-calibrate", "", "sim: comma-separated BENCH snapshot JSON paths (BENCH_3/5/8 layouts); derives every worker's BatchBase/PerSample/ShotsPerSample from the measured tables instead of the hand-tuned defaults")
 	flag.Parse()
 
 	if *list {
@@ -72,6 +73,7 @@ func main() {
 			admission: *simAdmission,
 			batching:  *simBatching,
 			routing:   *simRouting,
+			calibrate: *simCalibrate,
 			jsonOut:   *simJSON,
 		}
 		if err := runSim(cfg); err != nil {

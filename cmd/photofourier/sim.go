@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"photofourier/internal/sim"
@@ -22,6 +23,7 @@ type simConfig struct {
 	admission string
 	batching  string
 	routing   string
+	calibrate string // comma-separated BENCH snapshot paths ("" = hand-tuned costs)
 	jsonOut   bool
 }
 
@@ -72,6 +74,19 @@ func runSim(cfg simConfig) error {
 	}
 	if cfg.routing != "" {
 		sc.Routing = cfg.routing
+	}
+	if cfg.calibrate != "" {
+		cal, err := sim.CalibrateWorkers(strings.Split(cfg.calibrate, ",")...)
+		if err != nil {
+			return err
+		}
+		for i := range sc.Workers {
+			sc.Workers[i] = cal.Apply(sc.Workers[i])
+		}
+		if !cfg.jsonOut {
+			fmt.Printf("calibrated: base=%v per-sample=%v shots/sample=%d (from %s)\n",
+				cal.BatchBase, cal.PerSample, cal.ShotsPerSample, strings.Join(cal.Sources, " "))
+		}
 	}
 	if cfg.trace != "" {
 		f, err := os.Open(cfg.trace)

@@ -409,8 +409,20 @@ func compactPlanes(dst, src []float64, planes, rows, sd, ow int) {
 // only (padding contributes exact +0), so each (sample, channel) output
 // plane is bit-identical to the single-sample fused sweep's.
 func (lp *LayerPlan) sweepBatchDirect(bp *batchParts, g padGeom, n int, groups [][2]int, ps *psumSet, workers int) error {
-	cout, cin, k := lp.cout, lp.cin, lp.k
-	return parallelFor(cout, workers, func(oc int) error {
+	return lp.sweepBatchDirectRange(bp, g, n, groups, ps, workers, 0, lp.cout, lp.cout)
+}
+
+// sweepBatchDirectRange is sweepBatchDirect restricted to output channels
+// [ocLo, ocHi): channel oc lands at destination plane index oc-ocLo of
+// partial-sum buffers holding dstCout planes per sample. The full sweep is
+// the ocLo=0, ocHi=dstCout=cout case; a channel-sharded range sweep
+// produces, per in-range channel, exactly the stripes the full sweep would
+// (per-channel work items are independent).
+func (lp *LayerPlan) sweepBatchDirectRange(bp *batchParts, g padGeom, n int, groups [][2]int, ps *psumSet, workers, ocLo, ocHi, dstCout int) error {
+	cin, k := lp.cin, lp.k
+	return parallelFor(ocHi-ocLo, workers, func(item int) error {
+		oc := ocLo + item
+		dstOC := oc - ocLo
 		// Tap scratch is per work item: workers must not share it.
 		var stack [50]sweepTap
 		taps := stack[:]
@@ -446,11 +458,11 @@ func (lp *LayerPlan) sweepBatchDirect(bp *batchParts, g padGeom, n int, groups [
 					}
 				}
 				if len(pos) > 0 {
-					lp.sweepTapChains(bp, g, n, oc, ic, pos, tPP, tNP, posFirst)
+					lp.sweepTapChains(bp, g, n, dstOC, dstCout, ic, pos, tPP, tNP, posFirst)
 					posFirst = false
 				}
 				if len(neg) > 0 {
-					lp.sweepTapChains(bp, g, n, oc, ic, neg, tPN, tNN, negFirst)
+					lp.sweepTapChains(bp, g, n, dstOC, dstCout, ic, neg, tPN, tNN, negFirst)
 					negFirst = false
 				}
 			}
@@ -458,10 +470,10 @@ func (lp *LayerPlan) sweepBatchDirect(bp *batchParts, g padGeom, n int, groups [
 			// planes unwritten; clear them so readout sees the zeros the
 			// zero-initialized path would.
 			if posFirst {
-				lp.clearPair(g, n, oc, tPP, tNP)
+				lp.clearPair(g, n, dstOC, dstCout, tPP, tNP)
 			}
 			if negFirst {
-				lp.clearPair(g, n, oc, tPN, tNN)
+				lp.clearPair(g, n, dstOC, dstCout, tPN, tNN)
 			}
 		}
 		return nil
@@ -469,10 +481,11 @@ func (lp *LayerPlan) sweepBatchDirect(bp *batchParts, g padGeom, n int, groups [
 }
 
 // clearPair zeroes one (output channel, group) stripe of a cross-term pair,
-// the no-contribution fallback of the store-first sweep.
-func (lp *LayerPlan) clearPair(g padGeom, n, oc int, dp, dn []float64) {
+// the no-contribution fallback of the store-first sweep. dstOC/dstCout
+// locate the channel's destination plane (see sweepBatchDirectRange).
+func (lp *LayerPlan) clearPair(g padGeom, n, dstOC, dstCout int, dp, dn []float64) {
 	for b := 0; b < n; b++ {
-		dstBase := (b*lp.cout + oc) * g.dstPlane
+		dstBase := (b*dstCout + dstOC) * g.dstPlane
 		if dp != nil {
 			clear(dp[dstBase : dstBase+g.span])
 		}
@@ -486,8 +499,8 @@ func (lp *LayerPlan) clearPair(g padGeom, n, oc int, dp, dn []float64) {
 // input channel) pair to every sample: chains of up to three taps each
 // sweep a sample's full padded plane span before the next chain starts,
 // preserving per-element tap order.
-func (lp *LayerPlan) sweepTapChains(bp *batchParts, g padGeom, n, oc, ic int, taps []sweepTap, dp, dn []float64, store bool) {
-	cout, cin := lp.cout, lp.cin
+func (lp *LayerPlan) sweepTapChains(bp *batchParts, g padGeom, n, dstOC, dstCout, ic int, taps []sweepTap, dp, dn []float64, store bool) {
+	cin := lp.cin
 	for t := 0; t < len(taps); t += 3 {
 		ch := taps[t:]
 		if len(ch) > 3 {
@@ -496,7 +509,7 @@ func (lp *LayerPlan) sweepTapChains(bp *batchParts, g padGeom, n, oc, ic int, ta
 		z := store && t == 0
 		for b := 0; b < n; b++ {
 			srcBase := (b*cin + ic) * g.srcPlane
-			dstBase := (b*cout + oc) * g.dstPlane
+			dstBase := (b*dstCout + dstOC) * g.dstPlane
 			mixed := bp.hasPos[b] && bp.hasNeg[b]
 			switch {
 			case mixed:

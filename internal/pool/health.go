@@ -49,6 +49,9 @@ type device struct {
 	id   int
 	spec string
 	plan *nn.NetworkPlan
+	// chanSteps is the plan lowered for output-channel sharding (populated
+	// by New when Options.Shard is ShardChannel).
+	chanSteps []nn.ChannelStep
 
 	// run serializes counter alignment and execution on the physical
 	// device; the probe loop takes it too, so readmission drains first.

@@ -22,6 +22,8 @@ package pool
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,6 +32,22 @@ import (
 	"photofourier/internal/backend"
 	"photofourier/internal/nn"
 	"photofourier/internal/tensor"
+)
+
+// Shard strategies (Options.Shard / the shard= spec key).
+const (
+	// ShardSample splits a request's samples across devices (the default):
+	// throughput scales with pool size, batch-1 latency does not.
+	ShardSample = "sample"
+	// ShardChannel splits every layer's output channels across devices and
+	// merges partial activations — intra-sample parallelism that cuts
+	// batch-1 latency. Requires a homogeneous pool and channel-shardable
+	// plans (see nn.ChannelShardSteps).
+	ShardChannel = "channel"
+	// ShardPipeline assigns contiguous layer stages to devices and streams
+	// samples through them — sample i runs stage l while sample i+1 runs
+	// stage l-1, within one request and across concurrent requests.
+	ShardPipeline = "pipeline"
 )
 
 // Typed sentinel errors; test with errors.Is.
@@ -74,6 +92,16 @@ type Options struct {
 	// MinHedge floors the derived hedge delay (default 500µs).
 	MinHedge time.Duration
 
+	// Shard selects the execution strategy: ShardSample (default),
+	// ShardChannel, or ShardPipeline.
+	Shard string
+	// Debug enables the scheduling decision log: one line per device/shard
+	// assignment, written to DecisionLog.
+	Debug bool
+	// DecisionLog receives decision-log lines when Debug is set (default
+	// os.Stderr). Writes are serialized by the pool.
+	DecisionLog io.Writer
+
 	// Test seams (package-internal): deterministic clock and timer.
 	now   func() time.Time
 	after func(time.Duration) <-chan time.Time
@@ -86,6 +114,12 @@ func (o Options) validate() error {
 	if o.MaxShards < 0 || o.QuarantineThreshold < 0 || o.ProbeInterval < 0 ||
 		o.HedgeDelay < 0 || o.HedgeFactor < 0 || o.MinHedge < 0 {
 		return fmt.Errorf("%w: negative option", ErrBadPool)
+	}
+	switch o.Shard {
+	case "", ShardSample, ShardChannel, ShardPipeline:
+	default:
+		return fmt.Errorf("%w: unknown shard strategy %q (want %s|%s|%s)",
+			ErrBadPool, o.Shard, ShardSample, ShardChannel, ShardPipeline)
 	}
 	return nil
 }
@@ -105,6 +139,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinHedge < 1 {
 		o.MinHedge = 500 * time.Microsecond
+	}
+	if o.Shard == "" {
+		o.Shard = ShardSample
+	}
+	if o.Debug && o.DecisionLog == nil {
+		o.DecisionLog = os.Stderr
 	}
 	if o.now == nil {
 		o.now = time.Now
@@ -151,6 +191,18 @@ type DevicePool struct {
 	ring  [latencyRingSize]float64
 	ringI int
 	ringN int
+
+	// intraMu serializes channel-sharded requests, which occupy every live
+	// device in lockstep (pipelined and sample-sharded requests run
+	// concurrently and never take it).
+	intraMu sync.Mutex
+	// pipeMu guards the cached pipeline stage assignment and the per-shape
+	// step metadata/cost cache. Lock order: pipeMu before mu.
+	pipeMu    sync.Mutex
+	pipe      *pipeAssign
+	pipeMetas map[[3]int]*pipeShape
+	// logMu serializes decision-log writes.
+	logMu sync.Mutex
 
 	stop      chan struct{}
 	probeDone chan struct{}
@@ -207,9 +259,32 @@ func New(net *nn.Network, opts Options) (*DevicePool, error) {
 		}
 		p.devs = append(p.devs, &device{id: i, spec: eng.String(), plan: plan, state: stateLive})
 	}
+	if p.opts.Shard == ShardChannel {
+		for _, d := range p.devs {
+			if d.spec != p.devs[0].spec {
+				return nil, fmt.Errorf("%w: shard=channel needs a homogeneous pool: device %d spec %q differs from %q (every device must hold the full weight set and seed)",
+					ErrBadPool, d.id, d.spec, p.devs[0].spec)
+			}
+			steps, err := d.plan.ChannelShardSteps()
+			if err != nil {
+				return nil, fmt.Errorf("%w: shard=channel: device %d: %v", ErrBadPool, d.id, err)
+			}
+			d.chanSteps = steps
+		}
+	}
 	p.spec = synthesizeSpec(p.opts)
 	go p.probeLoop()
 	return p, nil
+}
+
+// logf emits one scheduling decision-log line (no-op unless Options.Debug).
+func (p *DevicePool) logf(format string, args ...any) {
+	if !p.opts.Debug || p.opts.DecisionLog == nil {
+		return
+	}
+	p.logMu.Lock()
+	fmt.Fprintf(p.opts.DecisionLog, "pool: decision "+format+"\n", args...)
+	p.logMu.Unlock()
 }
 
 // Source returns the pool's shared network — the serve layer recompiles a
@@ -329,11 +404,17 @@ func (p *DevicePool) ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if p.isClosed() {
 		return nil, ErrPoolClosed
 	}
-	p.requests.Add(1)
+	req := p.requests.Add(1)
 	p.ensureCanary(x)
 	// Reserve the request's call block on the logical frontier exactly as
 	// the single-engine ForwardBatch would have.
 	base := p.calls.Add(uint64(n)*p.stride) - uint64(n)*p.stride
+	switch p.opts.Shard {
+	case ShardChannel:
+		return p.forwardChannel(x, base, req)
+	case ShardPipeline:
+		return p.forwardPipeline(x, base, req)
+	}
 	live := p.Live()
 	if live == 0 {
 		p.exhausted.Add(1)
@@ -365,7 +446,7 @@ func (p *DevicePool) ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
 		wg.Add(1)
 		go func(i, lo int, view *tensor.Tensor, hint *device) {
 			defer wg.Done()
-			out, err := p.runShard(base, lo, view, hint)
+			out, err := p.runShard(req, base, lo, view, hint)
 			results[i] = shardOut{lo: lo, out: out, err: err}
 		}(i, lo, view, hint)
 		lo = hi
@@ -428,7 +509,7 @@ type shardResult struct {
 // retrying across live devices (each at most once) and hedging stragglers.
 // The first attempt honors the dispatch-time stripe hint; retries fall back
 // to the scored acquire.
-func (p *DevicePool) runShard(base uint64, lo int, view *tensor.Tensor, hint *device) (*tensor.Tensor, error) {
+func (p *DevicePool) runShard(req, base uint64, lo int, view *tensor.Tensor, hint *device) (*tensor.Tensor, error) {
 	tried := make(map[*device]bool)
 	var lastErr error
 	for {
@@ -438,7 +519,7 @@ func (p *DevicePool) runShard(base uint64, lo int, view *tensor.Tensor, hint *de
 			break
 		}
 		tried[d] = true
-		out, err := p.runHedged(d, tried, base, lo, view)
+		out, err := p.runHedged(req, d, tried, base, lo, view)
 		if err == nil {
 			return out, nil
 		}
@@ -458,9 +539,9 @@ func (p *DevicePool) runShard(base uint64, lo int, view *tensor.Tensor, hint *de
 // wins; a first result that is an error waits for the duplicate instead of
 // discarding it. The loser is not interrupted — its shots are real and stay
 // counted — but its result is dropped.
-func (p *DevicePool) runHedged(d *device, tried map[*device]bool, base uint64, lo int, view *tensor.Tensor) (*tensor.Tensor, error) {
+func (p *DevicePool) runHedged(req uint64, d *device, tried map[*device]bool, base uint64, lo int, view *tensor.Tensor) (*tensor.Tensor, error) {
 	primary := make(chan shardResult, 1)
-	go p.execOn(d, base, lo, view, primary)
+	go p.execOn(req, d, base, lo, view, primary)
 	delay := p.hedgeDelay()
 	if delay <= 0 {
 		r := <-primary
@@ -479,7 +560,7 @@ func (p *DevicePool) runHedged(d *device, tried map[*device]bool, base uint64, l
 		tried[h] = true
 		p.hedges.Add(1)
 		hedge = make(chan shardResult, 1)
-		go p.execOn(h, base, lo, view, hedge)
+		go p.execOn(req, h, base, lo, view, hedge)
 	}
 	select {
 	case r := <-primary:
@@ -508,7 +589,8 @@ func (p *DevicePool) runHedged(d *device, tried map[*device]bool, base uint64, l
 // execOn aligns d's engine counter to the shard's call block and runs it.
 // The device lock serializes alignment and execution — one shard occupies
 // one physical device at a time, which is what makes alignment sound.
-func (p *DevicePool) execOn(d *device, base uint64, lo int, view *tensor.Tensor, ch chan<- shardResult) {
+func (p *DevicePool) execOn(req uint64, d *device, base uint64, lo int, view *tensor.Tensor, ch chan<- shardResult) {
+	p.logf("req=%d mode=sample dev=%d base=%d samples=[%d,%d)", req, d.id, base, lo, lo+view.Shape[0])
 	d.run.Lock()
 	start := time.Now()
 	d.plan.AlignEngineCalls(base + uint64(lo)*p.stride)

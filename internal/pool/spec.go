@@ -16,6 +16,8 @@
 //	quarantine=N      consecutive faults before quarantine (default 3)
 //	probe=DUR         background probe cadence (default 50ms)
 //	maxshards=N       shard cap per request (default: pool size)
+//	shard=S           execution strategy: sample (default) | channel | pipeline
+//	debug=BOOL        log scheduling decisions to stderr (default false)
 package pool
 
 import (
@@ -90,6 +92,10 @@ func ParseSpec(spec string) (Options, error) {
 				o.ProbeInterval, err = time.ParseDuration(val)
 			case "maxshards":
 				o.MaxShards, err = strconv.Atoi(val)
+			case "shard":
+				o.Shard = val
+			case "debug":
+				o.Debug, err = strconv.ParseBool(val)
 			default:
 				return o, fmt.Errorf("%w: spec %q: unknown parameter %q (devices= must come last)", ErrBadPool, spec, key)
 			}
@@ -123,6 +129,12 @@ func synthesizeSpec(o Options) string {
 	b.WriteString(Name + "?")
 	if o.Hedge {
 		b.WriteString("hedge=true,")
+	}
+	if o.Shard != "" && o.Shard != ShardSample {
+		fmt.Fprintf(&b, "shard=%s,", o.Shard)
+	}
+	if o.Debug {
+		b.WriteString("debug=true,")
 	}
 	fmt.Fprintf(&b, "quarantine=%d,probe=%s,devices=%s",
 		o.QuarantineThreshold, o.ProbeInterval, strings.Join(o.Specs, "|"))

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeSnap(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Layout of BENCH_8: forward_batch with shots_per_sample rows. Costs are
+// chosen so the derivation is exact: per = (b32-b8)/24, base = b1 - per.
+const bench8Like = `{
+  "id": "BENCH_8",
+  "forward_batch": {
+    "netA": {
+      "batch1": {"ns_per_op": 3000000, "shots_per_sample": 1000},
+      "batch8": {"ns_per_op": 10000000, "shots_per_sample": 900},
+      "batch32": {"ns_per_op": 34000000, "shots_per_sample": 890}
+    }
+  }
+}`
+
+// Layout of BENCH_5: no shots in forward_batch rows; packed shots live in
+// tiled_packed_shots.
+const bench5Like = `{
+  "id": "BENCH_5",
+  "forward_batch": {
+    "netA": {
+      "batch1": {"ns_per_op": 1000000},
+      "batch8": {"ns_per_op": 4000000},
+      "batch32": {"ns_per_op": 16000000}
+    }
+  },
+  "tiled_packed_shots": {
+    "netA": {"batch8_shots_per_sample": 500}
+  }
+}`
+
+// Layout of BENCH_3: single forward table, batch 1 and 8 only.
+const bench3Like = `{
+  "id": "BENCH_3",
+  "forward": {
+    "compiled_per_sample": {"ns_per_op": 1100000},
+    "compiled_batch8": {"ns_per_op": 8100000}
+  }
+}`
+
+func TestCalibrateWorkersBench8Layout(t *testing.T) {
+	path := writeSnap(t, "b8.json", bench8Like)
+	cal, err := CalibrateWorkers(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// per = (34e6-10e6)/24 = 1e6; base = 3e6 - 1e6 = 2e6; shots from batch8.
+	if cal.PerSample != time.Millisecond {
+		t.Errorf("PerSample %v, want 1ms", cal.PerSample)
+	}
+	if cal.BatchBase != 2*time.Millisecond {
+		t.Errorf("BatchBase %v, want 2ms", cal.BatchBase)
+	}
+	if cal.ShotsPerSample != 900 {
+		t.Errorf("ShotsPerSample %d, want 900", cal.ShotsPerSample)
+	}
+	if len(cal.Sources) != 1 {
+		t.Errorf("sources %v, want one", cal.Sources)
+	}
+}
+
+func TestCalibrateWorkersAveragesAcrossSnapshots(t *testing.T) {
+	p8 := writeSnap(t, "b8.json", bench8Like)
+	p5 := writeSnap(t, "b5.json", bench5Like)
+	p3 := writeSnap(t, "b3.json", bench3Like)
+	cal, err := CalibrateWorkers(p8, p5, p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b8: base 2e6, per 1e6; b5: per (16e6-4e6)/24=0.5e6, base 0.5e6;
+	// b3: per (8.1e6-1.1e6)/7=1e6, base 0.1e6. Averages: base 13/15 ms,
+	// per 2.5/3 ms. Shots: (900+500)/2 = 700.
+	baseNs := []float64{2e6, 0.5e6, 0.1e6}
+	perNs := []float64{1e6, 0.5e6, 1e6}
+	wantBase := time.Duration((baseNs[0] + baseNs[1] + baseNs[2]) / 3)
+	wantPer := time.Duration((perNs[0] + perNs[1] + perNs[2]) / 3)
+	if cal.BatchBase != wantBase {
+		t.Errorf("BatchBase %v, want %v", cal.BatchBase, wantBase)
+	}
+	if cal.PerSample != wantPer {
+		t.Errorf("PerSample %v, want %v", cal.PerSample, wantPer)
+	}
+	if cal.ShotsPerSample != 700 {
+		t.Errorf("ShotsPerSample %d, want 700", cal.ShotsPerSample)
+	}
+	if len(cal.Sources) != 3 {
+		t.Errorf("sources %v, want three", cal.Sources)
+	}
+}
+
+func TestCalibrateWorkersRealSnapshots(t *testing.T) {
+	// The repository's committed snapshots must calibrate to a usable
+	// (validate-clean) worker; guards the parser against layout drift.
+	var paths []string
+	for _, name := range []string{"BENCH_8.json", "BENCH_5.json", "BENCH_3.json"} {
+		p := filepath.Join("..", "..", name)
+		if _, err := os.Stat(p); err == nil {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		t.Skip("no committed BENCH snapshots")
+	}
+	cal, err := CalibrateWorkers(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cal.Apply(defaultWorker())
+	if w.BatchBase+w.PerSample <= 0 {
+		t.Fatalf("calibrated costs unusable: %+v", w)
+	}
+	if w.ShotsPerSample <= 0 {
+		t.Fatalf("calibrated shots unusable: %+v", w)
+	}
+	sc := Scenario{Name: "cal", Duration: time.Second, PoissonRate: 1, Workers: []WorkerConfig{w}}
+	if err := sc.withDefaults().validate(); err != nil {
+		t.Fatalf("calibrated scenario invalid: %v", err)
+	}
+}
+
+func TestCalibrateWorkersErrors(t *testing.T) {
+	if _, err := CalibrateWorkers(); err == nil {
+		t.Fatal("zero paths must fail")
+	}
+	bad := writeSnap(t, "bad.json", `{"id": "X"}`)
+	if _, err := CalibrateWorkers(bad); err == nil {
+		t.Fatal("snapshot without cost tables must fail")
+	}
+}
+
+func TestCalibrationApplyPreservesFaultModel(t *testing.T) {
+	cal := Calibration{BatchBase: time.Millisecond, PerSample: time.Microsecond, ShotsPerSample: 123}
+	w := cal.Apply(WorkerConfig{Fault: "outage:9", FaultSeed: 4, ApertureUtil: 0.5, FaultDetect: time.Second})
+	if w.Fault != "outage:9" || w.FaultSeed != 4 || w.ApertureUtil != 0.5 || w.FaultDetect != time.Second {
+		t.Fatalf("Apply clobbered non-cost fields: %+v", w)
+	}
+	if w.BatchBase != time.Millisecond || w.PerSample != time.Microsecond || w.ShotsPerSample != 123 {
+		t.Fatalf("Apply missed cost fields: %+v", w)
+	}
+}

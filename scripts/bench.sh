@@ -28,6 +28,14 @@
 #                 scheduled share — device parallelism modeled, scheduling
 #                 real), because on a starved host wall-clock serializes
 #                 the shards and cannot show device parallelism (PR 7)
+#   BENCH_10.json intra-sample pool parallelism (PR 10): AlexNetS batch-1
+#                 latency under output-channel sharding and layer-stage
+#                 pipelining at pool {2,4} vs a single device. The claim is
+#                 made on modeled-ns/sample (measured serial batch-1 cost x
+#                 the busiest device's share under the scheduler's real
+#                 partitioner) and modeled-speedup (1/maxShare), with the
+#                 arch performance model's conv time as the
+#                 modeled-vs-scheduled comparison column
 #   BENCH_9.json  fleet simulation (internal/sim, PR 9): the device-outage
 #                 headline scenario — 32 diurnal tenants on a 4-device pool
 #                 with one permanent mid-run outage — at pool {1,4}, outage
@@ -49,7 +57,7 @@
 #   SIMDUR=30s scripts/bench.sh 9           # shorter virtual horizon for the
 #       BENCH_9 simulation runs (default: the scenario's 120s)
 #   OUT2=/tmp/b2.json OUT3=/tmp/b3.json OUT5=/tmp/b5.json OUT7=/tmp/b7.json \
-#       OUT9=/tmp/b9.json scripts/bench.sh all
+#       OUT9=/tmp/b9.json OUT10=/tmp/b10.json scripts/bench.sh all
 set -eu
 cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-2s}"
@@ -59,7 +67,7 @@ poolspec="${POOLSPEC:-accelerator?tiled=true,workers=1}"
 
 usage() {
 	echo "usage: scripts/bench.sh [snapshot...]" >&2
-	echo "  snapshots: 2 3 5 7 8 9, or \"all\" (default: 8)" >&2
+	echo "  snapshots: 2 3 5 7 8 9 10, or \"all\" (default: 8)" >&2
 	exit 2
 }
 
@@ -70,11 +78,11 @@ if [ "$#" -gt 0 ]; then
 else
 	targets="8"
 fi
-[ "$targets" = "all" ] && targets="2 3 5 7 8 9"
+[ "$targets" = "all" ] && targets="2 3 5 7 8 9 10"
 nvalid=0
 for t in $targets; do
 	case "$t" in
-	2 | 3 | 5 | 7 | 8 | 9) nvalid=$((nvalid + 1)) ;;
+	2 | 3 | 5 | 7 | 8 | 9 | 10) nvalid=$((nvalid + 1)) ;;
 	*)
 		echo "bench.sh: unknown snapshot \"$t\"" >&2
 		usage
@@ -416,6 +424,60 @@ if want 7; then
 		printf "  \"modeled_speedup_pool4_vs_pool1\": %.2f,\n", mod["pool1"] / mod["pool4"]
 		printf "  \"modeled_speedup_pool8_vs_pool1\": %.2f,\n", mod["pool1"] / mod["pool8"]
 		printf "  \"outage_modeled_speedup_vs_pool1\": %.2f\n", mod["pool1"] / mod["pool4-outage"]
+		printf "}\n"
+	}' >"$out"
+	echo "wrote $out"
+fi
+
+if want 10; then
+	out="${OUT10:-BENCH_10.json}"
+	raw=$(PF_BENCH_POOL_DEVICE="$poolspec" go test -run '^$' \
+		-bench '^BenchmarkIntraBatch1$' \
+		-benchmem -benchtime "$benchtime" .)
+	printf '%s\n' "$raw"
+
+	printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v poolspec="$poolspec" '
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^BenchmarkIntraBatch1\// {
+		split($1, parts, "/")
+		wl = parts[2]
+		sub(/-[0-9]+$/, "", wl)
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") v_ns = $i
+			else if ($(i+1) == "modeled-ns/sample") v_mod = $i
+			else if ($(i+1) == "modeled-speedup") v_sp = $i
+			else if ($(i+1) == "arch-ns/sample") v_arch = $i
+			else if ($(i+1) == "live-devices") v_live = $i
+			else if ($(i+1) == "B/op") v_b = $i
+			else if ($(i+1) == "allocs/op") v_al = $i
+		}
+		ns[wl] = v_ns; mod[wl] = v_mod; sp[wl] = v_sp
+		arch[wl] = v_arch; live[wl] = v_live
+		bytes[wl] = v_b; allocs[wl] = v_al
+		if (!(wl in seen)) { order[++n] = wl; seen[wl] = 1 }
+	}
+	function shard_of(wl) { return (wl ~ /^channel/) ? "channel" : (wl ~ /^pipeline/) ? "pipeline" : "sample" }
+	function size_of(wl) { sub(/^[a-z]+/, "", wl); return (wl == "") ? 1 : wl + 0 }
+	END {
+		printf "{\n"
+		printf "  \"id\": \"BENCH_10\",\n"
+		printf "  \"benchmark\": \"intra-sample pool parallelism (DevicePool shard=channel|pipeline): AlexNetS batch-1 latency at pool {2,4} vs a single device\",\n"
+		printf "  \"device_spec\": \"%s\",\n", poolspec
+		printf "  \"batch\": 1,\n"
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"metric_note\": \"modeled_batch1_ns_per_sample = measured serial single-device batch-1 cost x the busiest device share under the scheduler real partitioner (SplitChannels / StageBounds over arch step costs); wall-clock shard execution serializes on a single-CPU host, so ns_per_op cannot show device parallelism. arch_ns_per_sample is the arch performance model conv time for the same plan geometry, the modeled-vs-scheduled comparison column\",\n"
+		printf "  \"strategies\": {\n"
+		for (i = 1; i <= n; i++) {
+			wl = order[i]
+			printf "    \"%s\": {\"shard\": \"%s\", \"pool_size\": %d, \"live_devices\": %d, \"ns_per_op\": %s, \"modeled_batch1_ns_per_sample\": %.0f, \"modeled_speedup\": %.3f, \"arch_ns_per_sample\": %.1f, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+				wl, shard_of(wl), size_of(wl), live[wl] + 0, ns[wl], mod[wl], sp[wl], arch[wl], bytes[wl], allocs[wl], (i < n) ? "," : ""
+		}
+		printf "  },\n"
+		printf "  \"modeled_speedup_channel2\": %.3f,\n", mod["single"] / mod["channel2"]
+		printf "  \"modeled_speedup_channel4\": %.3f,\n", mod["single"] / mod["channel4"]
+		printf "  \"modeled_speedup_pipeline2\": %.3f,\n", mod["single"] / mod["pipeline2"]
+		printf "  \"modeled_speedup_pipeline4\": %.3f\n", mod["single"] / mod["pipeline4"]
 		printf "}\n"
 	}' >"$out"
 	echo "wrote $out"
